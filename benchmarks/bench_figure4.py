@@ -1,0 +1,30 @@
+"""Figure 4: task utility vs. runtime under a 10-minute budget.
+
+Regenerates the Mileena / ARDA / Novelty / Auto-SK / Vertex AI comparison
+on a synthetic open-data corpus with simulated per-candidate costs.  The
+expected shape: Mileena finishes within the budget with the best utility;
+ARDA approaches it but blows through the budget; the AutoML-only systems
+plateau low because the predictive features live in other datasets.
+"""
+
+from repro.datasets import CorpusSpec
+from repro.experiments import Figure4Config, run_figure4
+
+from conftest import run_once
+
+
+def test_figure4_utility_vs_runtime(benchmark):
+    config = Figure4Config(
+        corpus_spec=CorpusSpec(num_datasets=60, requester_rows=300, seed=0),
+        time_budget_seconds=600.0,
+    )
+    result = run_once(benchmark, run_figure4, config)
+    print("\nFigure 4 — task utility vs. runtime (10 min budget, simulated clock)")
+    print(result.format())
+
+    mileena = result.results["Mileena"]
+    assert mileena.finished_within_budget
+    assert mileena.test_r2 > result.results["Auto-SK"].test_r2
+    assert mileena.test_r2 > result.results["Vertex AI"].test_r2
+    assert mileena.test_r2 >= result.results["Novelty"].test_r2 - 0.05
+    assert result.results["ARDA"].elapsed_seconds > result.time_budget_seconds

@@ -1,0 +1,58 @@
+"""Figure 5: utility of differentially private search (FPM vs. APM vs. TPM).
+
+(a) distribution across repeated runs, (b) corpus-size sweep, (c) request-
+count sweep.  Expected shape: FPM stays within a large fraction of the
+non-private search and clearly above APM and TPM; APM degrades as the
+corpus and the number of requests grow because its per-release budget
+shrinks; TPM is capped by per-tuple noise throughout.
+"""
+
+from repro.experiments import (
+    APM,
+    FPM,
+    NON_PRIVATE,
+    TPM,
+    Figure5Config,
+    format_sweep,
+    run_figure5a,
+    run_figure5b,
+    run_figure5c,
+)
+
+from conftest import run_once
+
+
+def test_figure5a_across_runs(benchmark):
+    config = Figure5Config(corpus_size=30, runs=2, requester_rows=250, epsilon=1.0, seed=3)
+    result = run_once(benchmark, run_figure5a, config)
+    print("\nFigure 5(a) — utility across runs (corpus=30, eps=1)")
+    print(result.format())
+    non_private = result.median_utility(NON_PRIVATE)
+    assert non_private >= result.median_utility(APM) - 0.1
+    assert non_private >= result.median_utility(TPM) - 0.1
+    assert result.median_utility(FPM) > 0.1
+
+
+def test_figure5b_corpus_size_sweep(benchmark):
+    config = Figure5Config(runs=1, requester_rows=250, epsilon=1.0, seed=5)
+    sweep = run_once(benchmark, run_figure5b, [12, 30, 60], config)
+    print("\nFigure 5(b) — utility vs. corpus size")
+    print(format_sweep(sweep, "corpus_size"))
+    largest = sweep[60]
+    # The non-private search stays on top throughout the sweep, and FPM
+    # still extracts signal at the largest corpus size.
+    assert largest.median_utility(NON_PRIVATE) >= largest.median_utility(APM) - 0.1
+    assert largest.median_utility(FPM) > 0.1
+
+
+def test_figure5c_request_count_sweep(benchmark):
+    config = Figure5Config(corpus_size=30, runs=1, requester_rows=250, epsilon=1.0, seed=3)
+    sweep = run_once(benchmark, run_figure5c, [1, 10, 50], config)
+    print("\nFigure 5(c) — utility vs. number of requests")
+    print(format_sweep(sweep, "num_requests"))
+    most_requests = sweep[50]
+    fewest = sweep[1]
+    # FPM is unaffected by the request count because privatised sketches are
+    # reused as post-processing; APM's per-release budget keeps shrinking.
+    assert abs(fewest.median_utility(FPM) - most_requests.median_utility(FPM)) < 1e-9
+    assert most_requests.median_utility(APM) <= fewest.median_utility(APM) + 0.1

@@ -1,0 +1,66 @@
+"""§3.2.3 latency claim: sketch-based candidate evaluation in milliseconds.
+
+Micro-benchmarks of (a) evaluating one vertical-augmentation candidate from
+pre-computed sketches and (b) materialising the join and retraining.  The
+sketch path must be independent of the relation size; the materialising
+path grows with it.
+"""
+
+import numpy as np
+
+from repro.core.proxy import AugmentationState, SketchProxyModel
+from repro.experiments import run_runtime_experiment
+from repro.ml import LinearRegression
+from repro.relational import join
+from repro.experiments.runtime import _make_task
+from repro.sketches import SketchBuilder
+
+from conftest import run_once
+
+_ROWS = 20_000
+
+
+def _prepare(rows=_ROWS):
+    train, provider = _make_task(rows)
+    builder = SketchBuilder()
+    train_sketch = builder.build(train, features=["local", "y"], key_columns=["zone"])
+    provider_sketch = builder.build(provider, features=["latent"], key_columns=["zone"])
+    state = AugmentationState.from_sketches("y", train_sketch, train_sketch)
+    return train, provider, state, provider_sketch
+
+
+def test_candidate_evaluation_from_sketches(benchmark):
+    _, _, state, provider_sketch = _prepare()
+    proxy = SketchProxyModel()
+
+    def evaluate():
+        trial = state.with_join("zone", provider_sketch)
+        return proxy.evaluate(trial.train_element(), trial.test_element(), "y")
+
+    score = benchmark(evaluate)
+    assert score.test_r2 > 0.5
+    # "Evaluate candidates in milliseconds": well under 100 ms per candidate.
+    assert benchmark.stats.stats.mean < 0.1
+
+
+def test_candidate_evaluation_by_materializing(benchmark):
+    train, provider, _, _ = _prepare()
+
+    def evaluate():
+        joined = join(train, provider, on="zone")
+        features = ["local", "latent"]
+        model = LinearRegression(ridge=1e-6).fit(
+            joined.numeric_matrix(features), np.asarray(joined.column("y"))
+        )
+        return model.score(joined.numeric_matrix(features), np.asarray(joined.column("y")))
+
+    r2 = benchmark(evaluate)
+    assert r2 > 0.5
+
+
+def test_latency_scaling_table(benchmark, capsys):
+    result = run_once(benchmark, run_runtime_experiment, [1_000, 5_000, 20_000])
+    print("\n§3.2.3 — candidate evaluation latency vs. relation size")
+    print(result.format())
+    largest = result.measurements[-1]
+    assert largest.speedup > 1.0

@@ -1,0 +1,24 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table/figure of the paper on a scaled-down
+synthetic workload, prints the resulting rows/series (so ``bench_output``
+doubles as the reproduction record), and registers one timed round with
+pytest-benchmark.  Experiment-level benchmarks run a single round — they
+measure end-to-end experiment cost, not micro-latency; the micro benchmarks
+(sketch operations, proxy evaluation) use regular multi-round timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    """Fixture exposing the single-round benchmark helper."""
+    return run_once

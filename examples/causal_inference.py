@@ -1,0 +1,51 @@
+"""Causal inference on semi-ring statistics (§4.2).
+
+Demonstrates (1) factorized conditional-independence tests and pairwise
+causal direction, and (2) the differentially private treatment-effect
+comparison: backdoor over a privatised join vs. the marginal-based formula.
+
+Run with:  python examples/causal_inference.py
+"""
+
+import numpy as np
+
+from repro.causal import (
+    PrivateAteExperiment,
+    fisher_z_test,
+    pairwise_direction,
+    student_study_dag,
+)
+from repro.datasets import CausalStudySpec, generate_causal_study
+from repro.semiring import CovarianceElement
+
+
+def discovery_walkthrough() -> None:
+    dag = student_study_dag()
+    print("causal diagram:", dag.describe())
+    print("backdoor set for T -> Y:", dag.backdoor_adjustment_set("T", "Y"))
+
+    # Factorized CI test: the chain x -> y -> z from a covariance sketch only.
+    rng = np.random.default_rng(0)
+    x = rng.uniform(size=5000)
+    y = 2 * x + rng.uniform(size=5000)
+    z = y + rng.normal(scale=0.2, size=5000)
+    element = CovarianceElement.from_matrix(("x", "y", "z"), np.column_stack([x, y, z]))
+    print("x ⟂ z ?        ", fisher_z_test(element, "x", "z").independent)
+    print("x ⟂ z | y ?    ", fisher_z_test(element, "x", "z", ["y"]).independent)
+    print("direction x~y: ", pairwise_direction(x, y).direction, "\n")
+
+
+def private_ate_walkthrough() -> None:
+    study = generate_causal_study(CausalStudySpec(num_students=20_000, seed=0))
+    result = PrivateAteExperiment(epsilon=1.0, rng=np.random.default_rng(0)).run(study)
+    print(f"true ATE:                       {result.ate_true:.4f}")
+    print(f"naive difference:               {result.naive_estimate:.4f}")
+    print(f"backdoor over privatized join:  {result.backdoor_estimate:.4f} "
+          f"({100 * result.backdoor_relative_error:.2f}% relative error)")
+    print(f"marginal-based formula:         {result.mediator_estimate:.4f} "
+          f"({100 * result.mediator_relative_error:.2f}% relative error)")
+
+
+if __name__ == "__main__":
+    discovery_walkthrough()
+    private_ate_walkthrough()

@@ -1,0 +1,44 @@
+"""Quickstart: register a corpus, submit a task, inspect the augmentation plan.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import Mileena, SearchRequest
+from repro.datasets import CorpusSpec, generate_corpus
+
+
+def main() -> None:
+    # 1. Generate a small synthetic open-data corpus plus a requester task.
+    #    The requester wants to predict `demand` from its own (weak) local
+    #    features; the predictive signal lives in joinable provider tables.
+    corpus = generate_corpus(CorpusSpec(num_datasets=25, requester_rows=300, seed=0))
+    print(f"corpus: {len(corpus.providers)} provider datasets")
+    print(f"requester train: {corpus.train.num_rows} rows, columns={corpus.train.columns}")
+
+    # 2. Stand up the platform and register every provider dataset.
+    #    (Pass epsilon=... to privatise the uploaded sketches.)
+    platform = Mileena()
+    accepted = platform.register_corpus(corpus.providers)
+    print(f"registered {accepted} datasets")
+
+    # 3. Submit a task-based search request.
+    request = SearchRequest(
+        train=corpus.train,
+        test=corpus.test,
+        target=corpus.target,
+        max_augmentations=4,
+    )
+    result = platform.search(request)
+
+    # 4. Inspect the plan and the final model.
+    print("\naugmentation plan:")
+    print(result.plan.describe())
+    print(f"\nproxy test R2:  {result.proxy_test_r2:.3f}")
+    print(f"final test R2:  {result.final_report.test_r2:.3f}")
+    print(f"features used:  {result.final_report.feature_names}")
+    print(f"search took {result.elapsed_seconds:.2f}s over "
+          f"{result.candidates_considered} discovered candidates")
+
+
+if __name__ == "__main__":
+    main()

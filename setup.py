@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 660 editable installs (which build a wheel) fail.  Keeping a classic
+``setup.py`` lets ``pip install -e . --no-build-isolation --no-use-pep517``
+fall back to ``setup.py develop``.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Mileena: fast, private, task-based dataset search (CIDR 2024 reproduction).
+
+The public API re-exports the most commonly used entry points:
+
+* :class:`repro.relational.Relation` — the columnar relation substrate.
+* :class:`repro.core.Mileena` — the search platform facade.
+* :class:`repro.core.SearchRequest` — a requester's task description.
+* :mod:`repro.datasets` — synthetic corpus and workload generators.
+"""
+
+from repro.exceptions import ReproError
+
+__version__ = "0.1.0"
+
+__all__ = ["ReproError", "__version__"]
+
+
+def __getattr__(name: str):
+    # Lazy imports keep `import repro` cheap while still exposing the facade.
+    if name == "Mileena":
+        from repro.core.platform import Mileena
+
+        return Mileena
+    if name == "SearchRequest":
+        from repro.core.request import SearchRequest
+
+        return SearchRequest
+    if name == "Relation":
+        from repro.relational.relation import Relation
+
+        return Relation
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

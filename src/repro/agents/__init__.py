@@ -1,0 +1,48 @@
+"""Agent-based automatic data transformation (EDA / Coder / Debugger / Reviewer)."""
+
+from repro.agents.base import (
+    COUNT_ITEMS,
+    DATE_TO_YEARS,
+    EXTRACT_NUMBER,
+    LOG_TRANSFORM,
+    ONE_HOT,
+    STRING_LENGTH,
+    TRANSFORMATION_KINDS,
+    CodeDraft,
+    ExecutableTransformation,
+    PipelineReport,
+    ReviewVerdict,
+    TransformationSuggestion,
+)
+from repro.agents.coder import CoderAgent
+from repro.agents.debugger import DebuggerAgent, compile_draft
+from repro.agents.eda import EDAAgent
+from repro.agents.embeddings import HashingEmbedder
+from repro.agents.llm import SimulatedLLM
+from repro.agents.pipeline import AgentTransformationPipeline
+from repro.agents.reviewer import ReviewerAgent
+from repro.agents import transforms
+
+__all__ = [
+    "SimulatedLLM",
+    "EDAAgent",
+    "CoderAgent",
+    "DebuggerAgent",
+    "ReviewerAgent",
+    "AgentTransformationPipeline",
+    "HashingEmbedder",
+    "TransformationSuggestion",
+    "CodeDraft",
+    "ExecutableTransformation",
+    "ReviewVerdict",
+    "PipelineReport",
+    "compile_draft",
+    "transforms",
+    "TRANSFORMATION_KINDS",
+    "EXTRACT_NUMBER",
+    "DATE_TO_YEARS",
+    "COUNT_ITEMS",
+    "ONE_HOT",
+    "STRING_LENGTH",
+    "LOG_TRANSFORM",
+]

@@ -1,0 +1,91 @@
+"""Agent framework primitives.
+
+Section 4.1 proposes specialised agents (EDA, Coder, Debugger, Reviewer)
+that each "summarize the information in a form consumable by an LLM or
+another agent".  This module defines the shared value objects those agents
+exchange: transformation suggestions, code drafts, and review verdicts,
+plus the abstract agent base class.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable
+
+# Kinds of transformation the pipeline understands.
+EXTRACT_NUMBER = "extract_number"
+DATE_TO_YEARS = "date_to_years"
+COUNT_ITEMS = "count_items"
+ONE_HOT = "one_hot"
+STRING_LENGTH = "string_length"
+LOG_TRANSFORM = "log_transform"
+
+TRANSFORMATION_KINDS = (
+    EXTRACT_NUMBER,
+    DATE_TO_YEARS,
+    COUNT_ITEMS,
+    ONE_HOT,
+    STRING_LENGTH,
+    LOG_TRANSFORM,
+)
+
+
+@dataclass(frozen=True)
+class TransformationSuggestion:
+    """A natural-language transformation suggestion produced by the EDA agent."""
+
+    column: str
+    kind: str
+    description: str
+    output_column: str
+
+
+@dataclass
+class CodeDraft:
+    """A Python function source produced by the Coder agent."""
+
+    suggestion: TransformationSuggestion
+    function_name: str
+    source: str
+    attempt: int = 0
+
+
+@dataclass
+class ExecutableTransformation:
+    """A debugged, runnable transformation."""
+
+    suggestion: TransformationSuggestion
+    function: Callable
+    source: str
+    attempts: int
+
+
+@dataclass
+class ReviewVerdict:
+    """The Reviewer agent's decision on one transformation."""
+
+    accepted: bool
+    reason: str
+
+
+@dataclass
+class PipelineReport:
+    """A record of what happened across the whole pipeline for one dataset."""
+
+    suggestions: list[TransformationSuggestion] = field(default_factory=list)
+    drafted: int = 0
+    debugged: int = 0
+    accepted: list[str] = field(default_factory=list)
+    rejected: list[str] = field(default_factory=list)
+    failed: list[str] = field(default_factory=list)
+
+
+class Agent(ABC):
+    """Base class: every agent exposes a single ``act`` entry point."""
+
+    name = "agent"
+
+    @abstractmethod
+    def act(self, *args, **kwargs):
+        """Perform the agent's specialised task."""

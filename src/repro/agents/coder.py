@@ -1,0 +1,31 @@
+"""The Coder agent.
+
+"Each suggested transformation by EDA is designated to one Coder, which
+also inputs the related column samples and outputs a Python function to
+implement the transformation." (§4.1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agents.base import Agent, CodeDraft, TransformationSuggestion
+from repro.agents.llm import SimulatedLLM
+
+
+@dataclass
+class CoderAgent(Agent):
+    """Turns a transformation suggestion into a Python code draft."""
+
+    llm: SimulatedLLM = field(default_factory=SimulatedLLM)
+    name = "coder"
+
+    def act(self, suggestion: TransformationSuggestion, attempt: int = 0) -> CodeDraft:
+        """Draft ``transform(values)`` source for one suggestion."""
+        source = self.llm.write_code(suggestion, attempt=attempt)
+        return CodeDraft(
+            suggestion=suggestion,
+            function_name="transform",
+            source=source,
+            attempt=attempt,
+        )

@@ -1,0 +1,72 @@
+"""The Debugger agent.
+
+"This agent inputs the function, accesses a Python environment, and ensures
+that the function can run.  Debugger iteratively modifies the function based
+on error messages.  By default, the debugging is retried up to 10 times; if
+it still fails, that transformation is ignored." (§4.1)
+
+The "Python environment" is an in-process sandbox: the draft is executed
+with ``exec`` in a restricted namespace and exercised on a sample of the
+raw column values; any exception (or an output of the wrong length) counts
+as a failure and is fed back to the LLM for a fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agents.base import Agent, CodeDraft, ExecutableTransformation
+from repro.agents.llm import SimulatedLLM
+from repro.exceptions import AgentError
+
+_ALLOWED_GLOBALS = {"__builtins__": __builtins__}
+
+
+def compile_draft(draft_source: str, function_name: str = "transform"):
+    """Execute a code draft in a fresh namespace and return the function.
+
+    A single dictionary serves as both globals and locals so that module
+    imports inside the draft remain visible to the defined function.
+    """
+    namespace: dict[str, object] = dict(_ALLOWED_GLOBALS)
+    exec(draft_source, namespace)  # noqa: S102 - sandboxed agent output
+    function = namespace.get(function_name)
+    if not callable(function):
+        raise AgentError(f"draft does not define a callable {function_name!r}")
+    return function
+
+
+@dataclass
+class DebuggerAgent(Agent):
+    """Runs drafts in a sandbox and iteratively fixes them with the LLM."""
+
+    llm: SimulatedLLM = field(default_factory=SimulatedLLM)
+    max_retries: int = 10
+    name = "debugger"
+
+    def act(
+        self, draft: CodeDraft, sample_values: list
+    ) -> ExecutableTransformation | None:
+        """Return a runnable transformation, or None when debugging gives up."""
+        source = draft.source
+        for attempt in range(self.max_retries + 1):
+            try:
+                function = compile_draft(source, draft.function_name)
+                output = function(list(sample_values))
+                if not isinstance(output, list) or len(output) != len(sample_values):
+                    raise AgentError(
+                        f"transform returned {type(output).__name__} of wrong length"
+                    )
+                return ExecutableTransformation(
+                    suggestion=draft.suggestion,
+                    function=function,
+                    source=source,
+                    attempts=attempt + 1,
+                )
+            except Exception as error:  # noqa: BLE001 - any failure goes back to the LLM
+                fixed = self.llm.fix_code(source, str(error))
+                if fixed == source:
+                    # The LLM has no further fix to offer; give up early.
+                    return None
+                source = fixed
+        return None

@@ -1,0 +1,42 @@
+"""The EDA agent.
+
+"This agent explores data and related docs to suggest transformations.  Our
+implementation inputs the ML task contexts, a sample of ten rows, and
+column aggregates (min, max, median), and lets this agent output a list of
+data transformations in NL." (§4.1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agents.base import Agent, TransformationSuggestion
+from repro.agents.llm import SimulatedLLM
+from repro.relational.relation import Relation
+
+
+@dataclass
+class EDAAgent(Agent):
+    """Profiles a dataset and asks the LLM for transformation suggestions."""
+
+    llm: SimulatedLLM = field(default_factory=SimulatedLLM)
+    sample_rows: int = 10
+    name = "eda"
+
+    def act(self, relation: Relation, task_context: str = "") -> list[TransformationSuggestion]:
+        """Suggest transformations for every non-numeric column."""
+        suggestions: list[TransformationSuggestion] = []
+        sample = relation.head(self.sample_rows)
+        for attribute in relation.schema:
+            if attribute.is_numeric:
+                continue
+            values = relation.column(attribute.name)
+            distinct_count = len({str(v) for v in values if v is not None})
+            column_suggestions = self.llm.suggest_transformations(
+                column=attribute.name,
+                sample_values=list(sample.column(attribute.name)),
+                distinct_count=distinct_count,
+                task_context=task_context,
+            )
+            suggestions.extend(column_suggestions)
+        return suggestions

@@ -1,0 +1,56 @@
+"""Feature-hashing pseudo-embeddings for string columns.
+
+Figure 6(b)'s "Embed" baseline creates high-dimensional features for string
+columns with ada-002 embeddings.  Offline, the closest semantics-agnostic
+equivalent is the hashing trick: each string token increments a bucket of a
+fixed-width vector.  Like real embeddings it converts strings into dense
+numeric features without any task understanding — which is precisely why it
+underperforms the agent pipeline in the reproduction, as in the paper.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.discovery.tfidf import tokenize
+from repro.relational.relation import Relation
+
+
+def _bucket(token: str, dimensions: int) -> int:
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=4).digest()
+    return int.from_bytes(digest, "big") % dimensions
+
+
+@dataclass
+class HashingEmbedder:
+    """Replace every categorical column with ``dimensions`` hashed features."""
+
+    dimensions: int = 8
+    keep_raw_columns: bool = False
+
+    def embed_column(self, values: list) -> np.ndarray:
+        """A ``(rows, dimensions)`` hashed-bag-of-tokens matrix for one column."""
+        matrix = np.zeros((len(values), self.dimensions))
+        for row, value in enumerate(values):
+            if value is None:
+                continue
+            for token in tokenize(str(value)):
+                matrix[row, _bucket(token, self.dimensions)] += 1.0
+        return matrix
+
+    def transform(self, relation: Relation) -> Relation:
+        """Embed every categorical column of a relation."""
+        transformed = relation
+        categorical = [a.name for a in relation.schema if a.is_categorical]
+        for column in categorical:
+            matrix = self.embed_column(list(relation.column(column)))
+            for dimension in range(self.dimensions):
+                transformed = transformed.with_column(
+                    f"{column}_emb{dimension}", matrix[:, dimension], dtype="numeric"
+                )
+        if not self.keep_raw_columns:
+            transformed = transformed.without_columns(categorical)
+        return transformed

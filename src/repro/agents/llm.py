@@ -1,0 +1,219 @@
+"""A deterministic stand-in for the LLM backing the agent pipeline.
+
+The paper's agents call GPT-4; no network or model weights are available
+offline, so :class:`SimulatedLLM` answers the same three prompt families
+with deterministic heuristics:
+
+* ``suggest_transformations`` — inspect a column's sample values (exactly
+  the information the EDA agent would put in its prompt: task context, ten
+  sample rows, simple aggregates) and propose transformations;
+* ``write_code`` — emit Python source for a suggestion (templates composed
+  from :mod:`repro.agents.transforms`); optionally the *first* draft is
+  deliberately buggy so the Debugger's retry loop is exercised, mirroring
+  the iterative fix-on-error behaviour described in §4.1;
+* ``fix_code`` — repair a draft given the error message.
+
+The substitution preserves the architectural claim under test (specialised
+agents + sandboxed execution + review loop beat one-shot transformation and
+raw embeddings); only the language model is replaced.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.agents.base import (
+    COUNT_ITEMS,
+    DATE_TO_YEARS,
+    EXTRACT_NUMBER,
+    ONE_HOT,
+    STRING_LENGTH,
+    TransformationSuggestion,
+)
+
+_DATE_PATTERN = re.compile(r"\d{4}-\d{2}-\d{2}")
+_NUMBER_IN_TEXT_PATTERN = re.compile(r"\d")
+
+
+@dataclass
+class SimulatedLLM:
+    """Deterministic, profile-driven replacement for the GPT-4 calls."""
+
+    buggy_first_draft: bool = False
+    max_one_hot_cardinality: int = 8
+    calls: dict[str, int] = field(default_factory=dict)
+
+    def _record(self, prompt_type: str) -> None:
+        self.calls[prompt_type] = self.calls.get(prompt_type, 0) + 1
+
+    # -- EDA prompt -------------------------------------------------------------
+    def suggest_transformations(
+        self,
+        column: str,
+        sample_values: list[str | None],
+        distinct_count: int,
+        task_context: str = "",
+    ) -> list[TransformationSuggestion]:
+        """Suggest transformations for one categorical column."""
+        self._record("suggest")
+        values = [str(value) for value in sample_values if value is not None]
+        if not values:
+            return []
+        suggestions: list[TransformationSuggestion] = []
+        date_hits = sum(1 for value in values if _DATE_PATTERN.search(value))
+        numeric_hits = sum(1 for value in values if _NUMBER_IN_TEXT_PATTERN.search(value))
+        list_hits = sum(1 for value in values if "," in value)
+
+        if date_hits >= len(values) * 0.6:
+            suggestions.append(
+                TransformationSuggestion(
+                    column=column,
+                    kind=DATE_TO_YEARS,
+                    description=f"parse ISO dates in '{column}' and compute years elapsed",
+                    output_column=f"{column}_years",
+                )
+            )
+        elif list_hits >= len(values) * 0.6:
+            suggestions.append(
+                TransformationSuggestion(
+                    column=column,
+                    kind=COUNT_ITEMS,
+                    description=f"count comma separated items in '{column}'",
+                    output_column=f"{column}_count",
+                )
+            )
+        elif numeric_hits >= len(values) * 0.6 and distinct_count > self.max_one_hot_cardinality:
+            suggestions.append(
+                TransformationSuggestion(
+                    column=column,
+                    kind=EXTRACT_NUMBER,
+                    description=f"extract the numeric quantity embedded in '{column}'",
+                    output_column=f"{column}_value",
+                )
+            )
+        elif distinct_count <= self.max_one_hot_cardinality:
+            suggestions.append(
+                TransformationSuggestion(
+                    column=column,
+                    kind=ONE_HOT,
+                    description=f"one-hot encode the low-cardinality column '{column}'",
+                    output_column=f"{column}_onehot",
+                )
+            )
+        else:
+            suggestions.append(
+                TransformationSuggestion(
+                    column=column,
+                    kind=STRING_LENGTH,
+                    description=f"use the length of '{column}' as a crude feature",
+                    output_column=f"{column}_length",
+                )
+            )
+        return suggestions
+
+    # -- Coder prompt ---------------------------------------------------------------
+    def write_code(self, suggestion: TransformationSuggestion, attempt: int = 0) -> str:
+        """Emit Python source implementing a suggestion.
+
+        The returned source defines ``transform(values)`` mapping a list of
+        raw values to a list of floats.  When ``buggy_first_draft`` is set,
+        attempt 0 contains a deliberate NameError so the Debugger loop runs.
+        """
+        self._record("code")
+        body = _TEMPLATES[suggestion.kind]
+        if self.buggy_first_draft and attempt == 0:
+            body = body.replace("return out", "return output_values  # typo")
+        return body
+
+    # -- Debugger prompt ----------------------------------------------------------------
+    def fix_code(self, source: str, error_message: str) -> str:
+        """Repair a failing draft given the error message."""
+        self._record("fix")
+        if "output_values" in source:
+            return source.replace("return output_values  # typo", "return out")
+        # Nothing else to fix in the deterministic templates.
+        return source
+
+    # -- Reviewer prompt -----------------------------------------------------------------
+    def review(self, description: str, sample_output: list[float]) -> bool:
+        """Confirm the transformed sample matches the natural-language intent."""
+        self._record("review")
+        finite = [value for value in sample_output if value == value]
+        if not finite:
+            return False
+        return min(finite) != max(finite) or "one-hot" in description
+
+
+_TEMPLATES: dict[str, str] = {
+    EXTRACT_NUMBER: (
+        "import re\n"
+        "def transform(values):\n"
+        "    out = []\n"
+        "    for value in values:\n"
+        "        if value is None:\n"
+        "            out.append(float('nan'))\n"
+        "            continue\n"
+        "        match = re.search(r'-?\\d+(?:\\.\\d+)?', str(value))\n"
+        "        out.append(float(match.group(0)) if match else float('nan'))\n"
+        "    return out\n"
+    ),
+    DATE_TO_YEARS: (
+        "import re\n"
+        "def transform(values):\n"
+        "    out = []\n"
+        "    for value in values:\n"
+        "        match = re.search(r'(\\d{4})-(\\d{2})-(\\d{2})', str(value) if value is not None else '')\n"
+        "        if not match:\n"
+        "            out.append(float('nan'))\n"
+        "            continue\n"
+        "        year, month = int(match.group(1)), int(match.group(2))\n"
+        "        out.append((2023 - year) + (6 - month) / 12.0)\n"
+        "    return out\n"
+    ),
+    COUNT_ITEMS: (
+        "def transform(values):\n"
+        "    out = []\n"
+        "    for value in values:\n"
+        "        if value is None:\n"
+        "            out.append(0.0)\n"
+        "            continue\n"
+        "        items = [item for item in str(value).split(',') if item.strip()]\n"
+        "        out.append(float(len(items)))\n"
+        "    return out\n"
+    ),
+    STRING_LENGTH: (
+        "def transform(values):\n"
+        "    out = []\n"
+        "    for value in values:\n"
+        "        out.append(float(len(str(value))) if value is not None else 0.0)\n"
+        "    return out\n"
+    ),
+    ONE_HOT: (
+        "def transform(values):\n"
+        "    counts = {}\n"
+        "    for value in values:\n"
+        "        key = '' if value is None else str(value)\n"
+        "        counts[key] = counts.get(key, 0) + 1\n"
+        "    vocabulary = sorted(counts, key=lambda key: (-counts[key], key))[:10]\n"
+        "    out = []\n"
+        "    for value in values:\n"
+        "        key = '' if value is None else str(value)\n"
+        "        row = [1.0 if key == category else 0.0 for category in vocabulary]\n"
+        "        out.append(row)\n"
+        "    return out\n"
+    ),
+    "log_transform": (
+        "import math\n"
+        "def transform(values):\n"
+        "    out = []\n"
+        "    for value in values:\n"
+        "        try:\n"
+        "            number = float(value)\n"
+        "        except (TypeError, ValueError):\n"
+        "            out.append(float('nan'))\n"
+        "            continue\n"
+        "        out.append(math.log1p(number) if number > -1 else float('nan'))\n"
+        "    return out\n"
+    ),
+}

@@ -1,0 +1,89 @@
+"""The agent-based transformation pipeline (Figure 6a).
+
+Orchestrates EDA → Coder → Debugger → Reviewer over a raw relation and
+applies the accepted transformations, producing a relation with additional
+numeric feature columns.  The pipeline is the ``transformer`` object a
+:class:`repro.core.Provider` can be configured with, and the driver behind
+the "Agent" bars of Figure 6(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.agents.base import ONE_HOT, PipelineReport
+from repro.agents.coder import CoderAgent
+from repro.agents.debugger import DebuggerAgent
+from repro.agents.eda import EDAAgent
+from repro.agents.llm import SimulatedLLM
+from repro.agents.reviewer import ReviewerAgent
+from repro.agents.transforms import one_hot_categories, one_hot_indicator
+from repro.relational.relation import Relation
+
+
+@dataclass
+class AgentTransformationPipeline:
+    """EDA → Coder → Debugger → Reviewer over one relation."""
+
+    llm: SimulatedLLM = field(default_factory=SimulatedLLM)
+    sample_rows: int = 10
+    keep_raw_columns: bool = True
+    task_context: str = ""
+    last_report: PipelineReport | None = None
+
+    def __post_init__(self) -> None:
+        self.eda = EDAAgent(llm=self.llm, sample_rows=self.sample_rows)
+        self.coder = CoderAgent(llm=self.llm)
+        self.debugger = DebuggerAgent(llm=self.llm)
+        self.reviewer = ReviewerAgent(llm=self.llm)
+
+    def transform(self, relation: Relation) -> Relation:
+        """Run the pipeline and return the transformed relation."""
+        report = PipelineReport()
+        report.suggestions = self.eda.act(relation, task_context=self.task_context)
+        transformed = relation
+        for suggestion in report.suggestions:
+            raw_values = list(relation.column(suggestion.column))
+            sample = raw_values[: max(self.sample_rows, 10)]
+            draft = self.coder.act(suggestion)
+            report.drafted += 1
+            executable = self.debugger.act(draft, sample)
+            if executable is None:
+                report.failed.append(suggestion.output_column)
+                continue
+            report.debugged += 1
+            verdict = self.reviewer.act(executable, sample)
+            if not verdict.accepted:
+                report.rejected.append(suggestion.output_column)
+                continue
+            transformed = self._apply(transformed, suggestion, executable, raw_values)
+            report.accepted.append(suggestion.output_column)
+        if not self.keep_raw_columns:
+            raw_categorical = [
+                attribute.name
+                for attribute in relation.schema
+                if attribute.is_categorical
+            ]
+            transformed = transformed.without_columns(
+                [name for name in raw_categorical if name in transformed.schema.names]
+            )
+        self.last_report = report
+        return transformed
+
+    # -- internals --------------------------------------------------------------
+    def _apply(self, relation: Relation, suggestion, executable, raw_values) -> Relation:
+        if suggestion.kind == ONE_HOT:
+            vocabulary = one_hot_categories(raw_values)
+            for category in vocabulary:
+                column_name = f"{suggestion.column}={category}"
+                indicator = [one_hot_indicator(value, category) for value in raw_values]
+                relation = relation.with_column(column_name, indicator, dtype="numeric")
+            return relation
+        output = executable.function(list(raw_values))
+        values = np.asarray(output, dtype=np.float64)
+        finite = values[np.isfinite(values)]
+        fill = float(finite.mean()) if len(finite) else 0.0
+        values[~np.isfinite(values)] = fill
+        return relation.with_column(suggestion.output_column, values, dtype="numeric")

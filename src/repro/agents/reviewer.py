@@ -1,0 +1,46 @@
+"""The Reviewer agent.
+
+"This agent evaluates the outputs from Debugger to ensure transformations
+meet EDA's requirements.  It reviews the sample transformed data, and
+confirms if it aligns with the NL description by EDA to finalize the
+transformation." (§4.1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.agents.base import Agent, ExecutableTransformation, ReviewVerdict
+from repro.agents.llm import SimulatedLLM
+
+
+@dataclass
+class ReviewerAgent(Agent):
+    """Validates a debugged transformation on sample data before acceptance."""
+
+    llm: SimulatedLLM = field(default_factory=SimulatedLLM)
+    min_valid_fraction: float = 0.5
+    name = "reviewer"
+
+    def act(
+        self, transformation: ExecutableTransformation, sample_values: list
+    ) -> ReviewVerdict:
+        """Accept or reject the transformation based on its sample output."""
+        output = transformation.function(list(sample_values))
+        flattened: list[float] = []
+        for value in output:
+            if isinstance(value, (list, tuple)):
+                flattened.extend(float(v) for v in value)
+            else:
+                flattened.append(float(value))
+        array = np.asarray(flattened, dtype=np.float64)
+        valid_fraction = float(np.isfinite(array).mean()) if len(array) else 0.0
+        if valid_fraction < self.min_valid_fraction:
+            return ReviewVerdict(False, f"only {valid_fraction:.0%} of sample values are valid")
+        if len(array) and np.nanstd(array) == 0.0 and "one-hot" not in transformation.suggestion.description:
+            return ReviewVerdict(False, "transformation output is constant")
+        if not self.llm.review(transformation.suggestion.description, flattened):
+            return ReviewVerdict(False, "LLM review rejected the sample output")
+        return ReviewVerdict(True, "sample output matches the suggestion")

@@ -1,0 +1,80 @@
+"""The transformation function library.
+
+These are the concrete implementations the (simulated) Coder agent emits as
+Python source.  Keeping reference implementations here serves two purposes:
+the simulated LLM composes its code drafts from these templates, and tests
+can validate pipeline output against the library directly.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Sequence
+
+_NUMBER_PATTERN = re.compile(r"-?\d+(?:\.\d+)?")
+_DATE_PATTERN = re.compile(r"(\d{4})-(\d{2})-(\d{2})")
+_REFERENCE_YEAR = 2023
+
+
+def extract_number(value: str | None) -> float:
+    """The first number embedded in a string (NaN when absent)."""
+    if value is None:
+        return float("nan")
+    match = _NUMBER_PATTERN.search(str(value))
+    return float(match.group(0)) if match else float("nan")
+
+
+def date_to_years(value: str | None, reference_year: int = _REFERENCE_YEAR) -> float:
+    """Years elapsed between an ISO date string and the reference year."""
+    if value is None:
+        return float("nan")
+    match = _DATE_PATTERN.search(str(value))
+    if not match:
+        return float("nan")
+    year, month, _ = (int(part) for part in match.groups())
+    return (reference_year - year) + (6 - month) / 12.0
+
+
+def count_items(value: str | None, separator: str = ",") -> float:
+    """Number of non-empty items in a delimiter-separated list."""
+    if value is None:
+        return 0.0
+    items = [item for item in str(value).split(separator) if item.strip()]
+    return float(len(items))
+
+
+def string_length(value: str | None) -> float:
+    """Length of the string form of a value."""
+    if value is None:
+        return 0.0
+    return float(len(str(value)))
+
+
+def log_transform(value: float | None) -> float:
+    """``log1p`` of a non-negative numeric value."""
+    if value is None:
+        return float("nan")
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        return float("nan")
+    if not math.isfinite(number) or number < -0.999999:
+        return float("nan")
+    return math.log1p(number)
+
+
+def one_hot_categories(values: Sequence[str | None], max_categories: int = 10) -> list[str]:
+    """The category vocabulary used when one-hot encoding a column."""
+    counts: dict[str, int] = {}
+    for value in values:
+        key = "" if value is None else str(value)
+        counts[key] = counts.get(key, 0) + 1
+    ranked = sorted(counts, key=lambda key: (-counts[key], key))
+    return ranked[:max_categories]
+
+
+def one_hot_indicator(value: str | None, category: str) -> float:
+    """1.0 when ``value`` equals ``category``."""
+    key = "" if value is None else str(value)
+    return 1.0 if key == category else 0.0

@@ -1,0 +1,21 @@
+"""Baseline systems for the Figure 4 comparison."""
+
+from repro.baselines.arda import ArdaSearch
+from repro.baselines.automl_only import AutoSklearnBaseline, VertexAIBaseline
+from repro.baselines.base import BaselineResult, BaselineSearch, TimelinePoint, evaluate_linear_model
+from repro.baselines.keyword import KeywordSearch
+from repro.baselines.mileena_adapter import MileenaSearchAdapter
+from repro.baselines.novelty import NoveltySearch
+
+__all__ = [
+    "BaselineSearch",
+    "BaselineResult",
+    "TimelinePoint",
+    "evaluate_linear_model",
+    "ArdaSearch",
+    "NoveltySearch",
+    "AutoSklearnBaseline",
+    "VertexAIBaseline",
+    "KeywordSearch",
+    "MileenaSearchAdapter",
+]

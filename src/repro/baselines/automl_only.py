@@ -1,0 +1,132 @@
+"""Pure AutoML baselines: Auto-sklearn-style local search and simulated Vertex AI.
+
+Figure 4's point about these systems is that, however good the model search
+is, it cannot manufacture predictive features that are missing from the
+requester's table — so they plateau at a low R².  ``AutoSklearnBaseline``
+runs the local AutoML driver on the raw training data under the time
+budget; ``VertexAIBaseline`` models a managed cloud service: substantial
+provisioning overhead, no dataset search, and no enforcement of the
+requester's budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult, BaselineSearch, TimelinePoint, make_timer
+from repro.core.request import SearchRequest
+from repro.ml.automl import AutoMLRegressor
+from repro.ml.metrics import r2_score
+from repro.relational.relation import Relation
+
+
+class AutoSklearnBaseline(BaselineSearch):
+    """Local AutoML over the requester's own features only."""
+
+    name = "Auto-SK"
+
+    def __init__(self, clock=None, seconds_per_configuration: float = 60.0, n_splits: int = 3) -> None:
+        super().__init__(clock)
+        self.seconds_per_configuration = seconds_per_configuration
+        self.n_splits = n_splits
+
+    def run(
+        self,
+        request: SearchRequest,
+        corpus: dict[str, Relation],
+        time_budget_seconds: float | None = None,
+    ) -> BaselineResult:
+        timer = make_timer(self.clock, time_budget_seconds)
+        features = [
+            name
+            for name in request.train.schema.numeric_names
+            if name != request.target and name in request.test.schema.numeric_names
+        ]
+        x_train = request.train.numeric_matrix(features)
+        y_train = np.asarray(request.train.column(request.target), dtype=np.float64)
+        x_test = request.test.numeric_matrix(features)
+        y_test = np.asarray(request.test.column(request.target), dtype=np.float64)
+
+        class ChargingClock:
+            """Adapts the simulated clock so each configuration charges time."""
+
+            def __init__(self, clock, cost):
+                self.clock = clock
+                self.cost = cost
+                self._first = True
+
+            def now(self):
+                if self._first:
+                    self._first = False
+                else:
+                    self.clock.sleep(self.cost)
+                return self.clock.now()
+
+        automl = AutoMLRegressor(
+            n_splits=self.n_splits,
+            time_budget_seconds=time_budget_seconds,
+            clock=ChargingClock(self.clock, self.seconds_per_configuration),
+        )
+        automl.fit(x_train, y_train)
+        test_r2 = r2_score(y_test, automl.predict(x_test))
+        return BaselineResult(
+            system=self.name,
+            test_r2=test_r2,
+            elapsed_seconds=timer.elapsed(),
+            selected=[],
+            timeline=[TimelinePoint(timer.elapsed(), test_r2)],
+            finished_within_budget=(
+                time_budget_seconds is None or timer.elapsed() <= time_budget_seconds
+            ),
+        )
+
+
+class VertexAIBaseline(BaselineSearch):
+    """A simulated managed AutoML service (provisioning overhead, no search)."""
+
+    name = "Vertex AI"
+
+    def __init__(
+        self,
+        clock=None,
+        provisioning_seconds: float = 1800.0,
+        training_seconds: float = 2400.0,
+        n_splits: int = 3,
+    ) -> None:
+        super().__init__(clock)
+        self.provisioning_seconds = provisioning_seconds
+        self.training_seconds = training_seconds
+        self.n_splits = n_splits
+
+    def run(
+        self,
+        request: SearchRequest,
+        corpus: dict[str, Relation],
+        time_budget_seconds: float | None = None,
+    ) -> BaselineResult:
+        timer = make_timer(self.clock, time_budget_seconds)
+        # Managed services do not honour the requester's local time budget.
+        self.clock.sleep(self.provisioning_seconds)
+        features = [
+            name
+            for name in request.train.schema.numeric_names
+            if name != request.target and name in request.test.schema.numeric_names
+        ]
+        x_train = request.train.numeric_matrix(features)
+        y_train = np.asarray(request.train.column(request.target), dtype=np.float64)
+        x_test = request.test.numeric_matrix(features)
+        y_test = np.asarray(request.test.column(request.target), dtype=np.float64)
+        automl = AutoMLRegressor(n_splits=self.n_splits)
+        automl.fit(x_train, y_train)
+        self.clock.sleep(self.training_seconds)
+        test_r2 = r2_score(y_test, automl.predict(x_test))
+        return BaselineResult(
+            system=self.name,
+            test_r2=test_r2,
+            elapsed_seconds=timer.elapsed(),
+            selected=[],
+            timeline=[TimelinePoint(timer.elapsed(), test_r2)],
+            finished_within_budget=(
+                time_budget_seconds is None or timer.elapsed() <= time_budget_seconds
+            ),
+        )

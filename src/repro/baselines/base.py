@@ -1,0 +1,88 @@
+"""Shared interface and helpers for the Figure 4 baseline systems.
+
+Every baseline takes the same inputs as Mileena — a requester task plus the
+corpus of raw provider relations — and produces a
+:class:`BaselineResult`: the test R² it reaches, how long (simulated) it
+took, and which augmentations (if any) it selected.  The simulated costs
+model the dominant expense each system pays per candidate (full
+materialisation + retraining for ARDA, cloud provisioning for Vertex AI,
+etc.), so the latency axis of Figure 4 can be reproduced deterministically.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.clock import BudgetTimer, SimulatedClock
+from repro.core.request import SearchRequest
+from repro.ml.linear_regression import LinearRegression
+from repro.ml.metrics import r2_score
+from repro.relational.relation import Relation
+
+
+@dataclass
+class TimelinePoint:
+    """Utility observed at a point in (simulated) time."""
+
+    seconds: float
+    test_r2: float
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of running one baseline system on one request."""
+
+    system: str
+    test_r2: float
+    elapsed_seconds: float
+    selected: list[str] = field(default_factory=list)
+    timeline: list[TimelinePoint] = field(default_factory=list)
+    finished_within_budget: bool = True
+
+
+class BaselineSearch(ABC):
+    """A baseline dataset-search / AutoML system."""
+
+    name = "baseline"
+
+    def __init__(self, clock: SimulatedClock | None = None) -> None:
+        self.clock = clock or SimulatedClock()
+
+    @abstractmethod
+    def run(
+        self,
+        request: SearchRequest,
+        corpus: dict[str, Relation],
+        time_budget_seconds: float | None = None,
+    ) -> BaselineResult:
+        """Run the system and report its utility/latency."""
+
+
+def evaluate_linear_model(
+    train: Relation, test: Relation, target: str, features: list[str] | None = None
+) -> float:
+    """Test R² of a ridge-regularised linear model trained on raw relations."""
+    if features is None:
+        features = [
+            name
+            for name in train.schema.numeric_names
+            if name != target and name in test.schema.numeric_names
+        ]
+    if not features:
+        return 0.0
+    x_train = train.numeric_matrix(features)
+    y_train = np.asarray(train.column(target), dtype=np.float64)
+    x_test = test.numeric_matrix(features)
+    y_test = np.asarray(test.column(target), dtype=np.float64)
+    if len(y_train) == 0 or len(y_test) == 0:
+        return 0.0
+    model = LinearRegression(ridge=1e-4).fit(x_train, y_train)
+    return r2_score(y_test, model.predict(x_test))
+
+
+def make_timer(clock, budget: float | None) -> BudgetTimer:
+    """A budget timer over the baseline's clock."""
+    return BudgetTimer(clock, budget)

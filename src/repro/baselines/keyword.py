@@ -1,0 +1,99 @@
+"""Keyword-based dataset search baseline.
+
+The introduction contrasts task-based search with traditional keyword
+search over dataset metadata (Google Dataset Search, Snowflake Marketplace):
+fast, but disconnected from the user's data task — the user must guess
+keywords, manually integrate each hit, and assess utility themselves.  This
+baseline searches dataset/column names by token overlap with the request's
+schema, integrates the top hits blindly, and reports whatever utility
+results.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import (
+    BaselineResult,
+    BaselineSearch,
+    TimelinePoint,
+    evaluate_linear_model,
+    make_timer,
+)
+from repro.core.augmentation import reduce_to_key
+from repro.core.request import SearchRequest
+from repro.discovery.tfidf import tokenize
+from repro.relational.operators import join, union
+from repro.relational.relation import Relation
+
+
+class KeywordSearch(BaselineSearch):
+    """Rank datasets by schema-token overlap with the request; integrate top hits."""
+
+    name = "Keyword"
+
+    def __init__(self, clock=None, seconds_per_hit: float = 5.0, hits: int = 3) -> None:
+        super().__init__(clock)
+        self.seconds_per_hit = seconds_per_hit
+        self.hits = hits
+
+    def run(
+        self,
+        request: SearchRequest,
+        corpus: dict[str, Relation],
+        time_budget_seconds: float | None = None,
+    ) -> BaselineResult:
+        timer = make_timer(self.clock, time_budget_seconds)
+        query_tokens = set()
+        for column in request.train.columns:
+            query_tokens.update(tokenize(column))
+        query_tokens.update(tokenize(request.train.name))
+
+        ranked = sorted(
+            corpus.items(),
+            key=lambda item: -self._overlap(query_tokens, item[1]),
+        )
+        train, test = request.train, request.test
+        selected: list[str] = []
+        timeline = [TimelinePoint(timer.elapsed(), evaluate_linear_model(train, test, request.target))]
+        for name, relation in ranked[: self.hits]:
+            if self._overlap(query_tokens, relation) == 0:
+                break
+            self.clock.sleep(self.seconds_per_hit)
+            train, test, applied = self._integrate(train, test, relation, request)
+            if applied:
+                selected.append(name)
+                timeline.append(
+                    TimelinePoint(timer.elapsed(), evaluate_linear_model(train, test, request.target))
+                )
+        final = evaluate_linear_model(train, test, request.target)
+        return BaselineResult(
+            system=self.name,
+            test_r2=final,
+            elapsed_seconds=timer.elapsed(),
+            selected=selected,
+            timeline=timeline,
+        )
+
+    def _overlap(self, query_tokens: set[str], relation: Relation) -> int:
+        tokens = set(tokenize(relation.name))
+        for column in relation.columns:
+            tokens.update(tokenize(column))
+        return len(query_tokens & tokens)
+
+    def _integrate(self, train, test, other, request):
+        if other.schema.union_compatible(train.schema):
+            return union(train, other, name=train.name), test, True
+        for key in request.join_keys:
+            if key in other.schema:
+                features = [
+                    name
+                    for name in other.schema.numeric_names
+                    if name not in train.schema.names
+                ]
+                if not features:
+                    return train, test, False
+                reduced = reduce_to_key(other, key, features)
+                joined_train = join(train, reduced, on=key, name=train.name)
+                joined_test = join(test, reduced, on=key, name=test.name)
+                if len(joined_train) and len(joined_test):
+                    return joined_train, joined_test, True
+        return train, test, False

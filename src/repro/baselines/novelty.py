@@ -1,0 +1,129 @@
+"""Novelty-based data acquisition baseline.
+
+Li, Yu & Koudas (2021) rank candidate datasets by how *novel* they are
+relative to the training data (distributional distance), acquiring the most
+novel data first.  Figure 4's observation is that novelty is uncorrelated
+with task utility and can actively degrade the final model; this
+implementation reproduces that behaviour: candidates are scored purely by
+novelty (no utility feedback), the top-k are unioned/joined in, and the
+model is retrained on whatever results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import (
+    BaselineResult,
+    BaselineSearch,
+    TimelinePoint,
+    evaluate_linear_model,
+    make_timer,
+)
+from repro.core.augmentation import reduce_to_key
+from repro.core.request import SearchRequest
+from repro.relational.operators import join, union
+from repro.relational.relation import Relation
+
+
+class NoveltySearch(BaselineSearch):
+    """Acquire the most 'novel' datasets regardless of task utility."""
+
+    name = "Novelty"
+
+    def __init__(
+        self, clock=None, seconds_per_candidate: float = 45.0, acquisitions: int = 3
+    ) -> None:
+        super().__init__(clock)
+        self.seconds_per_candidate = seconds_per_candidate
+        self.acquisitions = acquisitions
+
+    def run(
+        self,
+        request: SearchRequest,
+        corpus: dict[str, Relation],
+        time_budget_seconds: float | None = None,
+    ) -> BaselineResult:
+        timer = make_timer(self.clock, time_budget_seconds)
+        train, test = request.train, request.test
+        baseline_r2 = evaluate_linear_model(train, test, request.target)
+        timeline = [TimelinePoint(timer.elapsed(), baseline_r2)]
+
+        ranked = self._rank_by_novelty(request, corpus)
+        selected: list[str] = []
+        current_r2 = baseline_r2
+        for dataset, key, novelty in ranked:
+            if len(selected) >= self.acquisitions or timer.expired():
+                break
+            self.clock.sleep(self.seconds_per_candidate)
+            other = corpus[dataset]
+            train, test, applied = self._acquire(train, test, other, key, request)
+            if not applied:
+                continue
+            selected.append(dataset)
+            current_r2 = evaluate_linear_model(train, test, request.target)
+            timeline.append(TimelinePoint(timer.elapsed(), current_r2))
+
+        return BaselineResult(
+            system=self.name,
+            test_r2=current_r2,
+            elapsed_seconds=timer.elapsed(),
+            selected=selected,
+            timeline=timeline,
+            finished_within_budget=(
+                time_budget_seconds is None or timer.elapsed() <= time_budget_seconds
+            ),
+        )
+
+    # -- internals -----------------------------------------------------------------
+    def _rank_by_novelty(
+        self, request: SearchRequest, corpus: dict[str, Relation]
+    ) -> list[tuple[str, str | None, float]]:
+        """Rank candidates by distributional distance from the training data."""
+        train_stats = self._moments(request.train)
+        ranked: list[tuple[str, str | None, float]] = []
+        for name, relation in corpus.items():
+            novelty = self._novelty(train_stats, self._moments(relation))
+            key = None
+            for candidate_key in request.join_keys:
+                if candidate_key in relation.schema:
+                    key = candidate_key
+                    break
+            ranked.append((name, key, novelty))
+        ranked.sort(key=lambda item: -item[2])
+        return ranked
+
+    def _moments(self, relation: Relation) -> np.ndarray:
+        numeric = relation.schema.numeric_names
+        if not numeric:
+            return np.zeros(2)
+        matrix = relation.numeric_matrix(numeric)
+        return np.array([float(np.nanmean(matrix)), float(np.nanstd(matrix))])
+
+    def _novelty(self, a: np.ndarray, b: np.ndarray) -> float:
+        return float(np.linalg.norm(a - b))
+
+    def _acquire(
+        self,
+        train: Relation,
+        test: Relation,
+        other: Relation,
+        key: str | None,
+        request: SearchRequest,
+    ) -> tuple[Relation, Relation, bool]:
+        """Union when schemas align, join when a key is shared, else skip."""
+        if other.schema.union_compatible(train.schema):
+            return union(train, other, name=train.name), test, True
+        if key is not None and key in other.schema:
+            features = [
+                name for name in other.schema.numeric_names if name not in train.schema.names
+            ]
+            if not features:
+                return train, test, False
+            reduced = reduce_to_key(other, key, features)
+            joined_train = join(train, reduced, on=key, name=train.name)
+            joined_test = join(test, reduced, on=key, name=test.name)
+            if len(joined_train) == 0 or len(joined_test) == 0:
+                return train, test, False
+            return joined_train, joined_test, True
+        return train, test, False

@@ -1,0 +1,56 @@
+"""Causal inference on semi-ring statistics: DAGs, CI tests, discovery, private ATE."""
+
+from repro.causal.ate import (
+    backdoor_ate,
+    histogram,
+    mediator_ate,
+    naive_ate,
+    relative_error,
+)
+from repro.causal.dag import CausalDAG, student_study_dag
+from repro.causal.discovery import (
+    BACKWARD,
+    FORWARD,
+    UNDECIDED,
+    DirectionResult,
+    pairwise_direction,
+    pc_skeleton,
+)
+from repro.causal.independence import (
+    IndependenceResult,
+    chi_square_from_counts,
+    chi_square_independence,
+    contingency_table,
+    fisher_z_test,
+    partial_correlation,
+)
+from repro.causal.private_ate import (
+    PrivateAteExperiment,
+    PrivateAteResult,
+    noisy_histogram,
+)
+
+__all__ = [
+    "CausalDAG",
+    "student_study_dag",
+    "IndependenceResult",
+    "contingency_table",
+    "chi_square_independence",
+    "chi_square_from_counts",
+    "partial_correlation",
+    "fisher_z_test",
+    "pairwise_direction",
+    "pc_skeleton",
+    "DirectionResult",
+    "FORWARD",
+    "BACKWARD",
+    "UNDECIDED",
+    "histogram",
+    "naive_ate",
+    "backdoor_ate",
+    "mediator_ate",
+    "relative_error",
+    "noisy_histogram",
+    "PrivateAteExperiment",
+    "PrivateAteResult",
+]

@@ -1,0 +1,119 @@
+"""Causal DAGs.
+
+Causal-inference queries "rely on an accurate causal model, represented as
+a directed acyclic graph" (§4.2).  This module wraps ``networkx`` with the
+small amount of causal-specific functionality the rest of the package
+needs: parent/ancestor lookup, d-separation, and a simple observed-backdoor
+adjustment-set heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import networkx as nx
+
+from repro.exceptions import CausalError
+
+
+@dataclass
+class CausalDAG:
+    """A directed acyclic graph over named variables."""
+
+    edges: Iterable[tuple[str, str]] = field(default_factory=list)
+    latent: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self.graph = nx.DiGraph()
+        self.graph.add_edges_from(self.edges)
+        if not nx.is_directed_acyclic_graph(self.graph):
+            raise CausalError("the causal graph must be acyclic")
+        self.latent = set(self.latent)
+
+    # -- structure accessors ---------------------------------------------------
+    @property
+    def nodes(self) -> list[str]:
+        return list(self.graph.nodes)
+
+    @property
+    def observed_nodes(self) -> list[str]:
+        return [node for node in self.graph.nodes if node not in self.latent]
+
+    def parents(self, node: str) -> list[str]:
+        self._require(node)
+        return sorted(self.graph.predecessors(node))
+
+    def children(self, node: str) -> list[str]:
+        self._require(node)
+        return sorted(self.graph.successors(node))
+
+    def ancestors(self, node: str) -> set[str]:
+        self._require(node)
+        return set(nx.ancestors(self.graph, node))
+
+    def descendants(self, node: str) -> set[str]:
+        self._require(node)
+        return set(nx.descendants(self.graph, node))
+
+    def has_edge(self, source: str, target: str) -> bool:
+        return self.graph.has_edge(source, target)
+
+    # -- causal queries -----------------------------------------------------------
+    def d_separated(self, x: str, y: str, given: Iterable[str] = ()) -> bool:
+        """True when ``x`` and ``y`` are d-separated given the conditioning set."""
+        self._require(x)
+        self._require(y)
+        return nx.is_d_separator(self.graph, {x}, {y}, set(given))
+
+    def backdoor_adjustment_set(self, treatment: str, outcome: str) -> set[str] | None:
+        """An observed adjustment set satisfying the backdoor criterion, if any.
+
+        Tries the observed parents of the treatment first (the textbook
+        choice); returns None when no observed set blocks every backdoor
+        path — e.g. when the confounder is latent, as in the §4.2 study.
+        """
+        self._require(treatment)
+        self._require(outcome)
+        candidates = [set(p for p in self.parents(treatment) if p not in self.latent)]
+        candidates.append(
+            {
+                node
+                for node in self.observed_nodes
+                if node not in {treatment, outcome}
+                and node not in self.descendants(treatment)
+            }
+        )
+        for candidate in candidates:
+            if self._satisfies_backdoor(treatment, outcome, candidate):
+                return candidate
+        return None
+
+    def _satisfies_backdoor(self, treatment: str, outcome: str, adjustment: set[str]) -> bool:
+        if adjustment & self.descendants(treatment):
+            return False
+        # Block every backdoor path: remove outgoing edges of the treatment
+        # and test d-separation in the surgically modified graph.
+        surgery = self.graph.copy()
+        surgery.remove_edges_from(list(surgery.out_edges(treatment)))
+        return nx.is_d_separator(surgery, {treatment}, {outcome}, adjustment)
+
+    def describe(self) -> str:
+        """Edge list with latent variables marked."""
+        parts = []
+        for source, target in self.graph.edges:
+            marker = "*" if source in self.latent or target in self.latent else ""
+            parts.append(f"{source} -> {target}{marker}")
+        return ", ".join(parts)
+
+    def _require(self, node: str) -> None:
+        if node not in self.graph:
+            raise CausalError(f"unknown variable {node!r}")
+
+
+def student_study_dag() -> CausalDAG:
+    """The §4.2 causal diagram: T → P → A → Y with latent D confounding T and Y."""
+    return CausalDAG(
+        edges=[("T", "P"), ("P", "A"), ("A", "Y"), ("D", "T"), ("D", "Y")],
+        latent={"D"},
+    )

@@ -1,0 +1,147 @@
+"""(Conditional) independence tests, from raw data and from semi-ring sketches.
+
+Two families are provided:
+
+* chi-squared tests over contingency tables of discrete variables — the
+  tables are counts, i.e. exactly what the count semi-ring aggregates, so
+  they can be computed from (possibly privatised) histograms;
+* Fisher-z partial-correlation tests for continuous variables driven by a
+  :class:`~repro.semiring.CovarianceElement` — the "factorized" CI test
+  that the paper's ongoing work integrates into Mileena.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+from scipy import stats
+
+from repro.exceptions import CausalError
+from repro.relational.relation import Relation
+from repro.semiring.covariance import CovarianceElement
+
+
+@dataclass(frozen=True)
+class IndependenceResult:
+    """Outcome of an independence test."""
+
+    statistic: float
+    p_value: float
+    independent: bool
+    alpha: float
+
+
+def contingency_table(relation: Relation, columns: Sequence[str]) -> dict[tuple, float]:
+    """Counts of each value combination of ``columns`` (a discrete histogram)."""
+    for column in columns:
+        if column not in relation.schema:
+            raise CausalError(f"unknown column {column!r}")
+    counts: Counter[tuple] = Counter()
+    arrays = [relation.column(column) for column in columns]
+    for row in range(len(relation)):
+        key = tuple(_canonical(array[row]) for array in arrays)
+        counts[key] += 1
+    return {key: float(value) for key, value in counts.items()}
+
+
+def _canonical(value) -> str:
+    if isinstance(value, (int, float, np.floating, np.integer)):
+        return str(int(round(float(value))))
+    return str(value)
+
+
+def chi_square_independence(
+    relation: Relation,
+    x: str,
+    y: str,
+    given: Sequence[str] = (),
+    alpha: float = 0.05,
+) -> IndependenceResult:
+    """Chi-squared test of ``x ⊥ y | given`` for discrete columns."""
+    counts = contingency_table(relation, [x, y, *given])
+    return chi_square_from_counts(counts, alpha=alpha)
+
+
+def chi_square_from_counts(
+    counts: Mapping[tuple, float], alpha: float = 0.05
+) -> IndependenceResult:
+    """Chi-squared CI test from a histogram keyed by ``(x, y, *condition)``.
+
+    The conditional test sums the per-stratum chi-squared statistics and
+    degrees of freedom, which is the standard Cochran–Mantel–Haenszel-style
+    decomposition for stratified tables.
+    """
+    strata: dict[tuple, dict[tuple[str, str], float]] = {}
+    for key, count in counts.items():
+        if len(key) < 2:
+            raise CausalError("counts must be keyed by at least (x, y)")
+        x_value, y_value, *condition = key
+        strata.setdefault(tuple(condition), {})[(x_value, y_value)] = max(count, 0.0)
+
+    statistic = 0.0
+    dof = 0
+    for cells in strata.values():
+        x_values = sorted({x for x, _ in cells})
+        y_values = sorted({y for _, y in cells})
+        if len(x_values) < 2 or len(y_values) < 2:
+            continue
+        table = np.array(
+            [[cells.get((x, y), 0.0) for y in y_values] for x in x_values], dtype=np.float64
+        )
+        total = table.sum()
+        if total <= 0:
+            continue
+        expected = np.outer(table.sum(axis=1), table.sum(axis=0)) / total
+        with np.errstate(divide="ignore", invalid="ignore"):
+            contributions = np.where(expected > 0, (table - expected) ** 2 / expected, 0.0)
+        statistic += float(contributions.sum())
+        dof += (len(x_values) - 1) * (len(y_values) - 1)
+    if dof == 0:
+        return IndependenceResult(0.0, 1.0, True, alpha)
+    p_value = float(stats.chi2.sf(statistic, dof))
+    return IndependenceResult(statistic, p_value, p_value > alpha, alpha)
+
+
+def partial_correlation(
+    element: CovarianceElement, x: str, y: str, given: Sequence[str] = ()
+) -> float:
+    """Partial correlation of ``x`` and ``y`` given ``given`` from a covariance sketch."""
+    variables = [x, y, *given]
+    missing = [v for v in variables if v not in element.features]
+    if missing:
+        raise CausalError(f"sketch is missing variables {missing}")
+    if element.count <= len(variables) + 1:
+        raise CausalError("not enough observations for a partial correlation")
+    covariance = np.zeros((len(variables), len(variables)))
+    for i, a in enumerate(variables):
+        for j, b in enumerate(variables):
+            covariance[i, j] = element.covariance_of(a, b)
+    precision = np.linalg.pinv(covariance)
+    denominator = math.sqrt(abs(precision[0, 0] * precision[1, 1]))
+    if denominator == 0:
+        return 0.0
+    value = -precision[0, 1] / denominator
+    return float(np.clip(value, -1.0, 1.0))
+
+
+def fisher_z_test(
+    element: CovarianceElement,
+    x: str,
+    y: str,
+    given: Sequence[str] = (),
+    alpha: float = 0.05,
+) -> IndependenceResult:
+    """Fisher-z CI test of ``x ⊥ y | given`` driven entirely by sketch statistics."""
+    correlation = partial_correlation(element, x, y, given)
+    n = element.count
+    dof = n - len(given) - 3
+    if dof <= 0:
+        return IndependenceResult(0.0, 1.0, True, alpha)
+    correlation = float(np.clip(correlation, -0.999999, 0.999999))
+    z = 0.5 * math.log((1 + correlation) / (1 - correlation)) * math.sqrt(dof)
+    p_value = float(2 * stats.norm.sf(abs(z)))
+    return IndependenceResult(z, p_value, p_value > alpha, alpha)

@@ -1,0 +1,101 @@
+"""Differentially private treatment-effect estimation (§4.2).
+
+The experiment: three relations R1(T, Y), R2(T, G), R3(P, A, Y) linked
+1-to-1 by a student id, DP budgets ε = 1 and δ = 1e-6 per relation, causal
+diagram T → P → A → Y with a latent confounder D of T and Y.  Two private
+estimators of ``ATE = E[Y | do(T=1)] − E[Y | do(T=0)]`` are compared:
+
+1. **Backdoor over a privatised join** — estimate P(T, Y, G) from
+   privatised R1 and R2 joined on the id, adjust for G.  G does not block
+   the latent confounder, and the joint histogram burns both relations'
+   budgets, so the estimate is biased *and* noisy (the paper reports
+   ≈ 10 % relative error).
+2. **Marginal-based formula** — estimate P(T, A) from privatised R1 ⋈ R3
+   and P(Y | A, P), P(P) from a privatised histogram of R3, then apply
+   ``Σ_y y Σ_a P(a|t) Σ_p P(y|a,p) P(p)``.  The mediator chain bypasses the
+   latent confounder and each released histogram is low-dimensional, so the
+   error is small (the paper reports ≈ 0.2 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.causal.ate import backdoor_ate, histogram, mediator_ate, naive_ate, relative_error
+from repro.datasets.causal_data import CausalStudy
+from repro.exceptions import PrivacyError
+from repro.privacy.mechanisms import PrivacyBudget, laplace_scale
+from repro.relational.operators import join
+
+
+def noisy_histogram(
+    counts: dict[tuple, float],
+    epsilon: float,
+    rng: np.random.Generator | None = None,
+    sensitivity: float = 1.0,
+) -> dict[tuple, float]:
+    """Laplace-privatised histogram (counts clipped at zero after noising)."""
+    if epsilon <= 0:
+        raise PrivacyError("epsilon must be positive for a noisy histogram")
+    rng = rng or np.random.default_rng()
+    scale = laplace_scale(sensitivity, epsilon)
+    return {
+        key: max(0.0, value + float(rng.laplace(0.0, scale))) for key, value in counts.items()
+    }
+
+
+@dataclass
+class PrivateAteResult:
+    """Relative errors (fractions) of the two private estimators, plus context."""
+
+    ate_true: float
+    naive_estimate: float
+    backdoor_estimate: float
+    mediator_estimate: float
+    backdoor_relative_error: float
+    mediator_relative_error: float
+
+
+@dataclass
+class PrivateAteExperiment:
+    """Runs the §4.2 comparison on a generated causal study."""
+
+    epsilon: float = 1.0
+    delta: float = 1e-6
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    def run(self, study: CausalStudy) -> PrivateAteResult:
+        """Estimate the ATE with both private estimators and report errors."""
+        budget = PrivacyBudget(self.epsilon, self.delta)
+
+        # --- Estimator 1: backdoor over the privatised join of R1 and R2. ---
+        joined_r1_r2 = join(study.r1, study.r2, on="student_id")
+        tyg_counts = histogram(joined_r1_r2, ["T", "Y", "G"])
+        # The joint release consumes budget from both R1 and R2: each
+        # contributes half, so the histogram is released at ε/2.
+        noisy_tyg = noisy_histogram(tyg_counts, budget.epsilon / 2.0, self.rng)
+        backdoor_estimate = backdoor_ate(noisy_tyg)
+
+        # --- Estimator 2: the marginal-based formula. ---
+        joined_r1_r3 = join(study.r1, study.r3, on="student_id")
+        ta_counts = histogram(joined_r1_r3, ["T", "A"])
+        pay_counts = histogram(study.r3, ["P", "A", "Y"])
+        p_counts = histogram(study.r3, ["P"])
+        # R1's budget covers the (T, A) release; R3's budget is split between
+        # the (P, A, Y) histogram and the P marginal.
+        noisy_ta = noisy_histogram(ta_counts, budget.epsilon / 2.0, self.rng)
+        noisy_pay = noisy_histogram(pay_counts, budget.epsilon / 2.0, self.rng)
+        noisy_p = noisy_histogram(p_counts, budget.epsilon / 2.0, self.rng)
+        mediator_estimate = mediator_ate(noisy_ta, noisy_pay, noisy_p)
+
+        naive_estimate = naive_ate(histogram(study.r1, ["T", "Y"]))
+        return PrivateAteResult(
+            ate_true=study.ate_true,
+            naive_estimate=naive_estimate,
+            backdoor_estimate=backdoor_estimate,
+            mediator_estimate=mediator_estimate,
+            backdoor_relative_error=relative_error(backdoor_estimate, study.ate_true),
+            mediator_relative_error=relative_error(mediator_estimate, study.ate_true),
+        )

@@ -1,0 +1,50 @@
+"""Mileena core: requests, corpus, proxy model, greedy search, platform facade."""
+
+from repro.core.augmentation import (
+    JOIN,
+    UNION,
+    AugmentationCandidate,
+    AugmentationPlan,
+    AugmentationStep,
+    materialize_plan,
+    reduce_to_key,
+)
+from repro.core.catalog import Corpus, DatasetRegistration
+from repro.core.clock import BudgetTimer, SimulatedClock, WallClock
+from repro.core.platform import Mileena, SearchResult
+from repro.core.provider import Provider, ProviderUpload
+from repro.core.proxy import AugmentationState, ProxyScore, SketchProxyModel
+from repro.core.request import LINEAR_TASK, SearchRequest
+from repro.core.requester import FinalModelReport, Requester, RequesterSketches
+from repro.core.search import GreedySketchSearch
+from repro.core.service import AutoMLServiceResult, MileenaAutoMLService
+
+__all__ = [
+    "Mileena",
+    "SearchResult",
+    "SearchRequest",
+    "LINEAR_TASK",
+    "Corpus",
+    "DatasetRegistration",
+    "Provider",
+    "ProviderUpload",
+    "Requester",
+    "RequesterSketches",
+    "FinalModelReport",
+    "AugmentationCandidate",
+    "AugmentationPlan",
+    "AugmentationStep",
+    "JOIN",
+    "UNION",
+    "materialize_plan",
+    "reduce_to_key",
+    "AugmentationState",
+    "SketchProxyModel",
+    "ProxyScore",
+    "GreedySketchSearch",
+    "MileenaAutoMLService",
+    "AutoMLServiceResult",
+    "WallClock",
+    "SimulatedClock",
+    "BudgetTimer",
+]

@@ -1,0 +1,143 @@
+"""Augmentation candidates, plans, and their materialisation.
+
+The search algorithm works purely on sketches; once it has decided on a set
+of augmentations, the requester (who holds its own raw data) materialises
+the augmented training/testing relations to train the final model.  This
+module defines the candidate/plan value objects and the materialisation
+path shared by Mileena and the non-private baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import SearchError
+from repro.relational.operators import groupby, join, union
+from repro.relational.relation import Relation
+
+JOIN = "join"
+UNION = "union"
+
+
+@dataclass(frozen=True)
+class AugmentationCandidate:
+    """One candidate augmentation: join or union with a provider dataset."""
+
+    kind: str
+    dataset: str
+    join_key: str | None = None
+    column_mapping: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in (JOIN, UNION):
+            raise SearchError(f"unknown augmentation kind {self.kind!r}")
+        if self.kind == JOIN and not self.join_key:
+            raise SearchError("join augmentations need a join key")
+
+    def describe(self) -> str:
+        """Compact human-readable form (used in logs and examples)."""
+        if self.kind == JOIN:
+            return f"⋈ {self.dataset} on {self.join_key}"
+        return f"∪ {self.dataset}"
+
+
+@dataclass
+class AugmentationStep:
+    """An accepted augmentation together with the proxy utility it achieved."""
+
+    candidate: AugmentationCandidate
+    proxy_utility: float
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class AugmentationPlan:
+    """The ordered set of augmentations accepted by a search."""
+
+    steps: list[AugmentationStep] = field(default_factory=list)
+    base_utility: float = float("nan")
+
+    @property
+    def candidates(self) -> list[AugmentationCandidate]:
+        return [step.candidate for step in self.steps]
+
+    @property
+    def joins(self) -> list[AugmentationCandidate]:
+        return [c for c in self.candidates if c.kind == JOIN]
+
+    @property
+    def unions(self) -> list[AugmentationCandidate]:
+        return [c for c in self.candidates if c.kind == UNION]
+
+    @property
+    def final_utility(self) -> float:
+        """Proxy utility after the last accepted augmentation."""
+        if not self.steps:
+            return self.base_utility
+        return self.steps[-1].proxy_utility
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def describe(self) -> str:
+        """Multi-line description of the plan."""
+        lines = [f"base proxy utility: {self.base_utility:.4f}"]
+        for step in self.steps:
+            lines.append(f"  + {step.candidate.describe()}  ->  {step.proxy_utility:.4f}")
+        return "\n".join(lines)
+
+
+def reduce_to_key(relation: Relation, key: str, features: list[str]) -> Relation:
+    """Aggregate a provider relation to one row per join-key value.
+
+    Vertical augmentations behave like dimension-table lookups: for each
+    key value the provider contributes the mean of each numeric feature.
+    This keeps join fan-out at 1 so augmenting never duplicates requester
+    rows (the same convention Kitana-style systems use), and it matches how
+    the keyed sketches are consumed by the proxy model.
+    """
+    aggregations = {feature: (feature, "mean") for feature in features}
+    reduced = groupby(relation, [key], aggregations)
+    return reduced.renamed(relation.name)
+
+
+def materialize_plan(
+    train: Relation,
+    test: Relation,
+    plan: AugmentationPlan,
+    corpus_relations: dict[str, Relation],
+) -> tuple[Relation, Relation]:
+    """Apply an augmentation plan to raw relations.
+
+    Unions are applied to the training relation first, then joins are
+    applied to both train and test — mirroring Problem 1's
+    ``R_trainAug = (R_train ∪ …) ⋈ …`` and ``R_testAug = R_test ⋈ …``.
+    """
+    augmented_train = train
+    for candidate in plan.unions:
+        other = corpus_relations.get(candidate.dataset)
+        if other is None:
+            raise SearchError(f"plan references unknown dataset {candidate.dataset!r}")
+        aligned = other
+        if candidate.column_mapping:
+            mapping = {src: dst for dst, src in candidate.column_mapping}
+            aligned = other.rename(mapping)
+        aligned = aligned.project(augmented_train.columns)
+        augmented_train = union(augmented_train, aligned, name=train.name)
+
+    augmented_test = test
+    for candidate in plan.joins:
+        other = corpus_relations.get(candidate.dataset)
+        if other is None:
+            raise SearchError(f"plan references unknown dataset {candidate.dataset!r}")
+        features = [
+            name
+            for name in other.schema.numeric_names
+            if name not in augmented_train.schema.names
+        ]
+        if not features:
+            continue
+        reduced = reduce_to_key(other, candidate.join_key, features)
+        augmented_train = join(augmented_train, reduced, on=candidate.join_key, name=train.name)
+        augmented_test = join(augmented_test, reduced, on=candidate.join_key, name=test.name)
+    return augmented_train, augmented_test

@@ -1,0 +1,77 @@
+"""The corpus catalog: provider dataset registrations.
+
+The catalog is the platform's view of the corpus R = {R1, R2, ...}.  For
+each registration it keeps the provider's declared budget, the discovery
+profile, and the (privatised) sketch; the raw relation is retained only so
+that the *requester-side* final model and the non-private baselines can
+materialise augmentations — the Mileena search path never reads it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.discovery.index import DiscoveryIndex
+from repro.exceptions import SearchError
+from repro.privacy.mechanisms import PrivacyBudget
+from repro.relational.relation import Relation
+from repro.sketches.sketch import RelationSketch
+from repro.sketches.store import SketchStore
+
+
+@dataclass
+class DatasetRegistration:
+    """One provider dataset registered with the platform."""
+
+    relation: Relation
+    budget: PrivacyBudget | None
+    sketch: RelationSketch
+    provider: str = "anonymous"
+
+    @property
+    def name(self) -> str:
+        return self.relation.name
+
+
+@dataclass
+class Corpus:
+    """All registered provider datasets plus the discovery index and sketch store."""
+
+    registrations: dict[str, DatasetRegistration] = field(default_factory=dict)
+    discovery: DiscoveryIndex = field(default_factory=DiscoveryIndex)
+    sketches: SketchStore = field(default_factory=SketchStore)
+
+    def add(self, registration: DatasetRegistration) -> None:
+        """Register a dataset (name must be unique across the corpus)."""
+        name = registration.name
+        if name in self.registrations:
+            raise SearchError(f"dataset {name!r} is already registered")
+        self.registrations[name] = registration
+        self.discovery.register(registration.relation)
+        self.sketches.add(registration.sketch)
+
+    def remove(self, name: str) -> None:
+        """Withdraw a dataset from the corpus."""
+        self.registrations.pop(name, None)
+        self.discovery.unregister(name)
+        self.sketches.remove(name)
+
+    def get(self, name: str) -> DatasetRegistration:
+        """Registration for ``name``; raises when unknown."""
+        if name not in self.registrations:
+            raise SearchError(f"dataset {name!r} is not registered")
+        return self.registrations[name]
+
+    def relation(self, name: str) -> Relation:
+        """Raw relation of a registered dataset (baselines / final training only)."""
+        return self.get(name).relation
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.registrations
+
+    def __len__(self) -> int:
+        return len(self.registrations)
+
+    def names(self) -> list[str]:
+        """All registered dataset names."""
+        return list(self.registrations)

@@ -1,0 +1,68 @@
+"""Clock abstraction for time-budgeted search and AutoML.
+
+Figure 4 gives every system a 10-minute budget.  Real wall-clock timing
+makes benchmarks slow and non-deterministic, so the platform accepts any
+object with ``now()`` and ``sleep(seconds)``; the :class:`SimulatedClock`
+lets experiments charge synthetic costs (e.g. "evaluating this candidate
+with full retraining costs 30 s") while running in milliseconds.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class WallClock:
+    """Real monotonic time."""
+
+    def now(self) -> float:
+        """Seconds from an arbitrary monotonic origin."""
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        """Block for ``seconds`` of real time."""
+        time.sleep(seconds)
+
+
+class SimulatedClock:
+    """A virtual clock advanced explicitly by the code under test."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """Advance virtual time (negative durations are rejected)."""
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Advance virtual time by ``seconds``."""
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        self._now += seconds
+
+
+class BudgetTimer:
+    """Tracks elapsed time against a budget on any clock."""
+
+    def __init__(self, clock, budget_seconds: float | None) -> None:
+        self.clock = clock
+        self.budget_seconds = budget_seconds
+        self.started = clock.now()
+
+    def elapsed(self) -> float:
+        """Seconds elapsed since construction."""
+        return self.clock.now() - self.started
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (infinity when no budget was set)."""
+        if self.budget_seconds is None:
+            return float("inf")
+        return max(0.0, self.budget_seconds - self.elapsed())
+
+    def expired(self) -> bool:
+        """True once the budget has been used up."""
+        return self.remaining() <= 0.0

@@ -1,0 +1,187 @@
+"""The Mileena platform facade.
+
+Ties together the pieces of Figure 1: providers register (privatised)
+sketches and discovery profiles into the central corpus; requesters submit
+``(R_train, R_test, M, ε, δ)`` requests; the platform discovers candidate
+augmentations, runs the greedy sketch-based search, and returns the
+augmentation plan together with the requester-side final model trained on
+the materialised augmentation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.augmentation import (
+    JOIN,
+    UNION,
+    AugmentationCandidate,
+    AugmentationPlan,
+)
+from repro.core.catalog import Corpus, DatasetRegistration
+from repro.core.clock import BudgetTimer, WallClock
+from repro.core.provider import Provider
+from repro.core.proxy import AugmentationState, SketchProxyModel
+from repro.core.request import SearchRequest
+from repro.core.requester import FinalModelReport, Requester
+from repro.core.search import GreedySketchSearch
+from repro.exceptions import SearchError
+from repro.privacy.mechanisms import PrivacyBudget
+from repro.relational.relation import Relation
+from repro.sketches.builder import SketchBuilder
+
+
+@dataclass
+class SearchResult:
+    """Everything a request gets back from the platform."""
+
+    plan: AugmentationPlan
+    proxy_test_r2: float
+    final_report: FinalModelReport | None
+    elapsed_seconds: float
+    candidates_considered: int
+
+    @property
+    def final_test_r2(self) -> float:
+        """Test R² of the final materialised model (falls back to the proxy)."""
+        if self.final_report is not None:
+            return self.final_report.test_r2
+        return self.proxy_test_r2
+
+
+@dataclass
+class Mileena:
+    """Fast, private, task-based dataset search platform."""
+
+    corpus: Corpus = field(default_factory=Corpus)
+    builder: SketchBuilder = field(default_factory=SketchBuilder)
+    proxy: SketchProxyModel = field(default_factory=SketchProxyModel)
+    clock: object = field(default_factory=WallClock)
+    discovery_top_k: int = 50
+
+    # -- provider side ------------------------------------------------------------
+    def register_dataset(
+        self,
+        relation: Relation,
+        epsilon: float | None = None,
+        delta: float = 1e-6,
+        provider: str = "anonymous",
+        features: list[str] | None = None,
+        key_columns: list[str] | None = None,
+        transform_pipeline: object | None = None,
+    ) -> DatasetRegistration:
+        """Register a provider dataset (optionally privatised and transformed)."""
+        budget = PrivacyBudget(epsilon, delta) if epsilon is not None else None
+        provider_agent = Provider(provider, builder=self.builder, transformer=transform_pipeline)
+        upload = provider_agent.prepare(
+            relation,
+            budget=budget,
+            features=features,
+            key_columns=key_columns,
+            transform=transform_pipeline is not None,
+        )
+        registration = DatasetRegistration(
+            relation=upload.relation,
+            budget=budget,
+            sketch=upload.sketch,
+            provider=provider,
+        )
+        self.corpus.add(registration)
+        return registration
+
+    def register_corpus(self, relations: list[Relation], epsilon: float | None = None) -> int:
+        """Register many datasets at once; returns how many were accepted."""
+        accepted = 0
+        for relation in relations:
+            try:
+                self.register_dataset(relation, epsilon=epsilon)
+                accepted += 1
+            except (SearchError, Exception) as error:  # noqa: BLE001 - skip unusable datasets
+                if isinstance(error, KeyboardInterrupt):
+                    raise
+                continue
+        return accepted
+
+    # -- requester side -------------------------------------------------------------
+    def discover_candidates(self, request: SearchRequest) -> list[AugmentationCandidate]:
+        """``Discover(R, ∪)`` and ``Discover(R, ⋈)`` for one request."""
+        join_candidates = self.corpus.discovery.join_candidates(
+            request.train, top_k=self.discovery_top_k
+        )
+        union_candidates = self.corpus.discovery.union_candidates(
+            request.train, top_k=self.discovery_top_k
+        )
+        candidates: list[AugmentationCandidate] = []
+        for candidate in join_candidates:
+            if candidate.query_column not in request.join_keys:
+                continue
+            candidates.append(
+                AugmentationCandidate(
+                    kind=JOIN,
+                    dataset=candidate.dataset,
+                    join_key=candidate.query_column,
+                )
+            )
+        for candidate in union_candidates:
+            candidates.append(
+                AugmentationCandidate(
+                    kind=UNION,
+                    dataset=candidate.dataset,
+                    column_mapping=candidate.column_mapping,
+                )
+            )
+        return candidates
+
+    def search(
+        self, request: SearchRequest, train_final_model: bool = True
+    ) -> SearchResult:
+        """Solve Problem 1 for one request."""
+        timer = BudgetTimer(self.clock, request.time_budget_seconds)
+        requester = Requester("requester", builder=self.builder)
+        sketches = requester.build_sketches(request)
+        state = AugmentationState.from_sketches(
+            request.target, sketches.train, sketches.test
+        )
+        candidates = self.discover_candidates(request)
+        search = GreedySketchSearch(
+            store=self.corpus.sketches, proxy=self.proxy, clock=self.clock
+        )
+        plan, state = search.run(
+            state,
+            candidates,
+            max_augmentations=request.max_augmentations,
+            min_improvement=request.min_improvement,
+            time_budget_seconds=timer.remaining() if request.time_budget_seconds else None,
+        )
+        proxy_score = self.proxy.evaluate(
+            state.train_element(), state.test_element(), request.target
+        )
+        final_report = None
+        if train_final_model:
+            relations = {name: reg.relation for name, reg in self.corpus.registrations.items()}
+            final_report = requester.train_final_model(request, plan, relations)
+        return SearchResult(
+            plan=plan,
+            proxy_test_r2=proxy_score.test_r2,
+            final_report=final_report,
+            elapsed_seconds=timer.elapsed(),
+            candidates_considered=len(candidates),
+        )
+
+    # -- introspection ------------------------------------------------------------------
+    def corpus_size(self) -> int:
+        """Number of registered provider datasets."""
+        return len(self.corpus)
+
+    def dataset_names(self) -> list[str]:
+        """Names of all registered datasets."""
+        return self.corpus.names()
+
+    def candidate_pairs(self) -> list[tuple[str, str]]:
+        """All (dataset, join key) pairs available for vertical augmentation."""
+        pairs = []
+        for name in self.corpus.names():
+            sketch = self.corpus.sketches.get(name)
+            pairs.extend(itertools.product([name], sketch.join_keys))
+        return pairs

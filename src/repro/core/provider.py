@@ -1,0 +1,78 @@
+"""Providers: the offline workflow of Figure 1 (blue path).
+
+A provider manages its raw dataset locally, optionally runs the automatic
+data-transformation pipeline, computes discovery profiles and semi-ring
+sketches, privatises them under its own (ε, δ) budget, and hands the
+resulting bundle to the central platform.  Raw rows stay with the provider;
+the bundle retains them only so non-private baselines and final-model
+materialisation (performed by the requester's trusted side) can access them
+in experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.discovery.profiles import DatasetProfile, profile_relation
+from repro.exceptions import SearchError
+from repro.privacy.mechanisms import PrivacyBudget
+from repro.relational.relation import Relation
+from repro.sketches.builder import SketchBuilder
+from repro.sketches.sketch import RelationSketch
+
+
+@dataclass
+class ProviderUpload:
+    """What a provider sends to the central platform for one dataset."""
+
+    relation: Relation
+    profile: DatasetProfile
+    sketch: RelationSketch
+    budget: PrivacyBudget | None
+    provider: str
+
+
+@dataclass
+class Provider:
+    """A first-level aggregator registering datasets with the platform."""
+
+    name: str
+    builder: SketchBuilder = field(default_factory=SketchBuilder)
+    transformer: object | None = None  # duck-typed: .transform(relation) -> relation
+
+    def prepare(
+        self,
+        relation: Relation,
+        budget: PrivacyBudget | None = None,
+        features: list[str] | None = None,
+        key_columns: list[str] | None = None,
+        transform: bool = False,
+    ) -> ProviderUpload:
+        """Prepare one dataset for registration.
+
+        Parameters
+        ----------
+        budget:
+            The provider's DP budget for this dataset; ``None`` registers a
+            non-private sketch (used by the Non-P baseline).
+        transform:
+            When True and a transformer is configured, the agent-based
+            transformation pipeline runs before profiling and sketching.
+        """
+        if transform:
+            if self.transformer is None:
+                raise SearchError(
+                    f"provider {self.name!r} has no transformation pipeline configured"
+                )
+            relation = self.transformer.transform(relation)
+        profile = profile_relation(relation)
+        sketch = self.builder.build(
+            relation, features=features, key_columns=key_columns, budget=budget
+        )
+        return ProviderUpload(
+            relation=relation,
+            profile=profile,
+            sketch=sketch,
+            budget=budget,
+            provider=self.name,
+        )

@@ -1,0 +1,281 @@
+"""The sketch-based proxy model and the augmentation state it evaluates.
+
+During the greedy search every candidate augmentation must be scored in
+time independent of relation sizes (§3.2).  :class:`AugmentationState`
+maintains the semi-ring statistics of the *currently accepted* augmented
+training and testing data; :class:`SketchProxyModel` turns those statistics
+into a ridge-regression fit and a test-side R², never touching raw rows.
+
+Joins on a single requester join key are evaluated exactly (keyed sketch
+multiplication followed by collapse).  When accepted joins span multiple
+different join keys, the cross-covariances between feature blocks acquired
+through *different* keys are estimated with an independence approximation
+(``Σ f·g ≈ Σf · Σg / n``); blocks acquired through the same key, and every
+term involving the requester's own columns, remain exact.  The final model
+returned to the requester is always trained on materialised data, so this
+approximation only influences candidate ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import SketchError
+from repro.ml.linear_regression import LinearRegression
+from repro.semiring.covariance import CovarianceElement
+from repro.sketches.sketch import RelationSketch, vertical_augment
+
+
+@dataclass(frozen=True)
+class ProxyScore:
+    """Utility of a (candidate) augmentation state."""
+
+    train_r2: float
+    test_r2: float
+
+    @property
+    def utility(self) -> float:
+        """The score used for greedy selection (test-side R²)."""
+        return self.test_r2
+
+
+class SketchProxyModel:
+    """Ridge regression trained and evaluated purely from covariance elements."""
+
+    def __init__(self, ridge: float = 1e-4) -> None:
+        self.ridge = ridge
+
+    def evaluate(
+        self,
+        train_element: CovarianceElement,
+        test_element: CovarianceElement,
+        target: str,
+    ) -> ProxyScore:
+        """Train on the train-side element, score on both sides.
+
+        Both elements are PSD-projected first: privatised statistics can
+        lose positive semi-definiteness, which would otherwise let the
+        residual algebra report impossible (>1) R² values and mislead the
+        greedy search toward noise.
+        """
+        train_element = train_element.psd_project()
+        test_element = test_element.psd_project()
+        features = [name for name in train_element.features if name != target]
+        usable = [name for name in features if name in test_element.features]
+        if not usable:
+            raise SketchError("no shared features between train and test statistics")
+        model = LinearRegression(ridge=self.ridge).fit_from_statistics(
+            train_element, usable, target
+        )
+        train_r2 = model.score_from_statistics(train_element, usable, target)
+        test_r2 = model.score_from_statistics(test_element, usable, target)
+        return ProxyScore(train_r2=train_r2, test_r2=test_r2)
+
+
+@dataclass
+class AugmentationState:
+    """Semi-ring statistics of the augmented train/test data accepted so far."""
+
+    target: str
+    train_total: CovarianceElement
+    train_keyed: dict[str, dict[str, CovarianceElement]]
+    test_total: CovarianceElement
+    test_keyed: dict[str, dict[str, CovarianceElement]]
+    accepted_joins: dict[str, list[RelationSketch]] = field(default_factory=dict)
+    accepted_unions: list[str] = field(default_factory=list)
+
+    # -- constructors ------------------------------------------------------------
+    @classmethod
+    def from_sketches(
+        cls, target: str, train: RelationSketch, test: RelationSketch
+    ) -> "AugmentationState":
+        """Initial state: just the requester's own train/test sketches."""
+        return cls(
+            target=target,
+            train_total=train.total,
+            train_keyed={key: dict(groups) for key, groups in train.keyed.items()},
+            test_total=test.total,
+            test_keyed={key: dict(groups) for key, groups in test.keyed.items()},
+        )
+
+    # -- candidate evaluation -------------------------------------------------------
+    def train_element(self) -> CovarianceElement:
+        """Statistics of the augmented training data under the current state."""
+        return self._combined(self.train_total, self.train_keyed, self.accepted_joins)
+
+    def test_element(self) -> CovarianceElement:
+        """Statistics of the augmented testing data under the current state."""
+        return self._combined(self.test_total, self.test_keyed, self.accepted_joins)
+
+    def with_union(self, sketch: RelationSketch) -> "AugmentationState":
+        """A new state with ``sketch`` unioned into the training data."""
+        aligned = sketch.total.project(self.train_total.features)
+        new_keyed = {key: dict(groups) for key, groups in self.train_keyed.items()}
+        for key, groups in sketch.keyed.items():
+            if key not in new_keyed:
+                continue
+            for value, element in groups.items():
+                projected = element.project(self.train_total.features)
+                if value in new_keyed[key]:
+                    new_keyed[key][value] = new_keyed[key][value] + projected
+                else:
+                    new_keyed[key][value] = projected
+        return AugmentationState(
+            target=self.target,
+            train_total=self.train_total + aligned,
+            train_keyed=new_keyed,
+            test_total=self.test_total,
+            test_keyed=self.test_keyed,
+            accepted_joins={key: list(v) for key, v in self.accepted_joins.items()},
+            accepted_unions=[*self.accepted_unions, sketch.dataset],
+        )
+
+    def with_join(self, key: str, sketch: RelationSketch) -> "AugmentationState":
+        """A new state with ``sketch`` joined in on ``key``.
+
+        Provider features whose names collide with columns the requester (or
+        an earlier augmentation) already contributes are dropped — they carry
+        no new information and, left in place, would be conflated with the
+        existing features when sketches are multiplied.
+        """
+        if key not in self.train_keyed:
+            raise SketchError(f"the requester has no keyed sketch on {key!r}")
+        if key not in sketch.keyed:
+            raise SketchError(f"{sketch.dataset!r} has no keyed sketch on {key!r}")
+        existing = set(self.train_total.features)
+        for sketches in self.accepted_joins.values():
+            for accepted in sketches:
+                existing.update(accepted.features)
+        new_features = tuple(f for f in sketch.features if f not in existing)
+        if not new_features:
+            raise SketchError(
+                f"{sketch.dataset!r} contributes no new features over the current state"
+            )
+        if new_features != sketch.features:
+            sketch = RelationSketch(
+                dataset=sketch.dataset,
+                features=new_features,
+                total=sketch.total.project(new_features),
+                keyed={
+                    keyed_column: {
+                        value: element.project(new_features)
+                        for value, element in groups.items()
+                    }
+                    for keyed_column, groups in sketch.keyed.items()
+                },
+                scaling=sketch.scaling,
+                private=sketch.private,
+                epsilon=sketch.epsilon,
+                delta=sketch.delta,
+            )
+        joins = {k: list(v) for k, v in self.accepted_joins.items()}
+        joins.setdefault(key, []).append(sketch)
+        return AugmentationState(
+            target=self.target,
+            train_total=self.train_total,
+            train_keyed=self.train_keyed,
+            test_total=self.test_total,
+            test_keyed=self.test_keyed,
+            accepted_joins=joins,
+            accepted_unions=list(self.accepted_unions),
+        )
+
+    # -- internals ----------------------------------------------------------------------
+    def _combined(
+        self,
+        total: CovarianceElement,
+        keyed: dict[str, dict[str, CovarianceElement]],
+        joins: dict[str, list[RelationSketch]],
+    ) -> CovarianceElement:
+        active = {key: sketches for key, sketches in joins.items() if sketches}
+        if not active:
+            return total
+        branch_elements: list[CovarianceElement] = []
+        for key, sketches in active.items():
+            if key not in keyed:
+                raise SketchError(f"no keyed statistics available for join key {key!r}")
+            merged = keyed[key]
+            for sketch in sketches:
+                merged = vertical_augment(merged, sketch.keyed_sketch(key))
+            branch_elements.append(_collapse(merged))
+        if len(branch_elements) == 1:
+            return branch_elements[0]
+        return _combine_branches(total, branch_elements)
+
+
+def _collapse(groups: dict[str, CovarianceElement]) -> CovarianceElement:
+    total: CovarianceElement | None = None
+    for element in groups.values():
+        total = element if total is None else total + element
+    if total is None:
+        raise SketchError("join produced no matching key groups")
+    return total
+
+
+def _combine_branches(
+    base: CovarianceElement, branches: list[CovarianceElement]
+) -> CovarianceElement:
+    """Merge per-key join branches into one element.
+
+    The base (requester-only) block is taken from ``base``.  Each branch
+    contributes exact statistics for its own provider features and their
+    cross terms with the base features (rescaled to the base row count to
+    undo join-induced row loss).  Cross terms between provider features of
+    *different* branches use the independence approximation.
+    """
+    features: list[str] = list(base.features)
+    origin: dict[str, int] = {}
+    for index, branch in enumerate(branches):
+        for feature in branch.features:
+            if feature not in features:
+                features.append(feature)
+                origin[feature] = index
+    count = base.count
+    if count <= 0:
+        raise SketchError("cannot combine branches over an empty base")
+
+    sums = np.zeros(len(features))
+    products = np.zeros((len(features), len(features)))
+    position = {name: i for i, name in enumerate(features)}
+
+    def branch_scale(branch: CovarianceElement) -> float:
+        return count / branch.count if branch.count > 0 else 0.0
+
+    # Base block.
+    for i, a in enumerate(base.features):
+        sums[position[a]] = base.sums[i]
+        for j, b in enumerate(base.features):
+            products[position[a], position[b]] = base.products[i, j]
+
+    # Branch blocks (their own features, and cross terms with the base).
+    for index, branch in enumerate(branches):
+        scale = branch_scale(branch)
+        for a in branch.features:
+            if a in base.features:
+                continue
+            sums[position[a]] = branch.sum_of(a) * scale
+            for b in branch.features:
+                if b in base.features or origin.get(b) == index or b == a:
+                    value = branch.product_of(a, b) * scale
+                    products[position[a], position[b]] = value
+                    products[position[b], position[a]] = value
+        # Cross terms between this branch's new features and base features.
+        for a in branch.features:
+            if a in base.features:
+                continue
+            for b in base.features:
+                if b in branch.features:
+                    value = branch.product_of(a, b) * scale
+                    products[position[a], position[b]] = value
+                    products[position[b], position[a]] = value
+
+    # Independence approximation for features from different branches.
+    for a, index_a in origin.items():
+        for b, index_b in origin.items():
+            if index_a == index_b or a == b:
+                continue
+            approx = sums[position[a]] * sums[position[b]] / count
+            products[position[a], position[b]] = approx
+    return CovarianceElement(tuple(features), count, sums, products)

@@ -1,0 +1,93 @@
+"""Search requests: the requester's task description.
+
+A request carries ``(R_train, R_test, M, ε, δ)`` exactly as in Problem 1,
+plus the knobs the platform needs (which column is the prediction target,
+which columns may serve as join keys, how many augmentations to accept,
+and the time budget for the whole search).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import SearchError
+from repro.relational.relation import Relation
+
+LINEAR_TASK = "linear_regression"
+SUPPORTED_TASKS = (LINEAR_TASK,)
+
+
+@dataclass
+class SearchRequest:
+    """A requester's task-based search request.
+
+    Parameters
+    ----------
+    train / test:
+        The requester's training and testing relations (kept locally; only
+        sketches are uploaded when privacy is enabled).
+    target:
+        The numeric column to predict.
+    task:
+        The proxy-model family; currently linear regression, matching the
+        paper's prototype.
+    epsilon / delta:
+        The requester's DP budget for its own uploaded sketches.  ``None``
+        epsilon disables privatisation of the requester's data.
+    join_keys:
+        Columns of the training relation that may serve as join keys.
+        Defaults to every categorical column shared by train and test.
+    max_augmentations:
+        Upper bound on the number of augmentations the greedy search may
+        accept.
+    min_improvement:
+        Minimum proxy-utility improvement required to accept another
+        augmentation.
+    time_budget_seconds:
+        Wall-clock (or simulated-clock) budget for the search phase.
+    """
+
+    train: Relation
+    test: Relation
+    target: str
+    task: str = LINEAR_TASK
+    epsilon: float | None = None
+    delta: float = 1e-6
+    join_keys: list[str] = field(default_factory=list)
+    max_augmentations: int = 5
+    min_improvement: float = 1e-3
+    time_budget_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.task not in SUPPORTED_TASKS:
+            raise SearchError(f"unsupported task {self.task!r}; expected one of {SUPPORTED_TASKS}")
+        if self.target not in self.train.schema:
+            raise SearchError(f"target {self.target!r} missing from the training relation")
+        if self.target not in self.test.schema:
+            raise SearchError(f"target {self.target!r} missing from the testing relation")
+        if not self.train.schema[self.target].is_numeric:
+            raise SearchError(f"target {self.target!r} must be numeric")
+        if self.max_augmentations < 0:
+            raise SearchError("max_augmentations must be non-negative")
+        if not self.join_keys:
+            shared = [
+                name
+                for name in self.train.schema.categorical_names
+                if name in self.test.schema
+            ]
+            self.join_keys = shared
+        missing = [key for key in self.join_keys if key not in self.train.schema]
+        if missing:
+            raise SearchError(f"join keys {missing} missing from the training relation")
+
+    @property
+    def feature_columns(self) -> list[str]:
+        """Numeric training columns other than the target."""
+        return [
+            name for name in self.train.schema.numeric_names if name != self.target
+        ]
+
+    @property
+    def is_private(self) -> bool:
+        """True when the requester asked for DP protection of its own data."""
+        return self.epsilon is not None and self.epsilon > 0

@@ -1,0 +1,108 @@
+"""Requesters: the online workflow of Figure 1 (green path).
+
+The requester holds the raw training/testing relations.  It builds its own
+(optionally privatised) sketches for upload, and after the platform returns
+an augmentation plan it materialises the augmented relations locally and
+trains the final model — so the platform never needs the requester's raw
+rows either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.augmentation import AugmentationPlan, materialize_plan
+from repro.core.request import SearchRequest
+from repro.exceptions import SearchError
+from repro.ml.linear_regression import LinearRegression
+from repro.ml.metrics import r2_score
+from repro.privacy.mechanisms import PrivacyBudget
+from repro.relational.relation import Relation
+from repro.sketches.builder import SketchBuilder
+from repro.sketches.sketch import RelationSketch
+
+
+@dataclass
+class RequesterSketches:
+    """The train/test sketches a requester uploads for one request."""
+
+    train: RelationSketch
+    test: RelationSketch
+
+
+@dataclass
+class FinalModelReport:
+    """The requester-side final model trained on the materialised augmentation."""
+
+    train_r2: float
+    test_r2: float
+    num_features: int
+    feature_names: list[str]
+    model: LinearRegression
+
+
+@dataclass
+class Requester:
+    """The data user issuing task-based search requests."""
+
+    name: str
+    builder: SketchBuilder = field(default_factory=SketchBuilder)
+
+    def build_sketches(self, request: SearchRequest) -> RequesterSketches:
+        """Build (and privatise, if requested) the train/test sketches."""
+        features = [*request.feature_columns, request.target]
+        budget = (
+            PrivacyBudget(request.epsilon, request.delta) if request.is_private else None
+        )
+        split = budget.divide(2) if budget is not None else None
+        train_sketch = self.builder.build(
+            request.train,
+            features=features,
+            key_columns=request.join_keys,
+            budget=split,
+        )
+        test_keys = [key for key in request.join_keys if key in request.test.schema]
+        test_features = [
+            name for name in features if name in request.test.schema.numeric_names
+        ]
+        test_sketch = self.builder.build(
+            request.test,
+            features=test_features,
+            key_columns=test_keys,
+            budget=split,
+            scaling=train_sketch.scaling,
+        )
+        return RequesterSketches(train=train_sketch, test=test_sketch)
+
+    def train_final_model(
+        self,
+        request: SearchRequest,
+        plan: AugmentationPlan,
+        corpus_relations: dict[str, Relation],
+        ridge: float = 1e-4,
+    ) -> FinalModelReport:
+        """Materialise the accepted plan locally and train the final model."""
+        augmented_train, augmented_test = materialize_plan(
+            request.train, request.test, plan, corpus_relations
+        )
+        if len(augmented_train) == 0 or len(augmented_test) == 0:
+            raise SearchError("augmentation plan produced an empty train or test relation")
+        feature_names = [
+            name
+            for name in augmented_train.schema.numeric_names
+            if name != request.target and name in augmented_test.schema.numeric_names
+        ]
+        x_train = augmented_train.numeric_matrix(feature_names)
+        y_train = np.asarray(augmented_train.column(request.target), dtype=np.float64)
+        x_test = augmented_test.numeric_matrix(feature_names)
+        y_test = np.asarray(augmented_test.column(request.target), dtype=np.float64)
+        model = LinearRegression(ridge=ridge).fit(x_train, y_train, feature_names=feature_names)
+        return FinalModelReport(
+            train_r2=r2_score(y_train, model.predict(x_train)),
+            test_r2=r2_score(y_test, model.predict(x_test)),
+            num_features=len(feature_names),
+            feature_names=feature_names,
+            model=model,
+        )

@@ -1,0 +1,121 @@
+"""The greedy task-based search algorithm (§2.2.2, "Search algorithm").
+
+Given the candidate augmentations produced by data discovery, the search
+greedily accepts the augmentation that most improves the proxy model's
+test-side utility, re-evaluating the remaining candidates against the new
+state, until no candidate improves the utility by at least
+``min_improvement``, the augmentation cap is hit, or the time budget runs
+out.  Candidate evaluation uses only pre-computed (possibly privatised)
+sketches, so each evaluation is independent of relation sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.augmentation import (
+    JOIN,
+    UNION,
+    AugmentationCandidate,
+    AugmentationPlan,
+    AugmentationStep,
+)
+from repro.core.clock import BudgetTimer, WallClock
+from repro.core.proxy import AugmentationState, SketchProxyModel
+from repro.exceptions import SketchError
+from repro.sketches.sketch import RelationSketch
+from repro.sketches.store import SketchStore
+
+
+@dataclass
+class CandidateEvaluation:
+    """Result of scoring one candidate against the current state."""
+
+    candidate: AugmentationCandidate
+    utility: float
+
+
+@dataclass
+class GreedySketchSearch:
+    """Greedy augmentation search over a sketch store."""
+
+    store: SketchStore
+    proxy: SketchProxyModel = field(default_factory=SketchProxyModel)
+    clock: object = field(default_factory=WallClock)
+
+    def run(
+        self,
+        state: AugmentationState,
+        candidates: list[AugmentationCandidate],
+        max_augmentations: int = 5,
+        min_improvement: float = 1e-3,
+        time_budget_seconds: float | None = None,
+    ) -> tuple[AugmentationPlan, AugmentationState]:
+        """Run the greedy search and return the accepted plan and final state."""
+        timer = BudgetTimer(self.clock, time_budget_seconds)
+        target = state.target
+        base = self.proxy.evaluate(state.train_element(), state.test_element(), target)
+        plan = AugmentationPlan(base_utility=base.utility)
+        best_utility = base.utility
+        remaining = list(candidates)
+
+        while remaining and len(plan) < max_augmentations and not timer.expired():
+            evaluations: list[CandidateEvaluation] = []
+            for candidate in remaining:
+                if timer.expired():
+                    break
+                utility = self._try_candidate(state, candidate)
+                if utility is not None:
+                    evaluations.append(CandidateEvaluation(candidate, utility))
+            if not evaluations:
+                break
+            best = max(evaluations, key=lambda evaluation: evaluation.utility)
+            if best.utility < best_utility + min_improvement:
+                break
+            state = self._apply(state, best.candidate)
+            best_utility = best.utility
+            plan.steps.append(
+                AugmentationStep(best.candidate, best.utility, timer.elapsed())
+            )
+            remaining = [c for c in remaining if c is not best.candidate]
+        return plan, state
+
+    def evaluate_candidate(
+        self, state: AugmentationState, candidate: AugmentationCandidate
+    ) -> float | None:
+        """Public wrapper around candidate scoring (used by benchmarks)."""
+        return self._try_candidate(state, candidate)
+
+    # -- internals ---------------------------------------------------------------
+    def _sketch(self, candidate: AugmentationCandidate) -> RelationSketch | None:
+        if candidate.dataset not in self.store:
+            return None
+        return self.store.get(candidate.dataset)
+
+    def _try_candidate(
+        self, state: AugmentationState, candidate: AugmentationCandidate
+    ) -> float | None:
+        sketch = self._sketch(candidate)
+        if sketch is None:
+            return None
+        try:
+            if candidate.kind == UNION:
+                trial = state.with_union(sketch)
+            elif candidate.kind == JOIN:
+                trial = state.with_join(candidate.join_key, sketch)
+            else:
+                return None
+            score = self.proxy.evaluate(
+                trial.train_element(), trial.test_element(), state.target
+            )
+        except SketchError:
+            return None
+        return score.utility
+
+    def _apply(
+        self, state: AugmentationState, candidate: AugmentationCandidate
+    ) -> AugmentationState:
+        sketch = self._sketch(candidate)
+        if candidate.kind == UNION:
+            return state.with_union(sketch)
+        return state.with_join(candidate.join_key, sketch)

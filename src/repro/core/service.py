@@ -1,0 +1,97 @@
+"""The AutoML service built on top of Mileena (§3.2.3).
+
+The Figure 4 deployment mode: the service spends up to ``search_fraction``
+of the overall time budget on the sketch-based dataset search, materialises
+the augmented dataset, and hands the remainder of the budget to an AutoML
+driver.  Both the proxy-model utility (available almost immediately) and
+the AutoML utility (available once AutoML finishes) are reported, matching
+the star/circle pairs in the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.augmentation import materialize_plan
+from repro.core.clock import BudgetTimer, WallClock
+from repro.core.platform import Mileena, SearchResult
+from repro.core.request import SearchRequest
+from repro.exceptions import SearchError
+from repro.ml.automl import AutoMLRegressor
+from repro.ml.metrics import r2_score
+
+
+@dataclass
+class AutoMLServiceResult:
+    """Outcome of one service invocation."""
+
+    search_result: SearchResult
+    proxy_test_r2: float
+    automl_test_r2: float
+    automl_best_model: str
+    search_seconds: float
+    automl_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.search_seconds + self.automl_seconds
+
+
+@dataclass
+class MileenaAutoMLService:
+    """Dataset-search-then-AutoML, under a single time budget."""
+
+    platform: Mileena
+    clock: object = field(default_factory=WallClock)
+    search_fraction: float = 0.5
+    automl_splits: int = 3
+
+    def run(self, request: SearchRequest, time_budget_seconds: float | None = None) -> AutoMLServiceResult:
+        """Serve one request end to end."""
+        if not 0.0 < self.search_fraction < 1.0:
+            raise SearchError("search_fraction must be in (0, 1)")
+        timer = BudgetTimer(self.clock, time_budget_seconds)
+        search_budget = (
+            time_budget_seconds * self.search_fraction if time_budget_seconds else None
+        )
+        request.time_budget_seconds = search_budget
+        search_result = self.platform.search(request, train_final_model=True)
+        search_seconds = timer.elapsed()
+
+        relations = {
+            name: registration.relation
+            for name, registration in self.platform.corpus.registrations.items()
+        }
+        augmented_train, augmented_test = materialize_plan(
+            request.train, request.test, search_result.plan, relations
+        )
+        feature_names = [
+            name
+            for name in augmented_train.schema.numeric_names
+            if name != request.target and name in augmented_test.schema.numeric_names
+        ]
+        x_train = augmented_train.numeric_matrix(feature_names)
+        y_train = np.asarray(augmented_train.column(request.target), dtype=np.float64)
+        x_test = augmented_test.numeric_matrix(feature_names)
+        y_test = np.asarray(augmented_test.column(request.target), dtype=np.float64)
+
+        automl_budget = timer.remaining() if time_budget_seconds else None
+        automl = AutoMLRegressor(
+            n_splits=self.automl_splits,
+            time_budget_seconds=automl_budget,
+            clock=self.clock,
+        )
+        automl.fit(x_train, y_train)
+        automl_r2 = r2_score(y_test, automl.predict(x_test))
+        automl_seconds = timer.elapsed() - search_seconds
+
+        return AutoMLServiceResult(
+            search_result=search_result,
+            proxy_test_r2=search_result.final_test_r2,
+            automl_test_r2=automl_r2,
+            automl_best_model=automl.result_.best_name,
+            search_seconds=search_seconds,
+            automl_seconds=automl_seconds,
+        )

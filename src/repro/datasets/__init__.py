@@ -1,0 +1,24 @@
+"""Synthetic dataset and workload generators."""
+
+from repro.datasets.airbnb import AirbnbSpec, generate_airbnb
+from repro.datasets.causal_data import CausalStudy, CausalStudySpec, generate_causal_study
+from repro.datasets.corpus import CorpusSpec, GeneratedCorpus, generate_corpus
+from repro.datasets.synthetic import (
+    make_keyed_relation,
+    make_regression_relation,
+    train_test_relations,
+)
+
+__all__ = [
+    "CorpusSpec",
+    "GeneratedCorpus",
+    "generate_corpus",
+    "AirbnbSpec",
+    "generate_airbnb",
+    "CausalStudySpec",
+    "CausalStudy",
+    "generate_causal_study",
+    "make_regression_relation",
+    "make_keyed_relation",
+    "train_test_relations",
+]

@@ -1,0 +1,263 @@
+"""Synthetic open-data corpus generator.
+
+The paper's Figures 4 and 5 search a corpus of 517 datasets from NYC Open
+Data; that corpus is not available offline, so this module generates a
+corpus with the same *structure*:
+
+* a requester task whose training data contains join keys (e.g. zone and
+  month) plus a couple of weak local features and a numeric target;
+* a handful of **signal join datasets** — dimension-like provider tables
+  keyed by zone/month carrying the latent features that actually drive the
+  target (these are the augmentations a good search must find);
+* a handful of **signal union datasets** — extra samples drawn from the
+  requester's own distribution (horizontal augmentations);
+* many **distractor datasets** with unrelated keys and random numeric
+  columns, which a good search must ignore.
+
+The generator controls exactly how much of the target's variance is
+explained by local features vs. joinable latent features, so the expected
+utility lift from augmentation is known by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, KEY, NUMERIC, Schema
+
+
+@dataclass
+class CorpusSpec:
+    """Parameters of the synthetic corpus."""
+
+    num_datasets: int = 100
+    num_signal_join: int = 6
+    num_signal_union: int = 4
+    requester_rows: int = 400
+    provider_rows: int = 300
+    num_zones: int = 40
+    num_months: int = 12
+    rows_per_key: int = 50
+    local_feature_weight: float = 0.25
+    latent_feature_weight: float = 1.0
+    noise: float = 0.15
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_signal_join + self.num_signal_union >= self.num_datasets:
+            raise DatasetError("signal datasets must be fewer than the corpus size")
+        if self.num_zones < 2 or self.num_months < 2:
+            raise DatasetError("need at least two zones and two months")
+
+
+@dataclass
+class GeneratedCorpus:
+    """A generated corpus plus the requester task built on top of it."""
+
+    spec: CorpusSpec
+    train: Relation
+    test: Relation
+    target: str
+    providers: list[Relation] = field(default_factory=list)
+    signal_join_names: list[str] = field(default_factory=list)
+    signal_union_names: list[str] = field(default_factory=list)
+    distractor_names: list[str] = field(default_factory=list)
+
+    @property
+    def provider_names(self) -> list[str]:
+        return [relation.name for relation in self.providers]
+
+    def provider(self, name: str) -> Relation:
+        for relation in self.providers:
+            if relation.name == name:
+                return relation
+        raise DatasetError(f"no provider dataset named {name!r}")
+
+
+def generate_corpus(spec: CorpusSpec | None = None) -> GeneratedCorpus:
+    """Generate the corpus and requester task described by ``spec``."""
+    spec = spec or CorpusSpec()
+    rng = np.random.default_rng(spec.seed)
+
+    zones = [f"zone_{i:03d}" for i in range(spec.num_zones)]
+    months = [f"month_{i:02d}" for i in range(spec.num_months)]
+
+    # Latent per-key signals that drive the target.
+    zone_income = rng.normal(50.0, 12.0, size=spec.num_zones)
+    zone_density = rng.normal(10.0, 3.0, size=spec.num_zones)
+    month_temperature = rng.normal(15.0, 8.0, size=spec.num_months)
+    month_tourism = rng.normal(100.0, 25.0, size=spec.num_months)
+
+    def build_task_relation(name: str, rows: int, seed_offset: int) -> Relation:
+        task_rng = np.random.default_rng(spec.seed + seed_offset)
+        zone_index = task_rng.integers(0, spec.num_zones, size=rows)
+        month_index = task_rng.integers(0, spec.num_months, size=rows)
+        local_a = task_rng.normal(size=rows)
+        local_b = task_rng.normal(size=rows)
+        target = (
+            spec.local_feature_weight * (local_a - 0.5 * local_b)
+            + spec.latent_feature_weight
+            * (
+                0.04 * zone_income[zone_index]
+                + 0.08 * zone_density[zone_index]
+                + 0.03 * month_temperature[month_index]
+                + 0.01 * month_tourism[month_index]
+            )
+            + task_rng.normal(scale=spec.noise, size=rows)
+        )
+        schema = Schema(
+            (
+                Attribute("zone", KEY),
+                Attribute("month", KEY),
+                Attribute("local_a", NUMERIC),
+                Attribute("local_b", NUMERIC),
+                Attribute("demand", NUMERIC),
+            )
+        )
+        return Relation(
+            name,
+            {
+                "zone": [zones[i] for i in zone_index],
+                "month": [months[i] for i in month_index],
+                "local_a": local_a,
+                "local_b": local_b,
+                "demand": target,
+            },
+            schema,
+        )
+
+    train = build_task_relation("requester_train", spec.requester_rows, seed_offset=1)
+    test = build_task_relation("requester_test", max(spec.requester_rows // 2, 50), seed_offset=2)
+
+    providers: list[Relation] = []
+    signal_join_names: list[str] = []
+    signal_union_names: list[str] = []
+    distractor_names: list[str] = []
+
+    # Signal join datasets: fact tables keyed on zone or month whose rows are
+    # per-individual observations of the latent signal (many rows per key, so
+    # privatised group aggregates retain useful information — the regime FPM
+    # is designed for).
+    def build_fact_table(
+        name: str,
+        key_column: str,
+        key_values: list[str],
+        column: str,
+        per_key_values: np.ndarray,
+        observation_noise: float,
+        seed_offset: int,
+    ) -> Relation:
+        fact_rng = np.random.default_rng(spec.seed + seed_offset)
+        keys: list[str] = []
+        observations: list[float] = []
+        for index, key in enumerate(key_values):
+            samples = per_key_values[index] + fact_rng.normal(
+                scale=observation_noise, size=spec.rows_per_key
+            )
+            keys.extend([key] * spec.rows_per_key)
+            observations.extend(samples.tolist())
+        schema = Schema((Attribute(key_column, KEY), Attribute(column, NUMERIC)))
+        return Relation(name, {key_column: keys, column: observations}, schema)
+
+    join_signals = [
+        ("zone_income_stats", "zone", zones, "median_income", zone_income, 2.0),
+        ("zone_census", "zone", zones, "population_density", zone_density, 0.5),
+        ("month_weather", "month", months, "avg_temperature", month_temperature, 1.5),
+        ("month_tourism", "month", months, "tourist_arrivals", month_tourism, 5.0),
+        (
+            "zone_mixed_stats",
+            "zone",
+            zones,
+            "median_income_alt",
+            zone_income + rng.normal(scale=1.0, size=spec.num_zones),
+            2.0,
+        ),
+        (
+            "month_events",
+            "month",
+            months,
+            "event_count",
+            month_tourism / 10.0 + rng.normal(scale=1.0, size=spec.num_months),
+            0.5,
+        ),
+    ]
+    for index in range(min(spec.num_signal_join, len(join_signals))):
+        name, key_column, key_values, column, values, observation_noise = join_signals[index]
+        providers.append(
+            build_fact_table(
+                name, key_column, key_values, column, values, observation_noise, 50 + index
+            )
+        )
+        signal_join_names.append(name)
+
+    # Signal union datasets: extra samples of the same task.
+    for index in range(spec.num_signal_union):
+        name = f"demand_history_{index}"
+        providers.append(build_task_relation(name, spec.provider_rows, seed_offset=10 + index))
+        signal_union_names.append(name)
+
+    # Distractor datasets.  A handful are *joinable* distractors: dimension
+    # tables on the requester's own keys whose features are pure noise — a
+    # search that is not utility-driven (or whose utility estimates are
+    # drowned in DP noise) will happily pick these and gain nothing.  The
+    # rest use unrelated keys and random numeric columns.
+    num_distractors = spec.num_datasets - len(providers)
+    num_joinable_distractors = min(max(num_distractors // 2, 2), num_distractors)
+    for index in range(num_joinable_distractors):
+        distractor_rng = np.random.default_rng(spec.seed + 500 + index)
+        if index % 2 == 0:
+            key_column, key_values = "zone", zones
+        else:
+            key_column, key_values = "month", months
+        column = f"{key_column}_noise_metric_{index}"
+        name = f"{key_column}_noise_stats_{index:02d}"
+        providers.append(
+            build_fact_table(
+                name,
+                key_column,
+                key_values,
+                column,
+                distractor_rng.normal(size=len(key_values)),
+                1.0,
+                500 + index,
+            )
+        )
+        distractor_names.append(name)
+
+    categories = ["permit", "noise", "tree", "school", "crash", "film", "library", "budget"]
+    for index in range(num_distractors - num_joinable_distractors):
+        distractor_rng = np.random.default_rng(spec.seed + 1000 + index)
+        category = categories[index % len(categories)]
+        name = f"{category}_records_{index:03d}"
+        rows = int(distractor_rng.integers(50, spec.provider_rows + 1))
+        key_domain = [f"{category}_key_{i}" for i in range(int(distractor_rng.integers(10, 60)))]
+        num_numeric = int(distractor_rng.integers(1, 4))
+        columns: dict[str, object] = {
+            f"{category}_id": [
+                key_domain[i] for i in distractor_rng.integers(0, len(key_domain), size=rows)
+            ]
+        }
+        attributes = [Attribute(f"{category}_id", KEY)]
+        for numeric_index in range(num_numeric):
+            column = f"{category}_metric_{numeric_index}"
+            columns[column] = distractor_rng.normal(
+                loc=distractor_rng.uniform(-5, 5), scale=distractor_rng.uniform(0.5, 3), size=rows
+            )
+            attributes.append(Attribute(column, NUMERIC))
+        providers.append(Relation(name, columns, Schema(tuple(attributes))))
+        distractor_names.append(name)
+
+    return GeneratedCorpus(
+        spec=spec,
+        train=train,
+        test=test,
+        target="demand",
+        providers=providers,
+        signal_join_names=signal_join_names,
+        signal_union_names=signal_union_names,
+        distractor_names=distractor_names,
+    )

@@ -1,0 +1,78 @@
+"""Generic synthetic relation generators used across tests and examples."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, KEY, NUMERIC, Schema
+
+
+def make_regression_relation(
+    name: str = "train",
+    n_rows: int = 200,
+    n_features: int = 3,
+    noise: float = 0.1,
+    coefficients: np.ndarray | None = None,
+    intercept: float = 1.0,
+    seed: int = 0,
+    target: str = "y",
+) -> Relation:
+    """A relation with numeric features ``f0..f{k-1}`` and a linear target."""
+    if n_rows <= 0 or n_features <= 0:
+        raise DatasetError("n_rows and n_features must be positive")
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(n_rows, n_features))
+    if coefficients is None:
+        coefficients = rng.uniform(-2.0, 2.0, size=n_features)
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    if coefficients.shape != (n_features,):
+        raise DatasetError("coefficients shape does not match n_features")
+    y = intercept + matrix @ coefficients + rng.normal(scale=noise, size=n_rows)
+    columns = {f"f{i}": matrix[:, i] for i in range(n_features)}
+    columns[target] = y
+    return Relation(name, columns)
+
+
+def make_keyed_relation(
+    name: str,
+    key_column: str,
+    key_values: list[str],
+    feature_columns: dict[str, np.ndarray],
+    rows_per_key: int = 1,
+    seed: int = 0,
+) -> Relation:
+    """A relation with a categorical key column and per-key numeric features.
+
+    ``feature_columns`` maps a column name to an array with one value per
+    key; with ``rows_per_key > 1`` each key's rows repeat that value plus a
+    small perturbation (simulating within-key variation).
+    """
+    if rows_per_key <= 0:
+        raise DatasetError("rows_per_key must be positive")
+    rng = np.random.default_rng(seed)
+    keys: list[str] = []
+    columns: dict[str, list[float]] = {column: [] for column in feature_columns}
+    for index, key in enumerate(key_values):
+        for _ in range(rows_per_key):
+            keys.append(key)
+            for column, values in feature_columns.items():
+                jitter = rng.normal(scale=0.01) if rows_per_key > 1 else 0.0
+                columns[column].append(float(values[index]) + jitter)
+    schema = Schema(
+        (
+            Attribute(key_column, KEY),
+            *(Attribute(column, NUMERIC) for column in feature_columns),
+        )
+    )
+    return Relation(name, {key_column: keys, **columns}, schema)
+
+
+def train_test_relations(
+    relation: Relation, test_fraction: float = 0.3, seed: int = 0
+) -> tuple[Relation, Relation]:
+    """Split a relation into train/test halves with stable names."""
+    rng = np.random.default_rng(seed)
+    test, train = relation.split(test_fraction, rng)
+    return train.renamed(f"{relation.name}_train"), test.renamed(f"{relation.name}_test")

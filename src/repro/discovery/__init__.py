@@ -1,0 +1,29 @@
+"""Aurum-style data discovery: column profiles, MinHash/TF-IDF sketches, index."""
+
+from repro.discovery.index import (
+    JOIN,
+    UNION,
+    DiscoveryIndex,
+    JoinCandidate,
+    UnionCandidate,
+)
+from repro.discovery.minhash import MinHasher, MinHashSketch, exact_jaccard
+from repro.discovery.profiles import ColumnProfile, DatasetProfile, profile_relation
+from repro.discovery.tfidf import IdfModel, TfIdfSketch, tokenize
+
+__all__ = [
+    "DiscoveryIndex",
+    "JoinCandidate",
+    "UnionCandidate",
+    "JOIN",
+    "UNION",
+    "MinHasher",
+    "MinHashSketch",
+    "exact_jaccard",
+    "ColumnProfile",
+    "DatasetProfile",
+    "profile_relation",
+    "TfIdfSketch",
+    "IdfModel",
+    "tokenize",
+]

@@ -1,0 +1,166 @@
+"""The Aurum-style discovery index.
+
+``Discover(R, augType)`` of Problem 1: given a requester relation, find
+provider datasets that can be **joined** (a column pair with high estimated
+Jaccard similarity and compatible key-ness) or **unioned** (schemas whose
+columns align under TF-IDF cosine similarity).
+
+The index holds only profiles/sketches — never raw provider rows — matching
+the paper's architecture where discovery metadata and semi-ring sketches are
+the only artefacts uploaded to the central platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.discovery.minhash import MinHasher
+from repro.discovery.profiles import ColumnProfile, DatasetProfile, profile_relation
+from repro.discovery.tfidf import IdfModel
+from repro.exceptions import DiscoveryError
+from repro.relational.relation import Relation
+
+JOIN = "join"
+UNION = "union"
+
+
+@dataclass(frozen=True)
+class JoinCandidate:
+    """A provider dataset joinable with the query relation."""
+
+    dataset: str
+    query_column: str
+    candidate_column: str
+    similarity: float
+
+
+@dataclass(frozen=True)
+class UnionCandidate:
+    """A provider dataset unionable with the query relation."""
+
+    dataset: str
+    column_mapping: tuple[tuple[str, str], ...]
+    similarity: float
+
+
+@dataclass
+class DiscoveryIndex:
+    """Profiles of every registered dataset plus corpus-level IDF statistics."""
+
+    minhasher: MinHasher = field(default_factory=MinHasher)
+    join_threshold: float = 0.3
+    union_threshold: float = 0.55
+    profiles: dict[str, DatasetProfile] = field(default_factory=dict)
+    idf_model: IdfModel = field(default_factory=IdfModel)
+
+    # -- registration ----------------------------------------------------------
+    def register(self, relation: Relation) -> DatasetProfile:
+        """Profile a provider relation and add it to the index."""
+        profile = profile_relation(relation, self.minhasher)
+        self.profiles[relation.name] = profile
+        for column_profile in profile.columns.values():
+            if column_profile.tfidf is not None:
+                self.idf_model.add_document(column_profile.tfidf)
+        return profile
+
+    def register_profile(self, profile: DatasetProfile) -> None:
+        """Add a pre-computed profile (e.g. produced locally by a provider)."""
+        self.profiles[profile.dataset] = profile
+        for column_profile in profile.columns.values():
+            if column_profile.tfidf is not None:
+                self.idf_model.add_document(column_profile.tfidf)
+
+    def unregister(self, dataset: str) -> None:
+        """Remove a dataset from the index."""
+        self.profiles.pop(dataset, None)
+
+    def __contains__(self, dataset: object) -> bool:
+        return dataset in self.profiles
+
+    def __len__(self) -> int:
+        return len(self.profiles)
+
+    # -- discovery ---------------------------------------------------------------
+    def discover(self, query: Relation, augmentation_type: str, top_k: int | None = None):
+        """``Discover(R, augType)``: join or union candidates for a query relation."""
+        if augmentation_type == JOIN:
+            candidates = self.join_candidates(query, top_k)
+        elif augmentation_type == UNION:
+            candidates = self.union_candidates(query, top_k)
+        else:
+            raise DiscoveryError(f"unknown augmentation type {augmentation_type!r}")
+        return candidates
+
+    def join_candidates(self, query: Relation, top_k: int | None = None) -> list[JoinCandidate]:
+        """Provider columns whose value sets overlap a query column."""
+        query_profile = profile_relation(query, self.minhasher)
+        results: list[JoinCandidate] = []
+        for dataset, profile in self.profiles.items():
+            if dataset == query.name:
+                continue
+            best: JoinCandidate | None = None
+            for query_column in query_profile.joinable_columns():
+                for candidate_column in profile.joinable_columns():
+                    similarity = query_column.minhash.jaccard(candidate_column.minhash)
+                    if similarity < self.join_threshold:
+                        continue
+                    if best is None or similarity > best.similarity:
+                        best = JoinCandidate(
+                            dataset, query_column.column, candidate_column.column, similarity
+                        )
+            if best is not None:
+                results.append(best)
+        results.sort(key=lambda candidate: -candidate.similarity)
+        return results[:top_k] if top_k is not None else results
+
+    def union_candidates(self, query: Relation, top_k: int | None = None) -> list[UnionCandidate]:
+        """Provider datasets whose schemas align column-by-column with the query."""
+        query_profile = profile_relation(query, self.minhasher)
+        idf = self.idf_model.idf()
+        results: list[UnionCandidate] = []
+        for dataset, profile in self.profiles.items():
+            if dataset == query.name:
+                continue
+            mapping, score = self._best_column_mapping(query_profile, profile, idf)
+            if mapping and score >= self.union_threshold:
+                results.append(UnionCandidate(dataset, tuple(mapping), score))
+        results.sort(key=lambda candidate: -candidate.similarity)
+        return results[:top_k] if top_k is not None else results
+
+    # -- internals ------------------------------------------------------------------
+    def _best_column_mapping(
+        self,
+        query_profile: DatasetProfile,
+        candidate_profile: DatasetProfile,
+        idf: dict[str, float],
+    ) -> tuple[list[tuple[str, str]], float]:
+        """Greedy 1-1 mapping between query and candidate columns by cosine similarity."""
+        pairs: list[tuple[float, str, str]] = []
+        for query_column in query_profile.columns.values():
+            for candidate_column in candidate_profile.columns.values():
+                if query_column.dtype != candidate_column.dtype and not (
+                    query_column.dtype in ("key", "categorical")
+                    and candidate_column.dtype in ("key", "categorical")
+                ):
+                    continue
+                similarity = query_column.tfidf.cosine(candidate_column.tfidf, idf)
+                pairs.append((similarity, query_column.column, candidate_column.column))
+        pairs.sort(reverse=True)
+        used_query: set[str] = set()
+        used_candidate: set[str] = set()
+        mapping: list[tuple[str, str]] = []
+        total = 0.0
+        for similarity, query_column, candidate_column in pairs:
+            if query_column in used_query or candidate_column in used_candidate:
+                continue
+            if similarity <= 0.0:
+                break
+            mapping.append((query_column, candidate_column))
+            used_query.add(query_column)
+            used_candidate.add(candidate_column)
+            total += similarity
+        if not mapping:
+            return [], 0.0
+        coverage = len(mapping) / max(len(query_profile.columns), 1)
+        average = total / len(mapping)
+        return mapping, average * coverage

@@ -1,0 +1,109 @@
+"""Column and dataset profiles.
+
+A profile captures the metadata the discovery index (and the EDA agent)
+needs about a column without retaining raw values: type, cardinality,
+simple numeric statistics, and the MinHash / TF-IDF sketches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.discovery.minhash import MinHasher, MinHashSketch
+from repro.discovery.tfidf import TfIdfSketch
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class ColumnProfile:
+    """Summary of a single column, sufficient for discovery and EDA prompts."""
+
+    dataset: str
+    column: str
+    dtype: str
+    row_count: int
+    distinct_count: int
+    null_count: int
+    minimum: float | None
+    maximum: float | None
+    mean: float | None
+    minhash: MinHashSketch | None
+    tfidf: TfIdfSketch | None
+
+    @property
+    def uniqueness(self) -> float:
+        """Fraction of rows holding a distinct value (1.0 for a candidate key)."""
+        if self.row_count == 0:
+            return 0.0
+        return self.distinct_count / self.row_count
+
+    @property
+    def is_joinable(self) -> bool:
+        """Heuristic: categorical columns with reasonable cardinality are join keys."""
+        return self.dtype != "numeric" and self.distinct_count > 0
+
+
+@dataclass
+class DatasetProfile:
+    """All column profiles of one dataset."""
+
+    dataset: str
+    row_count: int
+    columns: dict[str, ColumnProfile] = field(default_factory=dict)
+
+    def column_names(self) -> list[str]:
+        return list(self.columns)
+
+    def joinable_columns(self) -> list[ColumnProfile]:
+        return [profile for profile in self.columns.values() if profile.is_joinable]
+
+    def numeric_columns(self) -> list[ColumnProfile]:
+        return [profile for profile in self.columns.values() if profile.dtype == "numeric"]
+
+
+def profile_relation(
+    relation: Relation,
+    minhasher: MinHasher | None = None,
+    value_sample_size: int = 200,
+) -> DatasetProfile:
+    """Profile every column of a relation."""
+    minhasher = minhasher or MinHasher()
+    profile = DatasetProfile(relation.name, len(relation))
+    for attribute in relation.schema:
+        values = relation.column(attribute.name)
+        if attribute.is_numeric:
+            finite = values[np.isfinite(values.astype(np.float64))]
+            null_count = len(values) - len(finite)
+            distinct = len(np.unique(finite)) if len(finite) else 0
+            column_profile = ColumnProfile(
+                dataset=relation.name,
+                column=attribute.name,
+                dtype="numeric",
+                row_count=len(values),
+                distinct_count=distinct,
+                null_count=int(null_count),
+                minimum=float(finite.min()) if len(finite) else None,
+                maximum=float(finite.max()) if len(finite) else None,
+                mean=float(finite.mean()) if len(finite) else None,
+                minhash=None,
+                tfidf=TfIdfSketch.from_column(attribute.name, [], value_sample_size),
+            )
+        else:
+            non_null = [value for value in values if value is not None]
+            column_profile = ColumnProfile(
+                dataset=relation.name,
+                column=attribute.name,
+                dtype="key" if attribute.is_key else "categorical",
+                row_count=len(values),
+                distinct_count=len(set(non_null)),
+                null_count=len(values) - len(non_null),
+                minimum=None,
+                maximum=None,
+                mean=None,
+                minhash=minhasher.sketch(non_null),
+                tfidf=TfIdfSketch.from_column(attribute.name, non_null, value_sample_size),
+            )
+        profile.columns[attribute.name] = column_profile
+    return profile

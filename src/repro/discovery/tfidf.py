@@ -1,0 +1,88 @@
+"""TF-IDF sketches for unionable-column discovery.
+
+Aurum retrieves unionable datasets via the cosine similarity of TF-IDF
+vectors built from column names and values.  The corpus-level inverse
+document frequencies are maintained by the discovery index; each column
+contributes a sparse term-frequency vector.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lower-case alphanumeric tokens of a string."""
+    return _TOKEN_PATTERN.findall(str(text).lower())
+
+
+@dataclass(frozen=True)
+class TfIdfSketch:
+    """A sparse term-frequency vector for one column (plus its name tokens)."""
+
+    term_counts: Mapping[str, int]
+    total_terms: int
+
+    @classmethod
+    def from_column(cls, column_name: str, values: Iterable, sample_size: int = 200) -> "TfIdfSketch":
+        """Build a sketch from a column name and (a sample of) its values."""
+        counts: Counter[str] = Counter()
+        # The column name tokens are weighted up: schema-level evidence is
+        # usually more reliable than value-level evidence for unionability.
+        for token in tokenize(column_name):
+            counts[token] += 3
+        for position, value in enumerate(values):
+            if position >= sample_size:
+                break
+            if value is None:
+                continue
+            counts.update(tokenize(value))
+        return cls(dict(counts), sum(counts.values()))
+
+    def cosine(self, other: "TfIdfSketch", idf: Mapping[str, float] | None = None) -> float:
+        """Cosine similarity between two sketches, optionally IDF-weighted."""
+        if not self.term_counts or not other.term_counts:
+            return 0.0
+
+        def weight(term: str, count: int) -> float:
+            scale = idf.get(term, 1.0) if idf is not None else 1.0
+            return count * scale
+
+        dot = 0.0
+        for term, count in self.term_counts.items():
+            if term in other.term_counts:
+                dot += weight(term, count) * weight(term, other.term_counts[term])
+        norm_self = math.sqrt(sum(weight(t, c) ** 2 for t, c in self.term_counts.items()))
+        norm_other = math.sqrt(sum(weight(t, c) ** 2 for t, c in other.term_counts.items()))
+        if norm_self == 0.0 or norm_other == 0.0:
+            return 0.0
+        return dot / (norm_self * norm_other)
+
+
+@dataclass
+class IdfModel:
+    """Corpus-level inverse document frequencies over column sketches."""
+
+    document_count: int = 0
+    document_frequency: Counter = field(default_factory=Counter)
+
+    def add_document(self, sketch: TfIdfSketch) -> None:
+        """Register one column sketch as a document."""
+        self.document_count += 1
+        for term in sketch.term_counts:
+            self.document_frequency[term] += 1
+
+    def idf(self) -> dict[str, float]:
+        """Smoothed IDF weights for every known term."""
+        if self.document_count == 0:
+            return {}
+        return {
+            term: math.log((1 + self.document_count) / (1 + frequency)) + 1.0
+            for term, frequency in self.document_frequency.items()
+        }

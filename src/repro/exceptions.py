@@ -1,0 +1,51 @@
+"""Exception hierarchy shared by every repro subpackage.
+
+Every error raised on a public code path derives from :class:`ReproError`
+so that callers embedding the library can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or incompatible with an operation."""
+
+
+class RelationError(ReproError):
+    """A relational operation received invalid inputs."""
+
+
+class SemiringError(ReproError):
+    """A semi-ring operation was applied to incompatible elements."""
+
+
+class SketchError(ReproError):
+    """A sketch could not be built, merged, or evaluated."""
+
+
+class PrivacyError(ReproError):
+    """A privacy budget was exhausted or a mechanism was misconfigured."""
+
+
+class DiscoveryError(ReproError):
+    """The discovery index could not answer a candidate query."""
+
+
+class SearchError(ReproError):
+    """The task-based search could not be executed."""
+
+
+class AgentError(ReproError):
+    """An agent in the transformation pipeline failed irrecoverably."""
+
+
+class CausalError(ReproError):
+    """A causal-inference routine received an invalid model or data."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset generator received invalid parameters."""

@@ -1,0 +1,64 @@
+"""Experiment drivers: one module per figure/table of the paper."""
+
+from repro.experiments.ate_experiment import (
+    AteExperimentConfig,
+    AteExperimentResult,
+    run_ate_experiment,
+)
+from repro.experiments.common import format_table
+from repro.experiments.figure4 import Figure4Config, Figure4Result, run_figure4
+from repro.experiments.figure5 import (
+    APM,
+    FPM,
+    MECHANISMS,
+    NON_PRIVATE,
+    TPM,
+    Figure5Config,
+    Figure5Result,
+    format_sweep,
+    run_figure5a,
+    run_figure5b,
+    run_figure5c,
+)
+from repro.experiments.figure6 import (
+    AGENT,
+    EMBED,
+    MODELS,
+    RAW,
+    TRANSFORMATIONS,
+    Figure6Config,
+    Figure6Result,
+    run_figure6,
+)
+from repro.experiments.runtime import RuntimeResult, run_runtime_experiment
+
+__all__ = [
+    "format_table",
+    "Figure4Config",
+    "Figure4Result",
+    "run_figure4",
+    "Figure5Config",
+    "Figure5Result",
+    "run_figure5a",
+    "run_figure5b",
+    "run_figure5c",
+    "format_sweep",
+    "MECHANISMS",
+    "NON_PRIVATE",
+    "FPM",
+    "APM",
+    "TPM",
+    "Figure6Config",
+    "Figure6Result",
+    "run_figure6",
+    "TRANSFORMATIONS",
+    "MODELS",
+    "RAW",
+    "EMBED",
+    "AGENT",
+    "RuntimeResult",
+    "run_runtime_experiment",
+    "AteExperimentConfig",
+    "AteExperimentResult",
+    "run_ate_experiment",
+]

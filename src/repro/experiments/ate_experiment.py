@@ -1,0 +1,71 @@
+"""§4.2 experiment: differentially private treatment-effect estimation.
+
+Backdoor over a privatised join vs. the marginal-based formula, at ε = 1
+and δ = 1e-6 per relation, averaged over repeated noise draws.  The paper
+reports relative errors of 10.25 % and 0.21 % respectively; the
+reproduction targets the ordering and rough magnitudes (the backdoor path
+is biased by the latent confounder and noisier, the marginal path is nearly
+unbiased and cheap to privatise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+
+import numpy as np
+
+from repro.causal.private_ate import PrivateAteExperiment, PrivateAteResult
+from repro.datasets.causal_data import CausalStudySpec, generate_causal_study
+from repro.experiments.common import format_table
+
+
+@dataclass
+class AteExperimentConfig:
+    """Experiment knobs."""
+
+    study_spec: CausalStudySpec = field(
+        default_factory=lambda: CausalStudySpec(num_students=20_000, seed=0)
+    )
+    epsilon: float = 1.0
+    delta: float = 1e-6
+    repetitions: int = 5
+    seed: int = 0
+
+
+@dataclass
+class AteExperimentResult:
+    """Per-run results plus aggregate relative errors (percentages)."""
+
+    runs: list[PrivateAteResult] = field(default_factory=list)
+
+    @property
+    def backdoor_error_percent(self) -> float:
+        return 100.0 * mean(run.backdoor_relative_error for run in self.runs)
+
+    @property
+    def mediator_error_percent(self) -> float:
+        return 100.0 * mean(run.mediator_relative_error for run in self.runs)
+
+    def format(self) -> str:
+        headers = ["estimator", "relative_error_percent"]
+        rows = [
+            ("backdoor over privatized join", self.backdoor_error_percent),
+            ("marginal-based formula", self.mediator_error_percent),
+        ]
+        return format_table(headers, rows)
+
+
+def run_ate_experiment(config: AteExperimentConfig | None = None) -> AteExperimentResult:
+    """Run both estimators ``repetitions`` times with fresh noise."""
+    config = config or AteExperimentConfig()
+    study = generate_causal_study(config.study_spec)
+    result = AteExperimentResult()
+    for repetition in range(config.repetitions):
+        experiment = PrivateAteExperiment(
+            epsilon=config.epsilon,
+            delta=config.delta,
+            rng=np.random.default_rng(config.seed + repetition),
+        )
+        result.runs.append(experiment.run(study))
+    return result

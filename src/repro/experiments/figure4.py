@@ -1,0 +1,91 @@
+"""Figure 4: task utility vs. runtime under a 10-minute budget.
+
+Mileena (proxy search + AutoML handoff) against ARDA, Novelty,
+Auto-sklearn, and a simulated Vertex AI on a synthetic open-data corpus.
+All latencies are charged to a simulated clock, so the experiment is
+deterministic and finishes in seconds while reproducing the figure's
+orderings: Mileena returns a high-quality model almost immediately and
+converges to the best model within the budget; ARDA eventually gets close
+but takes far longer; Novelty and the pure AutoML systems plateau low.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import (
+    ArdaSearch,
+    AutoSklearnBaseline,
+    BaselineResult,
+    KeywordSearch,
+    MileenaSearchAdapter,
+    NoveltySearch,
+    VertexAIBaseline,
+)
+from repro.core.clock import SimulatedClock
+from repro.core.request import SearchRequest
+from repro.datasets.corpus import CorpusSpec, generate_corpus
+from repro.experiments.common import format_table
+
+
+@dataclass
+class Figure4Config:
+    """Experiment knobs (defaults are a scaled-down corpus for quick runs)."""
+
+    corpus_spec: CorpusSpec = field(
+        default_factory=lambda: CorpusSpec(num_datasets=60, requester_rows=300, seed=0)
+    )
+    time_budget_seconds: float = 600.0
+    include_keyword: bool = False
+
+
+@dataclass
+class Figure4Result:
+    """Results per system."""
+
+    results: dict[str, BaselineResult]
+    time_budget_seconds: float
+
+    def row(self, system: str) -> tuple[str, float, float, bool]:
+        result = self.results[system]
+        return (
+            system,
+            result.test_r2,
+            result.elapsed_seconds / 60.0,
+            result.finished_within_budget,
+        )
+
+    def format(self) -> str:
+        headers = ["system", "test_r2", "runtime_min", "within_budget"]
+        rows = [self.row(system) for system in self.results]
+        return format_table(headers, rows)
+
+
+def run_figure4(config: Figure4Config | None = None) -> Figure4Result:
+    """Run every system on the same request and collect utility/latency."""
+    config = config or Figure4Config()
+    corpus = generate_corpus(config.corpus_spec)
+    relations = {relation.name: relation for relation in corpus.providers}
+
+    systems = [
+        MileenaSearchAdapter(clock=SimulatedClock(), automl_handoff=True),
+        ArdaSearch(clock=SimulatedClock(), seconds_per_candidate=180.0),
+        NoveltySearch(clock=SimulatedClock(), acquisitions=3),
+        AutoSklearnBaseline(clock=SimulatedClock(), seconds_per_configuration=60.0),
+        VertexAIBaseline(clock=SimulatedClock()),
+    ]
+    if config.include_keyword:
+        systems.append(KeywordSearch(clock=SimulatedClock()))
+
+    results: dict[str, BaselineResult] = {}
+    for system in systems:
+        request = SearchRequest(
+            train=corpus.train,
+            test=corpus.test,
+            target=corpus.target,
+            max_augmentations=4,
+        )
+        results[system.name] = system.run(
+            request, relations, time_budget_seconds=config.time_budget_seconds
+        )
+    return Figure4Result(results=results, time_budget_seconds=config.time_budget_seconds)

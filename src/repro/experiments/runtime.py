@@ -1,0 +1,126 @@
+"""§3.2.3 latency claim: sketch-based candidate evaluation vs. retraining.
+
+"We use a semi-ring-compatible proxy model to directly derive the augmented
+model parameters and compute the model's utility in time independent of the
+relation sizes.  This allows us to evaluate candidates in milliseconds."
+
+The experiment measures, for growing relation sizes, (a) the time to
+evaluate one vertical augmentation candidate from pre-computed sketches and
+(b) the time to materialise the join and retrain the model from raw rows —
+showing the sketch path staying flat while the materialising path grows
+with the data.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.proxy import AugmentationState, SketchProxyModel
+from repro.experiments.common import format_table
+from repro.ml.linear_regression import LinearRegression
+from repro.relational.operators import join
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, KEY, NUMERIC, Schema
+from repro.sketches.builder import SketchBuilder
+
+
+@dataclass
+class RuntimeMeasurement:
+    """Seconds per candidate evaluation for both strategies at one size."""
+
+    rows: int
+    sketch_seconds: float
+    materialize_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        if self.sketch_seconds == 0:
+            return float("inf")
+        return self.materialize_seconds / self.sketch_seconds
+
+
+@dataclass
+class RuntimeResult:
+    measurements: list[RuntimeMeasurement] = field(default_factory=list)
+
+    def format(self) -> str:
+        headers = ["rows", "sketch_ms", "materialize_ms", "speedup"]
+        rows = [
+            (
+                m.rows,
+                m.sketch_seconds * 1000.0,
+                m.materialize_seconds * 1000.0,
+                m.speedup,
+            )
+            for m in self.measurements
+        ]
+        return format_table(headers, rows)
+
+
+def _make_task(rows: int, zones: int = 50, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    latent = rng.normal(size=zones)
+    zone_index = rng.integers(0, zones, size=rows)
+    local = rng.normal(size=rows)
+    y = 0.4 * local + latent[zone_index] + rng.normal(scale=0.1, size=rows)
+    train = Relation(
+        "train",
+        {
+            "zone": [f"z{i}" for i in zone_index],
+            "local": local,
+            "y": y,
+        },
+        Schema.from_spec({"zone": KEY, "local": NUMERIC, "y": NUMERIC}),
+    )
+    provider = Relation(
+        "zone_stats",
+        {"zone": [f"z{i}" for i in range(zones)], "latent": latent},
+        Schema.from_spec({"zone": KEY, "latent": NUMERIC}),
+    )
+    return train, provider
+
+
+def _time(callable_, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_runtime_experiment(sizes: list[int] | None = None, seed: int = 0) -> RuntimeResult:
+    """Measure candidate-evaluation latency for each strategy at each size."""
+    sizes = sizes or [1_000, 5_000, 20_000]
+    result = RuntimeResult()
+    proxy = SketchProxyModel()
+    for rows in sizes:
+        train, provider = _make_task(rows, seed=seed)
+        builder = SketchBuilder()
+        train_sketch = builder.build(train, features=["local", "y"], key_columns=["zone"])
+        provider_sketch = builder.build(provider, features=["latent"], key_columns=["zone"])
+        state = AugmentationState.from_sketches("y", train_sketch, train_sketch)
+
+        def evaluate_from_sketch():
+            trial = state.with_join("zone", provider_sketch)
+            proxy.evaluate(trial.train_element(), trial.test_element(), "y")
+
+        def evaluate_by_materializing():
+            joined = join(train, provider, on="zone")
+            features = ["local", "latent"]
+            model = LinearRegression(ridge=1e-6).fit(
+                joined.numeric_matrix(features), np.asarray(joined.column("y"))
+            )
+            model.score(joined.numeric_matrix(features), np.asarray(joined.column("y")))
+
+        result.measurements.append(
+            RuntimeMeasurement(
+                rows=rows,
+                sketch_seconds=_time(evaluate_from_sketch),
+                materialize_seconds=_time(evaluate_by_materializing),
+            )
+        )
+    return result

@@ -1,0 +1,48 @@
+"""From-scratch ML substrate: models, metrics, preprocessing, AutoML."""
+
+from repro.ml.automl import AutoMLRegressor, AutoMLResult, ModelConfig, default_search_space
+from repro.ml.ensemble import GradientBoostingRegressor, RandomForestRegressor
+from repro.ml.linear_regression import LinearModel, LinearRegression
+from repro.ml.metrics import (
+    adjusted_r2_score,
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    root_mean_squared_error,
+)
+from repro.ml.mlp import MLPRegressor
+from repro.ml.model_selection import cross_val_score, kfold_indices, train_test_split
+from repro.ml.preprocessing import (
+    Featurizer,
+    MinMaxScaler,
+    OneHotEncoder,
+    StandardScaler,
+    clip_matrix,
+)
+from repro.ml.tree import DecisionTreeRegressor
+
+__all__ = [
+    "LinearRegression",
+    "LinearModel",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "GradientBoostingRegressor",
+    "MLPRegressor",
+    "AutoMLRegressor",
+    "AutoMLResult",
+    "ModelConfig",
+    "default_search_space",
+    "r2_score",
+    "adjusted_r2_score",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "mean_absolute_error",
+    "train_test_split",
+    "kfold_indices",
+    "cross_val_score",
+    "StandardScaler",
+    "MinMaxScaler",
+    "OneHotEncoder",
+    "Featurizer",
+    "clip_matrix",
+]

@@ -1,0 +1,152 @@
+"""A time-budgeted AutoML driver.
+
+Section 3.2.3 of the paper powers an AutoML service with Mileena: the search
+finds the best augmentation within part of the budget, materialises the
+augmented dataset, and hands it to an AutoML library for the remaining time.
+Auto-sklearn is not available offline, so this module implements a small
+AutoML driver with the same interface: it iterates over a configuration
+space of model families and hyper-parameters, evaluates each with k-fold
+cross-validation, and keeps the best configuration found before the budget
+(wall-clock via a :class:`~repro.core.clock.Clock`) runs out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.ml.ensemble import GradientBoostingRegressor, RandomForestRegressor
+from repro.ml.linear_regression import LinearRegression
+from repro.ml.mlp import MLPRegressor
+from repro.ml.model_selection import cross_val_score
+from repro.ml.tree import DecisionTreeRegressor
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """One candidate configuration in the AutoML search space."""
+
+    name: str
+    factory: Callable[[], object]
+    cost_hint: float = 1.0  # relative training cost, used to order the sweep
+
+
+def default_search_space(random_state: int = 0) -> list[ModelConfig]:
+    """The default configuration space, ordered from cheap to expensive."""
+    return [
+        ModelConfig("linear", lambda: LinearRegression(ridge=1e-6), 0.1),
+        ModelConfig("ridge_0.1", lambda: LinearRegression(ridge=0.1), 0.1),
+        ModelConfig("ridge_1.0", lambda: LinearRegression(ridge=1.0), 0.1),
+        ModelConfig(
+            "tree_d4",
+            lambda: DecisionTreeRegressor(max_depth=4, random_state=random_state),
+            0.5,
+        ),
+        ModelConfig(
+            "tree_d8",
+            lambda: DecisionTreeRegressor(max_depth=8, random_state=random_state),
+            0.8,
+        ),
+        ModelConfig(
+            "forest_20",
+            lambda: RandomForestRegressor(n_estimators=20, random_state=random_state),
+            3.0,
+        ),
+        ModelConfig(
+            "gbm_50",
+            lambda: GradientBoostingRegressor(n_estimators=50, random_state=random_state),
+            4.0,
+        ),
+        ModelConfig(
+            "gbm_100_lr005",
+            lambda: GradientBoostingRegressor(
+                n_estimators=100, learning_rate=0.05, random_state=random_state
+            ),
+            6.0,
+        ),
+        ModelConfig(
+            "mlp_32x16",
+            lambda: MLPRegressor(hidden_sizes=(32, 16), epochs=120, random_state=random_state),
+            5.0,
+        ),
+    ]
+
+
+@dataclass
+class AutoMLResult:
+    """Outcome of an AutoML run."""
+
+    best_name: str
+    best_model: object
+    best_cv_score: float
+    leaderboard: list[tuple[str, float]] = field(default_factory=list)
+    evaluated: int = 0
+
+
+class AutoMLRegressor:
+    """Search over model configurations under an optional time budget."""
+
+    def __init__(
+        self,
+        search_space: Sequence[ModelConfig] | None = None,
+        n_splits: int = 3,
+        time_budget_seconds: float | None = None,
+        clock: "object | None" = None,
+        random_state: int = 0,
+    ) -> None:
+        self.search_space = list(search_space) if search_space is not None else default_search_space(
+            random_state
+        )
+        self.n_splits = n_splits
+        self.time_budget_seconds = time_budget_seconds
+        self.clock = clock
+        self.random_state = random_state
+        self.result_: AutoMLResult | None = None
+
+    def _now(self) -> float:
+        if self.clock is not None:
+            return self.clock.now()
+        import time
+
+        return time.monotonic()
+
+    def fit(self, matrix: np.ndarray, target: np.ndarray) -> "AutoMLRegressor":
+        matrix = np.asarray(matrix, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64).ravel()
+        if len(target) < self.n_splits:
+            raise ValueError("not enough rows for cross-validation")
+        started = self._now()
+        leaderboard: list[tuple[str, float]] = []
+        best_name, best_score, best_factory = "", float("-inf"), None
+        evaluated = 0
+        for config in sorted(self.search_space, key=lambda c: c.cost_hint):
+            if (
+                self.time_budget_seconds is not None
+                and self._now() - started > self.time_budget_seconds
+                and evaluated > 0
+            ):
+                break
+            scores = cross_val_score(
+                config.factory, matrix, target, self.n_splits, self.random_state
+            )
+            score = float(np.mean(scores))
+            leaderboard.append((config.name, score))
+            evaluated += 1
+            if score > best_score:
+                best_name, best_score, best_factory = config.name, score, config.factory
+        best_model = best_factory()
+        best_model.fit(matrix, target)
+        self.result_ = AutoMLResult(best_name, best_model, best_score, leaderboard, evaluated)
+        return self
+
+    def predict(self, matrix: np.ndarray) -> np.ndarray:
+        if self.result_ is None:
+            raise ValueError("AutoML has not been fitted")
+        return self.result_.best_model.predict(matrix)
+
+    def score(self, matrix: np.ndarray, target: np.ndarray) -> float:
+        from repro.ml.metrics import r2_score
+
+        return r2_score(target, self.predict(matrix))

@@ -1,0 +1,134 @@
+"""Tree ensembles: random forest and gradient boosting.
+
+``GradientBoostingRegressor`` stands in for XGBoost in the Figure 6(b)
+reproduction; ``RandomForestRegressor`` is one of the model families the
+AutoML driver searches over (mirroring Auto-sklearn's search space at a
+much smaller scale).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class RandomForestRegressor:
+    """Bagged CART trees with per-split feature subsampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 20,
+        max_depth: int = 6,
+        min_samples_leaf: int = 2,
+        max_features: str | int | None = "sqrt",
+        random_state: int | None = None,
+    ) -> None:
+        if n_estimators <= 0:
+            raise ValueError("n_estimators must be positive")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self._trees: list[DecisionTreeRegressor] = []
+
+    def _resolve_max_features(self, n_features: int) -> int | None:
+        if self.max_features is None:
+            return None
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        return int(self.max_features)
+
+    def fit(self, matrix: np.ndarray, target: np.ndarray) -> "RandomForestRegressor":
+        matrix = np.asarray(matrix, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64).ravel()
+        rng = np.random.default_rng(self.random_state)
+        n_rows, n_features = matrix.shape
+        self._trees = []
+        for index in range(self.n_estimators):
+            rows = rng.integers(0, n_rows, size=n_rows)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self._resolve_max_features(n_features),
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(matrix[rows], target[rows])
+            self._trees.append(tree)
+        return self
+
+    def predict(self, matrix: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise ValueError("forest is not fitted")
+        predictions = np.stack([tree.predict(matrix) for tree in self._trees])
+        return predictions.mean(axis=0)
+
+    def score(self, matrix: np.ndarray, target: np.ndarray) -> float:
+        from repro.ml.metrics import r2_score
+
+        return r2_score(target, self.predict(matrix))
+
+
+class GradientBoostingRegressor:
+    """Gradient boosting with squared-error loss over shallow CART trees."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 2,
+        subsample: float = 1.0,
+        random_state: int | None = None,
+    ) -> None:
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.random_state = random_state
+        self._trees: list[DecisionTreeRegressor] = []
+        self._initial: float = 0.0
+
+    def fit(self, matrix: np.ndarray, target: np.ndarray) -> "GradientBoostingRegressor":
+        matrix = np.asarray(matrix, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64).ravel()
+        rng = np.random.default_rng(self.random_state)
+        self._initial = float(target.mean())
+        prediction = np.full_like(target, self._initial)
+        self._trees = []
+        n_rows = len(target)
+        for _ in range(self.n_estimators):
+            residual = target - prediction
+            if self.subsample < 1.0:
+                rows = rng.choice(n_rows, size=max(2, int(self.subsample * n_rows)), replace=False)
+            else:
+                rows = np.arange(n_rows)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(matrix[rows], residual[rows])
+            prediction = prediction + self.learning_rate * tree.predict(matrix)
+            self._trees.append(tree)
+        return self
+
+    def predict(self, matrix: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise ValueError("booster is not fitted")
+        matrix = np.asarray(matrix, dtype=np.float64)
+        prediction = np.full(matrix.shape[0], self._initial)
+        for tree in self._trees:
+            prediction = prediction + self.learning_rate * tree.predict(matrix)
+        return prediction
+
+    def score(self, matrix: np.ndarray, target: np.ndarray) -> float:
+        from repro.ml.metrics import r2_score
+
+        return r2_score(target, self.predict(matrix))

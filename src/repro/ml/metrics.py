@@ -1,0 +1,62 @@
+"""Regression metrics.
+
+The paper's task utility is the coefficient of determination (R²) of the
+requester's model on the test relation; the other metrics support the
+AutoML driver and the examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.float64).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("metrics require at least one observation")
+    return y_true, y_pred
+
+
+def mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean squared error."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def root_mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination.
+
+    Returns 0.0 when the target is constant and predictions are perfect, and
+    a large negative value when the target is constant but predictions are
+    not (matching common library behaviour closely enough for ranking).
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    sse = float(np.sum((y_true - y_pred) ** 2))
+    sst = float(np.sum((y_true - np.mean(y_true)) ** 2))
+    if sst == 0.0:
+        return 0.0 if sse == 0.0 else float("-inf")
+    return 1.0 - sse / sst
+
+
+def adjusted_r2_score(y_true: np.ndarray, y_pred: np.ndarray, num_features: int) -> float:
+    """R² adjusted for the number of features (guards against feature bloat)."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    n = len(y_true)
+    if n <= num_features + 1:
+        return float("-inf")
+    r2 = r2_score(y_true, y_pred)
+    return 1.0 - (1.0 - r2) * (n - 1) / (n - num_features - 1)

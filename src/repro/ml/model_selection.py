@@ -1,0 +1,64 @@
+"""Train/test splitting and cross-validation."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+
+def train_test_split(
+    matrix: np.ndarray,
+    target: np.ndarray,
+    test_fraction: float = 0.25,
+    random_state: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random train/test split of a design matrix and target vector."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    matrix = np.asarray(matrix, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64).ravel()
+    if matrix.shape[0] != target.shape[0]:
+        raise ValueError("matrix and target row counts differ")
+    rng = np.random.default_rng(random_state)
+    permutation = rng.permutation(matrix.shape[0])
+    cut = int(round(test_fraction * matrix.shape[0]))
+    test_rows, train_rows = permutation[:cut], permutation[cut:]
+    return matrix[train_rows], matrix[test_rows], target[train_rows], target[test_rows]
+
+
+def kfold_indices(
+    n_rows: int, n_splits: int = 5, random_state: int | None = None
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """(train, test) index pairs for k-fold cross-validation."""
+    if n_splits < 2:
+        raise ValueError("n_splits must be at least 2")
+    if n_rows < n_splits:
+        raise ValueError("not enough rows for the requested number of folds")
+    rng = np.random.default_rng(random_state)
+    permutation = rng.permutation(n_rows)
+    folds = np.array_split(permutation, n_splits)
+    pairs: list[tuple[np.ndarray, np.ndarray]] = []
+    for index in range(n_splits):
+        test = folds[index]
+        train = np.concatenate([folds[j] for j in range(n_splits) if j != index])
+        pairs.append((train, test))
+    return pairs
+
+
+def cross_val_score(
+    model_factory: Callable[[], object],
+    matrix: np.ndarray,
+    target: np.ndarray,
+    n_splits: int = 5,
+    random_state: int | None = None,
+) -> list[float]:
+    """R² scores of a freshly constructed model on each fold."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64).ravel()
+    scores: list[float] = []
+    for train_rows, test_rows in kfold_indices(len(target), n_splits, random_state):
+        model = model_factory()
+        model.fit(matrix[train_rows], target[train_rows])
+        scores.append(model.score(matrix[test_rows], target[test_rows]))
+    return scores

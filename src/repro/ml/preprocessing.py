@@ -1,0 +1,181 @@
+"""Feature preprocessing: scaling, clipping, one-hot encoding, featurization.
+
+Providers in the paper prepare datasets locally before computing sketches;
+requesters featurize their training/testing relations the same way.  This
+module supplies the numeric transformers used by both paths, plus a helper
+that turns a :class:`~repro.relational.Relation` into a design matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import RelationError
+from repro.relational.relation import Relation
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance scaling with stored statistics."""
+
+    def __init__(self) -> None:
+        self.means_: np.ndarray | None = None
+        self.scales_: np.ndarray | None = None
+
+    def fit(self, matrix: np.ndarray) -> "StandardScaler":
+        matrix = np.asarray(matrix, dtype=np.float64)
+        self.means_ = matrix.mean(axis=0)
+        scales = matrix.std(axis=0)
+        scales[scales == 0.0] = 1.0
+        self.scales_ = scales
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        if self.means_ is None or self.scales_ is None:
+            raise RelationError("StandardScaler must be fitted before transform")
+        return (np.asarray(matrix, dtype=np.float64) - self.means_) / self.scales_
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        return self.fit(matrix).transform(matrix)
+
+    def inverse_transform(self, matrix: np.ndarray) -> np.ndarray:
+        if self.means_ is None or self.scales_ is None:
+            raise RelationError("StandardScaler must be fitted before inverse_transform")
+        return np.asarray(matrix, dtype=np.float64) * self.scales_ + self.means_
+
+
+class MinMaxScaler:
+    """Scale features into ``[0, 1]`` (used to bound sensitivity before DP noise)."""
+
+    def __init__(self, feature_range: tuple[float, float] = (0.0, 1.0)) -> None:
+        self.feature_range = feature_range
+        self.mins_: np.ndarray | None = None
+        self.maxs_: np.ndarray | None = None
+
+    def fit(self, matrix: np.ndarray) -> "MinMaxScaler":
+        matrix = np.asarray(matrix, dtype=np.float64)
+        self.mins_ = matrix.min(axis=0)
+        self.maxs_ = matrix.max(axis=0)
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        if self.mins_ is None or self.maxs_ is None:
+            raise RelationError("MinMaxScaler must be fitted before transform")
+        matrix = np.asarray(matrix, dtype=np.float64)
+        span = np.where(self.maxs_ > self.mins_, self.maxs_ - self.mins_, 1.0)
+        low, high = self.feature_range
+        return low + (matrix - self.mins_) / span * (high - low)
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        return self.fit(matrix).transform(matrix)
+
+
+def clip_matrix(matrix: np.ndarray, bound: float) -> np.ndarray:
+    """Clip every entry into ``[-bound, bound]`` (the DP sensitivity bound)."""
+    if bound <= 0:
+        raise ValueError("clip bound must be positive")
+    return np.clip(np.asarray(matrix, dtype=np.float64), -bound, bound)
+
+
+@dataclass
+class OneHotEncoder:
+    """One-hot encoding for a categorical column with a bounded vocabulary."""
+
+    max_categories: int = 20
+    categories_: list[str] = field(default_factory=list)
+
+    def fit(self, values: Sequence[str]) -> "OneHotEncoder":
+        counts: dict[str, int] = {}
+        for value in values:
+            key = "" if value is None else str(value)
+            counts[key] = counts.get(key, 0) + 1
+        ranked = sorted(counts, key=lambda key: (-counts[key], key))
+        self.categories_ = ranked[: self.max_categories]
+        return self
+
+    def transform(self, values: Sequence[str]) -> np.ndarray:
+        if not self.categories_:
+            raise RelationError("OneHotEncoder must be fitted before transform")
+        index = {category: position for position, category in enumerate(self.categories_)}
+        matrix = np.zeros((len(values), len(self.categories_)))
+        for row, value in enumerate(values):
+            key = "" if value is None else str(value)
+            position = index.get(key)
+            if position is not None:
+                matrix[row, position] = 1.0
+        return matrix
+
+    def fit_transform(self, values: Sequence[str]) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def feature_names(self, column: str) -> list[str]:
+        """Column names for the encoded matrix."""
+        return [f"{column}={category}" for category in self.categories_]
+
+
+@dataclass
+class Featurizer:
+    """Turn a relation into an (X, y, feature_names) triple for model training.
+
+    Numeric columns pass through (with NaNs imputed to the column mean);
+    categorical columns may optionally be one-hot encoded.  The same fitted
+    featurizer must be applied to train and test relations so columns align.
+    """
+
+    target: str
+    numeric_features: list[str] | None = None
+    categorical_features: list[str] | None = None
+    one_hot: bool = False
+    max_categories: int = 10
+    encoders_: dict[str, OneHotEncoder] = field(default_factory=dict)
+    imputation_: dict[str, float] = field(default_factory=dict)
+    feature_names_: list[str] = field(default_factory=list)
+
+    def fit(self, relation: Relation) -> "Featurizer":
+        if self.target not in relation.schema:
+            raise RelationError(f"target {self.target!r} missing from {relation.name!r}")
+        numeric = self.numeric_features
+        if numeric is None:
+            numeric = [c for c in relation.schema.numeric_names if c != self.target]
+        categorical = self.categorical_features
+        if categorical is None:
+            categorical = relation.schema.categorical_names if self.one_hot else []
+
+        self.feature_names_ = []
+        self.imputation_ = {}
+        for column in numeric:
+            values = relation.column(column)
+            finite = values[np.isfinite(values)]
+            self.imputation_[column] = float(finite.mean()) if len(finite) else 0.0
+            self.feature_names_.append(column)
+        self.encoders_ = {}
+        for column in categorical:
+            encoder = OneHotEncoder(max_categories=self.max_categories)
+            encoder.fit(relation.column(column))
+            self.encoders_[column] = encoder
+            self.feature_names_.extend(encoder.feature_names(column))
+        self._numeric = list(numeric)
+        self._categorical = list(categorical)
+        return self
+
+    def transform(self, relation: Relation) -> tuple[np.ndarray, np.ndarray]:
+        if not self.feature_names_ and not self.encoders_:
+            raise RelationError("Featurizer must be fitted before transform")
+        blocks: list[np.ndarray] = []
+        for column in self._numeric:
+            values = np.asarray(relation.column(column), dtype=np.float64).copy()
+            values[~np.isfinite(values)] = self.imputation_[column]
+            blocks.append(values.reshape(-1, 1))
+        for column in self._categorical:
+            blocks.append(self.encoders_[column].transform(relation.column(column)))
+        if blocks:
+            design = np.hstack(blocks)
+        else:
+            design = np.empty((len(relation), 0))
+        target = np.asarray(relation.column(self.target), dtype=np.float64)
+        return design, target
+
+    def fit_transform(self, relation: Relation) -> tuple[np.ndarray, np.ndarray]:
+        return self.fit(relation).transform(relation)

@@ -1,0 +1,145 @@
+"""CART regression trees.
+
+Trees are the building block for the random-forest and gradient-boosting
+baselines used in the Figure 6(b) comparison (the paper evaluates XGBoost
+and Auto-sklearn on the Airbnb data; neither library is available offline,
+so equivalent estimators are implemented from scratch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves have ``feature is None``."""
+
+    value: float
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+class DecisionTreeRegressor:
+    """A CART regression tree minimising within-node variance.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth.
+    min_samples_split:
+        Minimum number of rows a node needs before a split is attempted.
+    min_samples_leaf:
+        Minimum rows in each child after a split.
+    max_features:
+        Number of candidate features per split (``None`` uses all features);
+        random forests pass a smaller value for decorrelation.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_split: int = 4,
+        min_samples_leaf: int = 2,
+        max_features: int | None = None,
+        random_state: int | None = None,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self._root: _Node | None = None
+
+    def fit(self, matrix: np.ndarray, target: np.ndarray) -> "DecisionTreeRegressor":
+        matrix = np.asarray(matrix, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64).ravel()
+        if matrix.ndim != 2 or matrix.shape[0] != target.shape[0]:
+            raise ValueError("matrix and target shapes are inconsistent")
+        if matrix.shape[0] == 0:
+            raise ValueError("cannot fit a tree on zero rows")
+        self._rng = np.random.default_rng(self.random_state)
+        self._root = self._build(matrix, target, depth=0)
+        return self
+
+    def predict(self, matrix: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise ValueError("tree is not fitted")
+        matrix = np.asarray(matrix, dtype=np.float64)
+        return np.array([self._predict_row(row) for row in matrix])
+
+    def score(self, matrix: np.ndarray, target: np.ndarray) -> float:
+        from repro.ml.metrics import r2_score
+
+        return r2_score(target, self.predict(matrix))
+
+    # -- internals -----------------------------------------------------------
+    def _build(self, matrix: np.ndarray, target: np.ndarray, depth: int) -> _Node:
+        node_value = float(target.mean())
+        n_rows, n_features = matrix.shape
+        if (
+            depth >= self.max_depth
+            or n_rows < self.min_samples_split
+            or np.all(target == target[0])
+        ):
+            return _Node(node_value)
+
+        feature_count = n_features if self.max_features is None else min(
+            self.max_features, n_features
+        )
+        candidates = (
+            np.arange(n_features)
+            if feature_count == n_features
+            else self._rng.choice(n_features, size=feature_count, replace=False)
+        )
+
+        best = self._best_split(matrix, target, candidates)
+        if best is None:
+            return _Node(node_value)
+        feature, threshold = best
+        mask = matrix[:, feature] <= threshold
+        left = self._build(matrix[mask], target[mask], depth + 1)
+        right = self._build(matrix[~mask], target[~mask], depth + 1)
+        return _Node(node_value, feature, threshold, left, right)
+
+    def _best_split(
+        self, matrix: np.ndarray, target: np.ndarray, candidates: np.ndarray
+    ) -> tuple[int, float] | None:
+        best_score = np.inf
+        best: tuple[int, float] | None = None
+        n_rows = len(target)
+        for feature in candidates:
+            column = matrix[:, feature]
+            order = np.argsort(column, kind="stable")
+            sorted_values = column[order]
+            sorted_target = target[order]
+            # Cumulative sums let every threshold be scored in O(n).
+            cumulative = np.cumsum(sorted_target)
+            cumulative_sq = np.cumsum(sorted_target**2)
+            total, total_sq = cumulative[-1], cumulative_sq[-1]
+            for split in range(self.min_samples_leaf, n_rows - self.min_samples_leaf + 1):
+                if split < len(sorted_values) and sorted_values[split - 1] == sorted_values[split]:
+                    continue
+                left_sum, left_sq = cumulative[split - 1], cumulative_sq[split - 1]
+                right_sum, right_sq = total - left_sum, total_sq - left_sq
+                left_sse = left_sq - left_sum**2 / split
+                right_sse = right_sq - right_sum**2 / (n_rows - split)
+                score = left_sse + right_sse
+                if score < best_score - 1e-12:
+                    best_score = score
+                    best = (int(feature), float(sorted_values[split - 1]))
+        return best
+
+    def _predict_row(self, row: np.ndarray) -> float:
+        node = self._root
+        while node is not None and not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value if node is not None else 0.0

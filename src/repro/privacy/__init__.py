@@ -1,0 +1,46 @@
+"""Differential privacy: mechanisms, accounting, FPM and baseline mechanisms."""
+
+from repro.privacy.accountant import BudgetLedgerEntry, PrivacyAccountant
+from repro.privacy.allocation import (
+    COUNT_HEAVY,
+    PROPORTIONAL,
+    UNIFORM,
+    BudgetAllocation,
+    SketchSensitivity,
+    allocate_budget,
+)
+from repro.privacy.apm import AggregatePrivacyMechanism
+from repro.privacy.fpm import FactorizedPrivacyMechanism
+from repro.privacy.mechanisms import (
+    GaussianMechanism,
+    LaplaceMechanism,
+    PrivacyBudget,
+    analytic_gaussian_sigma,
+    classic_gaussian_sigma,
+    gaussian_noise,
+    laplace_noise,
+    laplace_scale,
+)
+from repro.privacy.tpm import TuplePrivacyMechanism
+
+__all__ = [
+    "PrivacyBudget",
+    "PrivacyAccountant",
+    "BudgetLedgerEntry",
+    "GaussianMechanism",
+    "LaplaceMechanism",
+    "analytic_gaussian_sigma",
+    "classic_gaussian_sigma",
+    "gaussian_noise",
+    "laplace_noise",
+    "laplace_scale",
+    "SketchSensitivity",
+    "BudgetAllocation",
+    "allocate_budget",
+    "UNIFORM",
+    "PROPORTIONAL",
+    "COUNT_HEAVY",
+    "FactorizedPrivacyMechanism",
+    "AggregatePrivacyMechanism",
+    "TuplePrivacyMechanism",
+]

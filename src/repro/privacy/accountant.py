@@ -1,0 +1,86 @@
+"""Privacy budget accounting.
+
+Each provider/requester sets a per-dataset (ε, δ) budget (Problem 1).  The
+accountant tracks how much of each dataset's budget has been consumed and
+refuses releases that would exceed it.  Sequential (basic) composition is
+used: the paper's point is architectural — FPM spends the budget *once* per
+dataset regardless of corpus size or request volume, whereas APM/TPM must
+keep spending — so basic composition suffices to reproduce the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import PrivacyError
+from repro.privacy.mechanisms import PrivacyBudget
+
+
+@dataclass
+class BudgetLedgerEntry:
+    """Spending record for one dataset."""
+
+    total: PrivacyBudget
+    spent_epsilon: float = 0.0
+    spent_delta: float = 0.0
+    releases: int = 0
+
+    @property
+    def remaining_epsilon(self) -> float:
+        return max(0.0, self.total.epsilon - self.spent_epsilon)
+
+    @property
+    def remaining_delta(self) -> float:
+        return max(0.0, self.total.delta - self.spent_delta)
+
+
+@dataclass
+class PrivacyAccountant:
+    """Tracks per-dataset privacy budget consumption under basic composition."""
+
+    ledger: dict[str, BudgetLedgerEntry] = field(default_factory=dict)
+
+    def register(self, dataset: str, budget: PrivacyBudget) -> None:
+        """Register a dataset with its total budget (idempotent re-registration forbidden)."""
+        if dataset in self.ledger:
+            raise PrivacyError(f"dataset {dataset!r} already has a registered budget")
+        self.ledger[dataset] = BudgetLedgerEntry(budget)
+
+    def remaining(self, dataset: str) -> PrivacyBudget:
+        """Remaining budget of a dataset."""
+        entry = self._entry(dataset)
+        return PrivacyBudget(entry.remaining_epsilon, entry.remaining_delta)
+
+    def can_spend(self, dataset: str, budget: PrivacyBudget) -> bool:
+        """True when ``budget`` can still be charged against the dataset."""
+        entry = self._entry(dataset)
+        return (
+            budget.epsilon <= entry.remaining_epsilon + 1e-12
+            and budget.delta <= entry.remaining_delta + 1e-15
+        )
+
+    def spend(self, dataset: str, budget: PrivacyBudget) -> None:
+        """Charge a release against the dataset's budget (raises when exhausted)."""
+        entry = self._entry(dataset)
+        if not self.can_spend(dataset, budget):
+            raise PrivacyError(
+                f"privacy budget exhausted for dataset {dataset!r}: "
+                f"requested ε={budget.epsilon:.4f}, remaining ε={entry.remaining_epsilon:.4f}"
+            )
+        entry.spent_epsilon += budget.epsilon
+        entry.spent_delta += budget.delta
+        entry.releases += 1
+
+    def spent(self, dataset: str) -> PrivacyBudget:
+        """Budget consumed so far by a dataset."""
+        entry = self._entry(dataset)
+        return PrivacyBudget(entry.spent_epsilon, entry.spent_delta)
+
+    def releases(self, dataset: str) -> int:
+        """Number of noisy releases charged against the dataset."""
+        return self._entry(dataset).releases
+
+    def _entry(self, dataset: str) -> BudgetLedgerEntry:
+        if dataset not in self.ledger:
+            raise PrivacyError(f"dataset {dataset!r} has no registered budget")
+        return self.ledger[dataset]

@@ -1,0 +1,98 @@
+"""The Aggregate Privacy Mechanism (APM) baseline.
+
+Figure 5 compares FPM against APM, "which applies a DP mechanism to
+aggregates after computing the join/union results under a global trust
+model".  APM therefore:
+
+* requires the central platform to see raw data (global trust),
+* must add fresh noise for **every released aggregate** — i.e. every
+  candidate evaluation of every request — and
+* must split each dataset's total (ε, δ) budget across all the releases
+  that dataset participates in, so the per-release noise grows with the
+  corpus size and the number of requests.
+
+The class exposes the same ``privatize_element`` interface as FPM so the
+search code can swap mechanisms without branching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import PrivacyError
+from repro.privacy.allocation import SketchSensitivity
+from repro.privacy.mechanisms import PrivacyBudget, analytic_gaussian_sigma
+from repro.semiring.covariance import CovarianceElement
+
+
+@dataclass
+class AggregatePrivacyMechanism:
+    """Per-release noise on post-join/union aggregates under global trust.
+
+    Parameters
+    ----------
+    expected_releases:
+        How many noisy aggregate releases each dataset's budget must cover
+        (``number of requests × candidate evaluations per request``).  The
+        per-release budget is the dataset budget divided by this count.
+    clip_bound:
+        Public per-value bound, as in FPM.
+    """
+
+    expected_releases: int = 1
+    clip_bound: float = 1.0
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    _spent_releases: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.expected_releases <= 0:
+            raise PrivacyError("expected_releases must be positive")
+        if self.clip_bound <= 0:
+            raise PrivacyError("clip_bound must be positive")
+
+    def per_release_budget(self, budget: PrivacyBudget) -> PrivacyBudget:
+        """The (ε, δ) available to a single aggregate release."""
+        return budget.divide(self.expected_releases)
+
+    def privatize_element(
+        self,
+        element: CovarianceElement,
+        budget: PrivacyBudget,
+        dataset: str | None = None,
+    ) -> CovarianceElement:
+        """Release a noisy aggregate, charging one release against the dataset."""
+        release_budget = self.per_release_budget(budget)
+        if release_budget.epsilon <= 0 or release_budget.delta <= 0:
+            raise PrivacyError("per-release budget is empty; increase the dataset budget")
+        if dataset is not None:
+            used = self._spent_releases.get(dataset, 0)
+            if used >= self.expected_releases:
+                raise PrivacyError(
+                    f"dataset {dataset!r} has exhausted its {self.expected_releases} releases"
+                )
+            self._spent_releases[dataset] = used + 1
+        m = max(len(element.features), 1)
+        sensitivity = SketchSensitivity.for_clipped_features(m, self.clip_bound)
+        count_sigma = analytic_gaussian_sigma(
+            sensitivity.count, release_budget.epsilon / 3, release_budget.delta / 3
+        )
+        sums_sigma = analytic_gaussian_sigma(
+            sensitivity.sums, release_budget.epsilon / 3, release_budget.delta / 3
+        )
+        products_sigma = analytic_gaussian_sigma(
+            sensitivity.products, release_budget.epsilon / 3, release_budget.delta / 3
+        )
+        size = len(element.features)
+        noisy_count = max(float(element.count + self.rng.normal(0.0, count_sigma)), 1e-9)
+        noisy_sums = element.sums + self.rng.normal(0.0, sums_sigma, size=size)
+        noise = self.rng.normal(0.0, products_sigma, size=(size, size))
+        symmetric = np.triu(noise) + np.triu(noise, 1).T
+        return CovarianceElement(
+            element.features, noisy_count, noisy_sums, element.products + symmetric
+        )
+
+    def releases_used(self, dataset: str) -> int:
+        """How many releases a dataset has been charged for so far."""
+        return self._spent_releases.get(dataset, 0)

@@ -1,0 +1,32 @@
+"""Columnar relational substrate used by every other subsystem."""
+
+from repro.relational.operators import (
+    distinct_values,
+    groupby,
+    join,
+    project,
+    select,
+    semi_join_keys,
+    union,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, CATEGORICAL, KEY, NUMERIC, Schema
+from repro.relational.io import read_csv, write_csv
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "Relation",
+    "NUMERIC",
+    "CATEGORICAL",
+    "KEY",
+    "join",
+    "union",
+    "groupby",
+    "project",
+    "select",
+    "distinct_values",
+    "semi_join_keys",
+    "read_csv",
+    "write_csv",
+]

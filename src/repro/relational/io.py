@@ -1,0 +1,83 @@
+"""CSV input/output for relations.
+
+Providers in the paper register datasets held in files (data lakes, open
+data portals).  This module supplies a dependency-free CSV reader/writer so
+examples can persist and reload synthetic corpora.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+from repro.exceptions import RelationError
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, CATEGORICAL, NUMERIC, Schema
+
+
+def _looks_numeric(values: Iterable[str]) -> bool:
+    saw_value = False
+    for value in values:
+        if value is None or value == "":
+            continue
+        saw_value = True
+        try:
+            float(value)
+        except ValueError:
+            return False
+    return saw_value
+
+
+def read_csv(path: str | Path, name: str | None = None, schema: Schema | None = None) -> Relation:
+    """Read a CSV file into a :class:`Relation`.
+
+    When ``schema`` is omitted, column types are inferred: a column whose
+    non-empty values all parse as floats becomes numeric, everything else
+    categorical.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration as error:
+            raise RelationError(f"CSV file {path} is empty") from error
+        rows = [row for row in reader if row]
+
+    columns: dict[str, list[str]] = {column: [] for column in header}
+    for row in rows:
+        if len(row) != len(header):
+            raise RelationError(f"malformed CSV row in {path}: {row!r}")
+        for column, value in zip(header, row):
+            columns[column].append(value)
+
+    if schema is None:
+        attributes = []
+        for column in header:
+            dtype = NUMERIC if _looks_numeric(columns[column]) else CATEGORICAL
+            attributes.append(Attribute(column, dtype))
+        schema = Schema(tuple(attributes))
+
+    typed_columns: dict[str, list] = {}
+    for attribute in schema:
+        raw = columns[attribute.name]
+        if attribute.is_numeric:
+            typed_columns[attribute.name] = [
+                float(value) if value not in ("", None) else float("nan") for value in raw
+            ]
+        else:
+            typed_columns[attribute.name] = raw
+    return Relation(name or path.stem, typed_columns, schema)
+
+
+def write_csv(relation: Relation, path: str | Path) -> Path:
+    """Write a relation to a CSV file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.columns)
+        for row in relation.to_rows():
+            writer.writerow([row[column] for column in relation.columns])
+    return path

@@ -1,0 +1,167 @@
+"""Relational operators: hash equi-join, union, group-by, aggregation.
+
+These operators implement the "naive" (materialising) evaluation path the
+paper compares against: augmentations are joins and unions of raw relations,
+after which a model is retrained from the materialised result.  The
+semi-ring path (:mod:`repro.semiring`, :mod:`repro.sketches`) avoids this
+materialisation; both paths must agree, which the test-suite checks.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import RelationError, SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, NUMERIC, Schema
+
+_AGGREGATES = ("sum", "mean", "count", "min", "max")
+
+
+def _as_key_tuple(relation: Relation, columns: Sequence[str], row: int) -> tuple:
+    return tuple(relation.column(column)[row] for column in columns)
+
+
+def join(
+    left: Relation,
+    right: Relation,
+    on: str | Sequence[str],
+    name: str | None = None,
+) -> Relation:
+    """Hash equi-join of two relations on one or more key columns.
+
+    Columns of ``right`` that collide with ``left`` (other than the join
+    columns) are suffixed with ``"_r"``, matching
+    :meth:`repro.relational.schema.Schema.merge`.
+    """
+    on_columns = [on] if isinstance(on, str) else list(on)
+    for column in on_columns:
+        if column not in left.schema:
+            raise SchemaError(f"join column {column!r} missing from {left.name!r}")
+        if column not in right.schema:
+            raise SchemaError(f"join column {column!r} missing from {right.name!r}")
+
+    # Build a hash table over the right relation.
+    buckets: dict[tuple, list[int]] = defaultdict(list)
+    for row in range(len(right)):
+        buckets[_as_key_tuple(right, on_columns, row)].append(row)
+
+    left_indices: list[int] = []
+    right_indices: list[int] = []
+    for row in range(len(left)):
+        key = _as_key_tuple(left, on_columns, row)
+        for match in buckets.get(key, ()):
+            left_indices.append(row)
+            right_indices.append(match)
+
+    left_take = np.asarray(left_indices, dtype=np.int64)
+    right_take = np.asarray(right_indices, dtype=np.int64)
+
+    schema = left.schema.merge(right.schema, on=on_columns)
+    columns: dict[str, np.ndarray] = {}
+    for attribute in left.schema:
+        columns[attribute.name] = left.column(attribute.name)[left_take]
+    existing = set(left.schema.names)
+    for attribute in right.schema:
+        if attribute.name in on_columns:
+            continue
+        output_name = attribute.name
+        if output_name in existing:
+            output_name = f"{output_name}_r"
+        columns[output_name] = right.column(attribute.name)[right_take]
+        existing.add(output_name)
+    return Relation(name or f"{left.name}_join_{right.name}", columns, schema)
+
+
+def union(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """Bag union of two union-compatible relations (schema order of ``left``)."""
+    if not left.schema.union_compatible(right.schema):
+        raise SchemaError(
+            f"relations {left.name!r} and {right.name!r} are not union-compatible"
+        )
+    aligned = right.project(left.columns)
+    return left.concat_rows(aligned, name=name or f"{left.name}_union_{right.name}")
+
+
+def project(relation: Relation, columns: Sequence[str], name: str | None = None) -> Relation:
+    """Projection onto ``columns``."""
+    return relation.project(columns, name=name)
+
+
+def select(relation: Relation, predicate, name: str | None = None) -> Relation:
+    """Selection by an arbitrary row predicate."""
+    result = relation.select(predicate)
+    return result if name is None else result.renamed(name)
+
+
+def groupby(
+    relation: Relation,
+    keys: Sequence[str],
+    aggregations: Mapping[str, tuple[str, str]],
+    name: str | None = None,
+) -> Relation:
+    """Group-by with simple aggregates.
+
+    Parameters
+    ----------
+    keys:
+        Grouping columns.
+    aggregations:
+        Mapping from output column name to ``(input column, aggregate)``
+        where the aggregate is one of ``sum``, ``mean``, ``count``, ``min``,
+        ``max``.
+    """
+    for column in keys:
+        if column not in relation.schema:
+            raise SchemaError(f"group-by key {column!r} missing from {relation.name!r}")
+    for output, (column, aggregate) in aggregations.items():
+        if aggregate not in _AGGREGATES:
+            raise RelationError(f"unsupported aggregate {aggregate!r} for {output!r}")
+        if column not in relation.schema:
+            raise SchemaError(f"aggregated column {column!r} missing from {relation.name!r}")
+
+    groups: dict[tuple, list[int]] = defaultdict(list)
+    for row in range(len(relation)):
+        groups[_as_key_tuple(relation, keys, row)].append(row)
+
+    key_columns: dict[str, list] = {column: [] for column in keys}
+    output_columns: dict[str, list[float]] = {output: [] for output in aggregations}
+    for key, rows in groups.items():
+        for column, value in zip(keys, key):
+            key_columns[column].append(value)
+        indices = np.asarray(rows, dtype=np.int64)
+        for output, (column, aggregate) in aggregations.items():
+            values = relation.column(column)[indices].astype(np.float64)
+            if aggregate == "sum":
+                output_columns[output].append(float(values.sum()))
+            elif aggregate == "mean":
+                output_columns[output].append(float(values.mean()))
+            elif aggregate == "count":
+                output_columns[output].append(float(len(values)))
+            elif aggregate == "min":
+                output_columns[output].append(float(values.min()))
+            else:
+                output_columns[output].append(float(values.max()))
+
+    attributes = [relation.schema[column] for column in keys]
+    attributes.extend(Attribute(output, NUMERIC) for output in aggregations)
+    columns: dict[str, Sequence] = {**key_columns, **output_columns}
+    return Relation(name or f"{relation.name}_grouped", columns, Schema(tuple(attributes)))
+
+
+def distinct_values(relation: Relation, column: str) -> list:
+    """Sorted distinct values of a column (None excluded)."""
+    values = [value for value in relation.column(column) if value is not None]
+    if relation.schema[column].is_numeric:
+        return sorted(set(float(v) for v in values))
+    return sorted(set(str(v) for v in values))
+
+
+def semi_join_keys(left: Relation, right: Relation, on: str) -> set:
+    """Join-key values that appear in both relations (used for coverage stats)."""
+    left_keys = set(left.column(on).tolist())
+    right_keys = set(right.column(on).tolist())
+    return left_keys & right_keys

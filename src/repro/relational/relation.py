@@ -1,0 +1,297 @@
+"""A small columnar, numpy-backed relation.
+
+The paper assumes a standard relational substrate (providers register
+relations, requesters upload training/testing relations, the platform joins
+and unions them).  pandas is not available in this environment, so the
+substrate is implemented from scratch: a :class:`Relation` is an immutable
+mapping from column name to a numpy array, governed by a
+:class:`~repro.relational.schema.Schema`.
+
+Design notes
+------------
+* Numeric columns are ``float64`` arrays; categorical/key columns are
+  ``object`` arrays of Python strings.  This mirrors what the rest of the
+  system needs: floats feed semi-ring sketches and models, strings feed the
+  discovery index and join keys.
+* Relations are treated as immutable; every operator returns a new relation.
+* Heavy operators (join, union, group-by) live in
+  :mod:`repro.relational.operators` and are also exposed as methods here for
+  ergonomic call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import RelationError, SchemaError
+from repro.relational.schema import CATEGORICAL, KEY, NUMERIC, Attribute, Schema
+
+
+def _coerce_column(values: Sequence[Any] | np.ndarray, dtype: str) -> np.ndarray:
+    """Convert raw values into the canonical numpy representation."""
+    if dtype == NUMERIC:
+        array = np.asarray(values, dtype=np.float64)
+    else:
+        array = np.asarray([None if v is None else str(v) for v in values], dtype=object)
+    return array
+
+
+def _infer_dtype(values: Sequence[Any] | np.ndarray) -> str:
+    """Guess a logical dtype for a raw column."""
+    array = np.asarray(values)
+    if array.dtype.kind in "ifub":
+        return NUMERIC
+    return CATEGORICAL
+
+
+class Relation:
+    """An immutable, columnar relation.
+
+    Parameters
+    ----------
+    name:
+        Identifier of the relation (dataset name in the corpus).
+    columns:
+        Mapping from column name to a sequence of values.
+    schema:
+        Optional explicit schema; when omitted, dtypes are inferred
+        (numeric for numeric numpy kinds, categorical otherwise).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Mapping[str, Sequence[Any] | np.ndarray],
+        schema: Schema | None = None,
+    ) -> None:
+        if not name:
+            raise RelationError("relation name must be non-empty")
+        self.name = name
+        if schema is None:
+            attributes = tuple(
+                Attribute(column, _infer_dtype(values)) for column, values in columns.items()
+            )
+            schema = Schema(attributes)
+        else:
+            missing = [a.name for a in schema if a.name not in columns]
+            extra = [c for c in columns if c not in schema]
+            if missing or extra:
+                raise SchemaError(
+                    f"schema/columns mismatch for relation {name!r}: "
+                    f"missing={missing} extra={extra}"
+                )
+        self.schema = schema
+        self._columns: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for attribute in schema:
+            column = _coerce_column(columns[attribute.name], attribute.dtype)
+            if length is None:
+                length = len(column)
+            elif len(column) != length:
+                raise RelationError(
+                    f"column {attribute.name!r} has length {len(column)}, expected {length}"
+                )
+            self._columns[attribute.name] = column
+        self._length = length or 0
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        rows: Iterable[Mapping[str, Any]],
+        schema: Schema | None = None,
+    ) -> "Relation":
+        """Build a relation from an iterable of row dictionaries."""
+        rows = list(rows)
+        if not rows:
+            if schema is None:
+                raise RelationError("cannot infer schema from zero rows")
+            return cls(name, {a.name: [] for a in schema}, schema)
+        column_names = schema.names if schema is not None else list(rows[0].keys())
+        columns = {column: [row.get(column) for row in rows] for column in column_names}
+        return cls(name, columns, schema)
+
+    @classmethod
+    def empty_like(cls, other: "Relation", name: str | None = None) -> "Relation":
+        """An empty relation with the same schema as ``other``."""
+        return cls(name or other.name, {a.name: [] for a in other.schema}, other.schema)
+
+    # -- basic accessors -----------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def num_rows(self) -> int:
+        """Number of tuples in the relation."""
+        return self._length
+
+    @property
+    def num_columns(self) -> int:
+        """Number of attributes in the relation."""
+        return len(self.schema)
+
+    @property
+    def columns(self) -> list[str]:
+        """Column names in schema order."""
+        return self.schema.names
+
+    def column(self, name: str) -> np.ndarray:
+        """The raw numpy array for column ``name`` (do not mutate)."""
+        if name not in self._columns:
+            raise RelationError(f"relation {self.name!r} has no column {name!r}")
+        return self._columns[name]
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._columns
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.to_rows())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Relation({self.name!r}, rows={self._length}, columns={self.columns})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if self.columns != other.columns or len(self) != len(other):
+            return False
+        for name in self.columns:
+            mine, theirs = self.column(name), other.column(name)
+            if self.schema[name].is_numeric:
+                if not np.allclose(mine, theirs, equal_nan=True):
+                    return False
+            elif not all(a == b for a, b in zip(mine, theirs)):
+                return False
+        return True
+
+    def to_rows(self) -> list[dict[str, Any]]:
+        """Materialise the relation as a list of row dictionaries."""
+        return [
+            {name: self._columns[name][i] for name in self.columns}
+            for i in range(self._length)
+        ]
+
+    def head(self, n: int = 5) -> "Relation":
+        """The first ``n`` rows (for EDA agents and examples)."""
+        return self.take(np.arange(min(n, self._length)))
+
+    # -- column-level helpers -------------------------------------------------
+    def numeric_matrix(self, names: Sequence[str] | None = None) -> np.ndarray:
+        """A ``(rows, len(names))`` float matrix for the requested numeric columns."""
+        names = list(names) if names is not None else self.schema.numeric_names
+        for name in names:
+            if not self.schema[name].is_numeric:
+                raise RelationError(f"column {name!r} is not numeric")
+        if not names:
+            return np.empty((self._length, 0), dtype=np.float64)
+        return np.column_stack([self._columns[name] for name in names]).astype(np.float64)
+
+    def with_column(
+        self, name: str, values: Sequence[Any] | np.ndarray, dtype: str | None = None
+    ) -> "Relation":
+        """A new relation with an added or replaced column."""
+        dtype = dtype or _infer_dtype(values)
+        columns = {c: self._columns[c] for c in self.columns if c != name}
+        columns[name] = values
+        attributes = [a for a in self.schema if a.name != name]
+        attributes.append(Attribute(name, dtype))
+        return Relation(self.name, columns, Schema(tuple(attributes)))
+
+    def without_columns(self, names: Iterable[str]) -> "Relation":
+        """A new relation without the given columns."""
+        excluded = set(names)
+        keep = [c for c in self.columns if c not in excluded]
+        return self.project(keep)
+
+    def rename(self, mapping: dict[str, str], name: str | None = None) -> "Relation":
+        """A new relation with columns renamed per ``mapping``."""
+        columns = {mapping.get(c, c): self._columns[c] for c in self.columns}
+        return Relation(name or self.name, columns, self.schema.rename(mapping))
+
+    def renamed(self, name: str) -> "Relation":
+        """The same relation under a different name."""
+        return Relation(name, self._columns, self.schema)
+
+    # -- row-level helpers ----------------------------------------------------
+    def take(self, indices: np.ndarray | Sequence[int], name: str | None = None) -> "Relation":
+        """A new relation containing the rows at ``indices`` (with repetition)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        columns = {c: self._columns[c][indices] for c in self.columns}
+        return Relation(name or self.name, columns, self.schema)
+
+    def select(self, predicate) -> "Relation":
+        """Rows for which ``predicate(row_dict)`` is truthy."""
+        mask = np.fromiter(
+            (bool(predicate(row)) for row in self.to_rows()),
+            dtype=bool,
+            count=self._length,
+        )
+        return self.take(np.nonzero(mask)[0])
+
+    def filter_mask(self, mask: np.ndarray) -> "Relation":
+        """Rows selected by a boolean mask (vectorised alternative to select)."""
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != self._length:
+            raise RelationError("mask length does not match relation length")
+        return self.take(np.nonzero(mask)[0])
+
+    def sample(self, n: int, rng: np.random.Generator | None = None) -> "Relation":
+        """A uniform random sample of ``n`` rows without replacement."""
+        rng = rng or np.random.default_rng()
+        n = min(n, self._length)
+        indices = rng.choice(self._length, size=n, replace=False)
+        return self.take(indices)
+
+    def split(
+        self, fraction: float, rng: np.random.Generator | None = None
+    ) -> tuple["Relation", "Relation"]:
+        """Randomly split into two relations with ``fraction`` of rows in the first."""
+        if not 0.0 < fraction < 1.0:
+            raise RelationError("fraction must be in (0, 1)")
+        rng = rng or np.random.default_rng()
+        permutation = rng.permutation(self._length)
+        cut = int(round(fraction * self._length))
+        first = self.take(permutation[:cut], name=f"{self.name}_a")
+        second = self.take(permutation[cut:], name=f"{self.name}_b")
+        return first, second
+
+    def project(self, names: Sequence[str], name: str | None = None) -> "Relation":
+        """A new relation restricted to the requested columns."""
+        columns = {c: self._columns[c] for c in names}
+        return Relation(name or self.name, columns, self.schema.project(names))
+
+    def concat_rows(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Row-wise concatenation with a union-compatible relation."""
+        if not self.schema.union_compatible(other.schema):
+            raise SchemaError(
+                f"relations {self.name!r} and {other.name!r} are not union-compatible"
+            )
+        columns = {
+            c: np.concatenate([self._columns[c], other.column(c)]) for c in self.columns
+        }
+        return Relation(name or self.name, columns, self.schema)
+
+    # -- operator shortcuts (implemented in operators.py) ----------------------
+    def join(self, other: "Relation", on: str | Sequence[str], name: str | None = None):
+        """Equi-join with ``other`` on the given key column(s)."""
+        from repro.relational.operators import join
+
+        return join(self, other, on=on, name=name)
+
+    def union(self, other: "Relation", name: str | None = None):
+        """Union (bag semantics) with a union-compatible relation."""
+        from repro.relational.operators import union
+
+        return union(self, other, name=name)
+
+    def groupby(self, keys: Sequence[str], aggregations: Mapping[str, tuple[str, str]]):
+        """Group-by with simple aggregates; see :func:`repro.relational.operators.groupby`."""
+        from repro.relational.operators import groupby
+
+        return groupby(self, keys, aggregations)

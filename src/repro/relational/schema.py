@@ -1,0 +1,177 @@
+"""Schema definitions for the columnar relational substrate.
+
+The paper follows the standard relational model: relations ``R`` with
+attributes ``A`` and domains ``dom(A)``.  This module provides the
+:class:`Attribute` and :class:`Schema` value objects used by
+:class:`repro.relational.Relation`.
+
+Only three logical types are needed by the rest of the system:
+
+``numeric``
+    Stored as ``float64``.  Participates in semi-ring sketches, ML
+    features and targets.
+``categorical``
+    Stored as numpy ``object`` (strings).  Used for join keys, discovery
+    sketches, and as raw material for agent-based transformation.
+``key``
+    A categorical column explicitly flagged as a join key candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.exceptions import SchemaError
+
+NUMERIC = "numeric"
+CATEGORICAL = "categorical"
+KEY = "key"
+
+_VALID_TYPES = (NUMERIC, CATEGORICAL, KEY)
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single column of a relation.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within a schema.
+    dtype:
+        One of ``"numeric"``, ``"categorical"``, ``"key"``.
+    description:
+        Optional human-readable description (used by the agent pipeline
+        to build prompts).
+    """
+
+    name: str
+    dtype: str = NUMERIC
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if self.dtype not in _VALID_TYPES:
+            raise SchemaError(
+                f"invalid dtype {self.dtype!r} for attribute {self.name!r}; "
+                f"expected one of {_VALID_TYPES}"
+            )
+
+    @property
+    def is_numeric(self) -> bool:
+        """True when the column holds float values."""
+        return self.dtype == NUMERIC
+
+    @property
+    def is_categorical(self) -> bool:
+        """True when the column holds string values (including join keys)."""
+        return self.dtype in (CATEGORICAL, KEY)
+
+    @property
+    def is_key(self) -> bool:
+        """True when the column is flagged as a join-key candidate."""
+        return self.dtype == KEY
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of :class:`Attribute` objects."""
+
+    attributes: tuple[Attribute, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [attribute.name for attribute in self.attributes]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate attribute names: {sorted(duplicates)}")
+
+    @classmethod
+    def from_spec(cls, spec: dict[str, str] | Iterable[Attribute]) -> "Schema":
+        """Build a schema from ``{name: dtype}`` or an iterable of attributes."""
+        if isinstance(spec, dict):
+            attributes = tuple(Attribute(name, dtype) for name, dtype in spec.items())
+        else:
+            attributes = tuple(spec)
+        return cls(attributes)
+
+    # -- container protocol -------------------------------------------------
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return any(attribute.name == name for attribute in self.attributes)
+
+    def __getitem__(self, name: str) -> Attribute:
+        for attribute in self.attributes:
+            if attribute.name == name:
+                return attribute
+        raise SchemaError(f"unknown attribute {name!r}")
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def names(self) -> list[str]:
+        """All attribute names, in schema order."""
+        return [attribute.name for attribute in self.attributes]
+
+    @property
+    def numeric_names(self) -> list[str]:
+        """Names of numeric attributes, in schema order."""
+        return [a.name for a in self.attributes if a.is_numeric]
+
+    @property
+    def categorical_names(self) -> list[str]:
+        """Names of categorical (including key) attributes, in schema order."""
+        return [a.name for a in self.attributes if a.is_categorical]
+
+    @property
+    def key_names(self) -> list[str]:
+        """Names of attributes flagged as join keys."""
+        return [a.name for a in self.attributes if a.is_key]
+
+    # -- derivation ---------------------------------------------------------
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Schema restricted to ``names`` (keeping the requested order)."""
+        return Schema(tuple(self[name] for name in names))
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """Schema with attributes renamed according to ``mapping``."""
+        renamed = tuple(
+            Attribute(mapping.get(a.name, a.name), a.dtype, a.description)
+            for a in self.attributes
+        )
+        return Schema(renamed)
+
+    def drop(self, names: Iterable[str]) -> "Schema":
+        """Schema without the attributes in ``names``."""
+        excluded = set(names)
+        return Schema(tuple(a for a in self.attributes if a.name not in excluded))
+
+    def union_compatible(self, other: "Schema") -> bool:
+        """True when two schemas have identical names and dtypes (any order)."""
+        mine = {(a.name, a.dtype) for a in self.attributes}
+        theirs = {(a.name, a.dtype) for a in other.attributes}
+        return mine == theirs
+
+    def merge(self, other: "Schema", *, on: Iterable[str] = ()) -> "Schema":
+        """Schema of a join result: self's attributes plus other's non-key ones.
+
+        Attributes of ``other`` whose names collide with ``self`` (and are not
+        join columns) are suffixed with ``"_r"``.
+        """
+        join_columns = set(on)
+        attributes = list(self.attributes)
+        existing = set(self.names)
+        for attribute in other.attributes:
+            if attribute.name in join_columns:
+                continue
+            name = attribute.name
+            if name in existing:
+                name = f"{name}_r"
+            attributes.append(Attribute(name, attribute.dtype, attribute.description))
+            existing.add(name)
+        return Schema(tuple(attributes))

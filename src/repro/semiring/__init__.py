@@ -1,0 +1,37 @@
+"""Semi-ring aggregation framework (annotated relations, covariance sketches)."""
+
+from repro.semiring.base import CountSemiring, Semiring, SumAnnotation, SumSemiring
+from repro.semiring.covariance import CovarianceElement, CovarianceSemiring
+from repro.semiring.annotated import AnnotatedRelation
+from repro.semiring.aggregation import (
+    add_keyed,
+    collapse_keyed,
+    covariance_aggregate,
+    join_aggregate,
+    keyed_covariance_aggregate,
+    merge_keyed,
+    union_aggregate,
+)
+from repro.semiring.pushdown import AggregatePlan, Join, PlanNode, Scan, Union
+
+__all__ = [
+    "Semiring",
+    "CountSemiring",
+    "SumSemiring",
+    "SumAnnotation",
+    "CovarianceElement",
+    "CovarianceSemiring",
+    "AnnotatedRelation",
+    "covariance_aggregate",
+    "keyed_covariance_aggregate",
+    "merge_keyed",
+    "add_keyed",
+    "collapse_keyed",
+    "join_aggregate",
+    "union_aggregate",
+    "AggregatePlan",
+    "PlanNode",
+    "Scan",
+    "Union",
+    "Join",
+]

@@ -1,0 +1,112 @@
+"""Semi-ring aggregation over relations, with pushdown through ∪ and ⋈.
+
+This module realises the query-rewriting identities of §3.1:
+
+* group-by sums annotations within each group,
+* ``γ(R1 ∪ R2) = γ(R1) ∪ γ(R2)`` (pushdown through union),
+* ``γ(R1 ⋈_j R2) = γ(γ_j(R1) ⋈_j γ_j(R2))`` (pushdown through join).
+
+The functions here operate on raw :class:`~repro.relational.Relation`
+objects and produce either a single semi-ring element (full aggregation) or
+a keyed mapping from join-key value to element (``γ_j(R)``), which is the
+object providers pre-compute and upload as a sketch.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import SemiringError
+from repro.relational.relation import Relation
+from repro.semiring.base import Semiring
+from repro.semiring.covariance import CovarianceElement
+
+
+def aggregate(relation: Relation, semiring: Semiring):
+    """Fully aggregate a relation under ``semiring`` (the ``γ(R)`` of the paper)."""
+    return semiring.sum(semiring.lift(row) for row in relation.to_rows())
+
+
+def covariance_aggregate(relation: Relation, features: Sequence[str]) -> CovarianceElement:
+    """Vectorised ``γ(R)`` under the covariance semi-ring."""
+    matrix = relation.numeric_matrix(features)
+    return CovarianceElement.from_matrix(features, matrix)
+
+
+def keyed_covariance_aggregate(
+    relation: Relation, key: str, features: Sequence[str]
+) -> dict[str, CovarianceElement]:
+    """``γ_key(R)`` under the covariance semi-ring: one element per join-key group."""
+    if key not in relation.schema:
+        raise SemiringError(f"relation {relation.name!r} has no key column {key!r}")
+    matrix = relation.numeric_matrix(features)
+    keys = relation.column(key)
+    order = np.argsort(keys.astype(str), kind="stable")
+    sorted_keys = keys[order].astype(str)
+    sorted_matrix = matrix[order]
+    groups: dict[str, CovarianceElement] = {}
+    boundaries = np.nonzero(np.concatenate(([True], sorted_keys[1:] != sorted_keys[:-1])))[0]
+    boundaries = np.append(boundaries, len(sorted_keys))
+    for start, stop in zip(boundaries[:-1], boundaries[1:]):
+        group_key = str(sorted_keys[start])
+        groups[group_key] = CovarianceElement.from_matrix(features, sorted_matrix[start:stop])
+    return groups
+
+
+def merge_keyed(
+    left: Mapping[str, CovarianceElement], right: Mapping[str, CovarianceElement]
+) -> dict[str, CovarianceElement]:
+    """Join two keyed aggregates: multiply matching groups (missing keys drop out)."""
+    merged: dict[str, CovarianceElement] = {}
+    for key, element in left.items():
+        partner = right.get(key)
+        if partner is not None:
+            merged[key] = element * partner
+    return merged
+
+
+def add_keyed(
+    left: Mapping[str, CovarianceElement], right: Mapping[str, CovarianceElement]
+) -> dict[str, CovarianceElement]:
+    """Union two keyed aggregates: add matching groups, keep unmatched ones."""
+    merged = dict(left)
+    for key, element in right.items():
+        merged[key] = merged[key] + element if key in merged else element
+    return merged
+
+
+def collapse_keyed(groups: Mapping[str, CovarianceElement]) -> CovarianceElement:
+    """Sum a keyed aggregate into a single element (the final group-by-nothing)."""
+    total = CovarianceElement.one()
+    first = True
+    for element in groups.values():
+        total = element if first else total + element
+        first = False
+    if first:
+        return CovarianceElement.zero(())
+    return total
+
+
+def join_aggregate(
+    left: Relation,
+    right: Relation,
+    key: str,
+    left_features: Sequence[str],
+    right_features: Sequence[str],
+) -> CovarianceElement:
+    """``γ(left ⋈_key right)`` computed via pushdown, never materialising the join."""
+    left_groups = keyed_covariance_aggregate(left, key, left_features)
+    right_groups = keyed_covariance_aggregate(right, key, right_features)
+    return collapse_keyed(merge_keyed(left_groups, right_groups))
+
+
+def union_aggregate(
+    relations: Sequence[Relation], features: Sequence[str]
+) -> CovarianceElement:
+    """``γ(R1 ∪ … ∪ Rk)`` computed via pushdown through the union."""
+    total = CovarianceElement.zero(tuple(features))
+    for relation in relations:
+        total = total + covariance_aggregate(relation, features)
+    return total

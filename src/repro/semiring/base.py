@@ -1,0 +1,130 @@
+"""Semi-ring protocol and simple scalar semi-rings.
+
+Section 3.1 of the paper builds on *annotated relations*: each tuple
+``t ∈ R`` carries an annotation ``R(t)`` drawn from a commutative semi-ring
+``(D, +, ×, 0, 1)``.  Group-by sums annotations within a group, union adds
+annotations, and join multiplies them.  Designing the right semi-ring makes
+aggregation (and, for the covariance semi-ring, linear-model training)
+distribute over unions and joins.
+
+This module defines the abstract protocol plus two simple semi-rings used in
+tests and in the causal-inference marginals:
+
+* :class:`CountSemiring` — natural numbers, expresses ``COUNT(*)``.
+* :class:`SumSemiring` — ``(count, sum)`` pairs, expresses ``SUM(A)`` under
+  joins (the sum must be rescaled by the partner's count).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Generic, Iterable, TypeVar
+
+from repro.exceptions import SemiringError
+
+E = TypeVar("E")
+
+
+class Semiring(ABC, Generic[E]):
+    """Commutative semi-ring ``(D, +, ×, 0, 1)`` over annotation type ``E``."""
+
+    @abstractmethod
+    def zero(self) -> E:
+        """Additive identity (annotation of the empty relation)."""
+
+    @abstractmethod
+    def one(self) -> E:
+        """Multiplicative identity (annotation of a join-neutral tuple)."""
+
+    @abstractmethod
+    def add(self, a: E, b: E) -> E:
+        """Combine annotations across a union or within a group-by."""
+
+    @abstractmethod
+    def multiply(self, a: E, b: E) -> E:
+        """Combine annotations across a join."""
+
+    @abstractmethod
+    def lift(self, row: dict) -> E:
+        """Annotation of a single tuple."""
+
+    # -- derived helpers -----------------------------------------------------
+    def sum(self, elements: Iterable[E]) -> E:
+        """Fold ``add`` over ``elements`` starting from ``zero``."""
+        total = self.zero()
+        for element in elements:
+            total = self.add(total, element)
+        return total
+
+    def product(self, elements: Iterable[E]) -> E:
+        """Fold ``multiply`` over ``elements`` starting from ``one``."""
+        total = self.one()
+        for element in elements:
+            total = self.multiply(total, element)
+        return total
+
+
+class CountSemiring(Semiring[int]):
+    """The natural-number semi-ring; annotations count tuples."""
+
+    def zero(self) -> int:
+        return 0
+
+    def one(self) -> int:
+        return 1
+
+    def add(self, a: int, b: int) -> int:
+        return a + b
+
+    def multiply(self, a: int, b: int) -> int:
+        return a * b
+
+    def lift(self, row: dict) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class SumAnnotation:
+    """Annotation for the SUM semi-ring: a (count, sum) pair."""
+
+    count: float
+    total: float
+
+    def __add__(self, other: "SumAnnotation") -> "SumAnnotation":
+        return SumAnnotation(self.count + other.count, self.total + other.total)
+
+    def __mul__(self, other: "SumAnnotation") -> "SumAnnotation":
+        # Join semantics: counts multiply; each side's sum is replicated once
+        # per matching partner tuple.
+        return SumAnnotation(
+            self.count * other.count,
+            other.count * self.total + self.count * other.total,
+        )
+
+
+class SumSemiring(Semiring[SumAnnotation]):
+    """Semi-ring expressing ``(COUNT(*), SUM(column))`` across unions and joins."""
+
+    def __init__(self, column: str) -> None:
+        if not column:
+            raise SemiringError("SumSemiring requires a column name")
+        self.column = column
+
+    def zero(self) -> SumAnnotation:
+        return SumAnnotation(0.0, 0.0)
+
+    def one(self) -> SumAnnotation:
+        return SumAnnotation(1.0, 0.0)
+
+    def add(self, a: SumAnnotation, b: SumAnnotation) -> SumAnnotation:
+        return a + b
+
+    def multiply(self, a: SumAnnotation, b: SumAnnotation) -> SumAnnotation:
+        return a * b
+
+    def lift(self, row: dict) -> SumAnnotation:
+        value = row.get(self.column)
+        if value is None:
+            raise SemiringError(f"row is missing column {self.column!r}")
+        return SumAnnotation(1.0, float(value))

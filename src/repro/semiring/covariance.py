@@ -1,0 +1,289 @@
+"""The covariance-matrix semi-ring from §3.1 of the paper.
+
+Linear regression over ``X ∈ R^{n×m}`` with target ``y`` needs only the
+sufficient statistic ``Z^T Z`` where ``Z = [X | y]``: each cell holds the sum
+of pairwise products of two columns.  The covariance semi-ring stores a
+triple ``(c, s, Q)``:
+
+``c``
+    tuple count (``COUNT(*)``),
+``s``
+    per-column sums (``SUM(A_i)``),
+``Q``
+    matrix of pairwise product sums (``SUM(A_i * A_j)``).
+
+Addition (union / group-by) adds the components.  Multiplication (join)
+follows the paper:
+
+``a × b = (c_a c_b,  c_b s_a + c_a s_b,  c_b Q_a + c_a Q_b + s_a s_bᵀ + s_b s_aᵀ)``
+
+Elements carry an ordered feature list so that sketches over different
+relations (different column sets) can be combined: addition aligns features
+by name, multiplication embeds both operands into the union of their feature
+spaces before applying the rule above.  When the two operands have disjoint
+features — the usual case when joining a requester relation with a provider
+relation — the product exactly reconstructs ``Z^T Z`` of the join result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import SemiringError
+from repro.semiring.base import Semiring
+
+
+@dataclass(frozen=True)
+class CovarianceElement:
+    """One covariance semi-ring annotation: ``(c, s, Q)`` over named features."""
+
+    features: tuple[str, ...]
+    count: float
+    sums: np.ndarray
+    products: np.ndarray
+    _validated: bool = field(default=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        sums = np.asarray(self.sums, dtype=np.float64)
+        products = np.asarray(self.products, dtype=np.float64)
+        object.__setattr__(self, "sums", sums)
+        object.__setattr__(self, "products", products)
+        m = len(self.features)
+        if sums.shape != (m,):
+            raise SemiringError(f"sums shape {sums.shape} does not match {m} features")
+        if products.shape != (m, m):
+            raise SemiringError(
+                f"products shape {products.shape} does not match {m} features"
+            )
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def zero(cls, features: Sequence[str] = ()) -> "CovarianceElement":
+        """Additive identity over the given feature space."""
+        m = len(features)
+        return cls(tuple(features), 0.0, np.zeros(m), np.zeros((m, m)))
+
+    @classmethod
+    def one(cls) -> "CovarianceElement":
+        """Multiplicative identity: a single tuple with no features."""
+        return cls((), 1.0, np.zeros(0), np.zeros((0, 0)))
+
+    @classmethod
+    def from_row(cls, features: Sequence[str], values: Sequence[float]) -> "CovarianceElement":
+        """Lift a single tuple into the semi-ring."""
+        vector = np.asarray(values, dtype=np.float64)
+        return cls(tuple(features), 1.0, vector.copy(), np.outer(vector, vector))
+
+    @classmethod
+    def from_matrix(cls, features: Sequence[str], matrix: np.ndarray) -> "CovarianceElement":
+        """Lift-and-sum an ``(n, m)`` matrix of rows in one vectorised step."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(features):
+            raise SemiringError(
+                f"matrix shape {matrix.shape} does not match {len(features)} features"
+            )
+        return cls(
+            tuple(features),
+            float(matrix.shape[0]),
+            matrix.sum(axis=0),
+            matrix.T @ matrix,
+        )
+
+    # -- feature-space manipulation -------------------------------------------
+    def expand(self, features: Sequence[str]) -> "CovarianceElement":
+        """Embed this element into a larger feature space (zero-padding new features)."""
+        features = tuple(features)
+        missing = [f for f in self.features if f not in features]
+        if missing:
+            raise SemiringError(f"cannot expand: target space missing features {missing}")
+        index = {name: i for i, name in enumerate(features)}
+        positions = np.asarray([index[name] for name in self.features], dtype=np.int64)
+        sums = np.zeros(len(features))
+        sums[positions] = self.sums
+        products = np.zeros((len(features), len(features)))
+        products[np.ix_(positions, positions)] = self.products
+        return CovarianceElement(features, self.count, sums, products)
+
+    def project(self, features: Sequence[str]) -> "CovarianceElement":
+        """Restrict this element to a subset of its features."""
+        index = {name: i for i, name in enumerate(self.features)}
+        missing = [f for f in features if f not in index]
+        if missing:
+            raise SemiringError(f"cannot project onto unknown features {missing}")
+        positions = np.asarray([index[name] for name in features], dtype=np.int64)
+        return CovarianceElement(
+            tuple(features),
+            self.count,
+            self.sums[positions],
+            self.products[np.ix_(positions, positions)],
+        )
+
+    def rename(self, mapping: Mapping[str, str]) -> "CovarianceElement":
+        """Rename features (used when joins suffix colliding column names)."""
+        return CovarianceElement(
+            tuple(mapping.get(f, f) for f in self.features),
+            self.count,
+            self.sums,
+            self.products,
+        )
+
+    # -- algebra ---------------------------------------------------------------
+    def __add__(self, other: "CovarianceElement") -> "CovarianceElement":
+        if other.count == 0 and not other.features:
+            return self
+        if self.count == 0 and not self.features:
+            return other
+        features = _merged_features(self.features, other.features)
+        a = self.expand(features)
+        b = other.expand(features)
+        return CovarianceElement(
+            features, a.count + b.count, a.sums + b.sums, a.products + b.products
+        )
+
+    def __mul__(self, other: "CovarianceElement") -> "CovarianceElement":
+        features = _merged_features(self.features, other.features)
+        a = self.expand(features)
+        b = other.expand(features)
+        cross = np.outer(a.sums, b.sums)
+        return CovarianceElement(
+            features,
+            a.count * b.count,
+            b.count * a.sums + a.count * b.sums,
+            b.count * a.products + a.count * b.products + cross + cross.T,
+        )
+
+    def scale(self, factor: float) -> "CovarianceElement":
+        """Multiply every statistic by a scalar (used by weighted unions)."""
+        return CovarianceElement(
+            self.features, factor * self.count, factor * self.sums, factor * self.products
+        )
+
+    # -- statistics accessors ----------------------------------------------------
+    def sum_of(self, feature: str) -> float:
+        """``SUM(feature)``."""
+        return float(self.sums[self._position(feature)])
+
+    def mean_of(self, feature: str) -> float:
+        """``AVG(feature)``; NaN for an empty element."""
+        if self.count == 0:
+            return float("nan")
+        return self.sum_of(feature) / self.count
+
+    def product_of(self, a: str, b: str) -> float:
+        """``SUM(a * b)``."""
+        return float(self.products[self._position(a), self._position(b)])
+
+    def variance_of(self, feature: str) -> float:
+        """Population variance of ``feature``."""
+        if self.count == 0:
+            return float("nan")
+        mean = self.mean_of(feature)
+        return self.product_of(feature, feature) / self.count - mean * mean
+
+    def covariance_of(self, a: str, b: str) -> float:
+        """Population covariance between two features."""
+        if self.count == 0:
+            return float("nan")
+        return self.product_of(a, b) / self.count - self.mean_of(a) * self.mean_of(b)
+
+    def gram(self, features: Sequence[str] | None = None, *, include_bias: bool = False) -> np.ndarray:
+        """The ``Z^T Z`` matrix restricted to ``features`` (optionally with a bias column).
+
+        With ``include_bias=True`` the returned matrix corresponds to a design
+        matrix whose first column is the constant 1; the count and sums supply
+        the extra row/column.
+        """
+        element = self if features is None else self.project(features)
+        if not include_bias:
+            return element.products.copy()
+        m = len(element.features)
+        gram = np.zeros((m + 1, m + 1))
+        gram[0, 0] = element.count
+        gram[0, 1:] = element.sums
+        gram[1:, 0] = element.sums
+        gram[1:, 1:] = element.products
+        return gram
+
+    def psd_project(self) -> "CovarianceElement":
+        """Project the full moment matrix onto the PSD cone.
+
+        Privatised sketches are exact sketches plus symmetric noise, so the
+        implied moment matrix ``[[c, sᵀ], [s, Q]]`` may lose positive
+        semi-definiteness; downstream least-squares algebra then produces
+        negative residual sums and meaningless R² values.  Clipping negative
+        eigenvalues to zero is standard post-processing (it costs no privacy
+        budget) and restores the invariants the proxy model relies on.
+        """
+        m = len(self.features)
+        moment = np.zeros((m + 1, m + 1))
+        moment[0, 0] = self.count
+        moment[0, 1:] = self.sums
+        moment[1:, 0] = self.sums
+        moment[1:, 1:] = self.products
+        moment = 0.5 * (moment + moment.T)
+        eigenvalues, eigenvectors = np.linalg.eigh(moment)
+        if np.all(eigenvalues >= 0):
+            return self
+        clipped = np.clip(eigenvalues, 0.0, None)
+        projected = eigenvectors @ np.diag(clipped) @ eigenvectors.T
+        count = max(float(projected[0, 0]), 1e-9)
+        return CovarianceElement(
+            self.features, count, projected[0, 1:], projected[1:, 1:]
+        )
+
+    def _position(self, feature: str) -> int:
+        try:
+            return self.features.index(feature)
+        except ValueError as error:
+            raise SemiringError(
+                f"feature {feature!r} not in element features {self.features}"
+            ) from error
+
+    def is_close(self, other: "CovarianceElement", tolerance: float = 1e-8) -> bool:
+        """Numerical equality up to feature reordering."""
+        if set(self.features) != set(other.features):
+            return False
+        aligned = other.project(self.features)
+        return (
+            abs(self.count - aligned.count) <= tolerance
+            and np.allclose(self.sums, aligned.sums, atol=tolerance)
+            and np.allclose(self.products, aligned.products, atol=tolerance)
+        )
+
+
+def _merged_features(a: Iterable[str], b: Iterable[str]) -> tuple[str, ...]:
+    merged = list(a)
+    seen = set(merged)
+    for feature in b:
+        if feature not in seen:
+            merged.append(feature)
+            seen.add(feature)
+    return tuple(merged)
+
+
+class CovarianceSemiring(Semiring[CovarianceElement]):
+    """Semi-ring over :class:`CovarianceElement` for a fixed feature list."""
+
+    def __init__(self, features: Sequence[str]) -> None:
+        if not features:
+            raise SemiringError("CovarianceSemiring needs at least one feature")
+        self.features = tuple(features)
+
+    def zero(self) -> CovarianceElement:
+        return CovarianceElement.zero(self.features)
+
+    def one(self) -> CovarianceElement:
+        return CovarianceElement.one()
+
+    def add(self, a: CovarianceElement, b: CovarianceElement) -> CovarianceElement:
+        return a + b
+
+    def multiply(self, a: CovarianceElement, b: CovarianceElement) -> CovarianceElement:
+        return a * b
+
+    def lift(self, row: dict) -> CovarianceElement:
+        values = [float(row[feature]) for feature in self.features]
+        return CovarianceElement.from_row(self.features, values)

@@ -1,0 +1,19 @@
+"""Pre-computed semi-ring sketches: per-relation aggregates, builder, store."""
+
+from repro.sketches.builder import SketchBuilder
+from repro.sketches.sketch import (
+    FeatureScaling,
+    RelationSketch,
+    horizontal_augment,
+    vertical_augment,
+)
+from repro.sketches.store import SketchStore
+
+__all__ = [
+    "RelationSketch",
+    "FeatureScaling",
+    "SketchBuilder",
+    "SketchStore",
+    "horizontal_augment",
+    "vertical_augment",
+]

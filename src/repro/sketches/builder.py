@@ -1,0 +1,154 @@
+"""Build (and optionally privatise) relation sketches from raw relations.
+
+This is the provider/requester-side "Local Data Store" step of Figure 1:
+scale numeric features into ``[0, 1]``, compute ``γ(R)`` and ``γ_j(R)`` for
+every join-key column, and — when a privacy budget is supplied — pass the
+sketches through the Factorized Privacy Mechanism before they ever leave
+the trusted first-level aggregator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import SketchError
+from repro.privacy.fpm import FactorizedPrivacyMechanism
+from repro.privacy.mechanisms import PrivacyBudget
+from repro.relational.relation import Relation
+from repro.semiring.aggregation import covariance_aggregate, keyed_covariance_aggregate
+from repro.sketches.sketch import FeatureScaling, RelationSketch
+
+
+@dataclass
+class SketchBuilder:
+    """Builds :class:`RelationSketch` objects from raw relations.
+
+    Parameters
+    ----------
+    max_key_cardinality:
+        Join-key columns with more distinct values than this are skipped
+        (a key that is unique per row cannot support a useful 1-N join and
+        would bloat the keyed sketch).
+    mechanism:
+        The privacy mechanism applied when a budget is passed to
+        :meth:`build`.  Defaults to FPM with clip bound 1.0 (matching the
+        [0, 1] feature scaling).
+    """
+
+    max_key_cardinality: int = 10_000
+    mechanism: FactorizedPrivacyMechanism = field(default_factory=FactorizedPrivacyMechanism)
+
+    def build(
+        self,
+        relation: Relation,
+        features: Sequence[str] | None = None,
+        key_columns: Sequence[str] | None = None,
+        budget: PrivacyBudget | None = None,
+        scaling: dict[str, FeatureScaling] | None = None,
+    ) -> RelationSketch:
+        """Build the sketch of ``relation``.
+
+        Parameters
+        ----------
+        features:
+            Numeric columns to include; defaults to every numeric column.
+        key_columns:
+            Join-key columns to pre-aggregate on; defaults to every
+            categorical/key column within the cardinality bound.
+        budget:
+            When given, the sketch is privatised with FPM under this
+            (ε, δ) before being returned.
+        scaling:
+            Optional pre-fitted per-feature scaling to reuse (a requester
+            applies the scaling fitted on its training relation to its
+            testing relation so the two sketches live on the same scale).
+        """
+        feature_names = list(features) if features is not None else relation.schema.numeric_names
+        if not feature_names:
+            raise SketchError(f"relation {relation.name!r} has no numeric features to sketch")
+        missing = [name for name in feature_names if name not in relation.schema]
+        if missing:
+            raise SketchError(f"relation {relation.name!r} is missing features {missing}")
+
+        scaled_relation, scaling = self._scale(relation, feature_names, scaling)
+        total = covariance_aggregate(scaled_relation, feature_names)
+
+        if key_columns is None:
+            key_columns = [
+                name
+                for name in relation.schema.categorical_names
+                if len(set(relation.column(name).tolist())) <= self.max_key_cardinality
+            ]
+        keyed = {
+            key: keyed_covariance_aggregate(scaled_relation, key, feature_names)
+            for key in key_columns
+        }
+
+        if budget is None:
+            return RelationSketch(
+                dataset=relation.name,
+                features=tuple(feature_names),
+                total=total,
+                keyed=keyed,
+                scaling=scaling,
+            )
+
+        # Privatise.  Each keyed aggregate is a separate release (groups of
+        # different key columns overlap, so sequential composition applies),
+        # but the *total* aggregate never needs its own budget: it equals the
+        # sum of any one keyed aggregate's groups, which is free
+        # post-processing of an already-released sketch.  Only a relation
+        # with no join keys at all must spend its budget on the total.
+        if keyed:
+            per_release = budget.divide(len(keyed))
+            noisy_keyed = {
+                key: self.mechanism.privatize_keyed(groups, per_release)
+                for key, groups in keyed.items()
+            }
+            first_key = next(iter(noisy_keyed))
+            noisy_total = total.scale(0.0)
+            for element in noisy_keyed[first_key].values():
+                noisy_total = noisy_total + element
+            noisy_total = noisy_total.project(tuple(feature_names))
+        else:
+            noisy_total = self.mechanism.privatize_element(total, budget)
+            noisy_keyed = {}
+        return RelationSketch(
+            dataset=relation.name,
+            features=tuple(feature_names),
+            total=noisy_total,
+            keyed=noisy_keyed,
+            scaling=scaling,
+            private=True,
+            epsilon=budget.epsilon,
+            delta=budget.delta,
+        )
+
+    # -- internals ---------------------------------------------------------------
+    def _scale(
+        self,
+        relation: Relation,
+        feature_names: Sequence[str],
+        scaling: dict[str, FeatureScaling] | None = None,
+    ) -> tuple[Relation, dict[str, FeatureScaling]]:
+        """Scale the requested features into [0, 1], imputing NaNs to the mean."""
+        scaled = relation
+        fitted: dict[str, FeatureScaling] = {}
+        for name in feature_names:
+            values = np.asarray(relation.column(name), dtype=np.float64).copy()
+            finite = values[np.isfinite(values)]
+            fill = float(finite.mean()) if len(finite) else 0.0
+            values[~np.isfinite(values)] = fill
+            if scaling is not None and name in scaling:
+                metadata = scaling[name]
+            else:
+                minimum = float(values.min()) if len(values) else 0.0
+                maximum = float(values.max()) if len(values) else 1.0
+                metadata = FeatureScaling(minimum, maximum)
+            fitted[name] = metadata
+            scaled_values = np.clip((values - metadata.minimum) / metadata.span, 0.0, 1.0)
+            scaled = scaled.with_column(name, scaled_values, dtype="numeric")
+        return scaled, fitted

@@ -1,0 +1,139 @@
+"""Pre-computed semi-ring sketches for relations (§3.2).
+
+A :class:`RelationSketch` is what a provider (or requester) uploads to the
+central platform instead of raw rows:
+
+* ``total`` — the full covariance aggregate ``γ(R)`` over the relation's
+  (scaled) numeric features; used for **horizontal** augmentation, where
+  union reduces to sketch addition in O(1).
+* ``keyed`` — for every join-key column ``j``, the keyed aggregate
+  ``γ_j(R)``; used for **vertical** augmentation, where the join reduces
+  to multiplying matching key groups in O(d) (``d`` = join-key
+  cardinality).
+
+Feature values are scaled into ``[0, 1]`` before sketching so that (a) the
+DP sensitivity is bounded by a public constant and (b) sketches from
+different datasets are numerically comparable.  R² is invariant to affine
+transformations of features and target, so proxy-model utilities computed
+on scaled statistics rank augmentations exactly as unscaled ones would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.exceptions import SketchError
+from repro.semiring.covariance import CovarianceElement
+
+
+@dataclass(frozen=True)
+class FeatureScaling:
+    """Per-feature affine scaling metadata (min/max used for [0, 1] scaling)."""
+
+    minimum: float
+    maximum: float
+
+    @property
+    def span(self) -> float:
+        return self.maximum - self.minimum if self.maximum > self.minimum else 1.0
+
+    def scale(self, value: float) -> float:
+        return (value - self.minimum) / self.span
+
+    def unscale(self, value: float) -> float:
+        return value * self.span + self.minimum
+
+
+@dataclass
+class RelationSketch:
+    """All pre-computed semi-ring aggregates of one relation.
+
+    Attributes
+    ----------
+    dataset:
+        Name of the relation the sketch summarises.
+    features:
+        Scaled numeric feature names covered by the sketch (the requester's
+        target column, when present, is included here too).
+    total:
+        ``γ(R)`` — the full covariance aggregate.
+    keyed:
+        ``{join_column: {key_value: element}}`` — ``γ_j(R)`` per join key.
+    scaling:
+        Per-feature scaling metadata (public, shared with the platform so
+        the requester can interpret coefficients if desired).
+    private:
+        True when the sketch has already been passed through a privacy
+        mechanism; private sketches can be reused freely (post-processing).
+    epsilon / delta:
+        The budget that was spent to privatise the sketch (0 for non-private).
+    """
+
+    dataset: str
+    features: tuple[str, ...]
+    total: CovarianceElement
+    keyed: dict[str, dict[str, CovarianceElement]] = field(default_factory=dict)
+    scaling: dict[str, FeatureScaling] = field(default_factory=dict)
+    private: bool = False
+    epsilon: float = 0.0
+    delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if set(self.total.features) != set(self.features):
+            raise SketchError(
+                f"total element features {self.total.features} do not match "
+                f"declared features {self.features}"
+            )
+
+    # -- accessors -------------------------------------------------------------
+    @property
+    def join_keys(self) -> list[str]:
+        """Join-key columns for which a keyed aggregate is available."""
+        return list(self.keyed)
+
+    def keyed_sketch(self, key: str) -> dict[str, CovarianceElement]:
+        """``γ_key(R)``; raises when the key was not pre-computed."""
+        if key not in self.keyed:
+            raise SketchError(
+                f"sketch for {self.dataset!r} has no keyed aggregate on {key!r}"
+            )
+        return self.keyed[key]
+
+    def key_cardinality(self, key: str) -> int:
+        """Number of distinct join-key values in ``γ_key(R)``."""
+        return len(self.keyed_sketch(key))
+
+    @property
+    def row_count(self) -> float:
+        """(Possibly noisy) number of rows covered by the sketch."""
+        return self.total.count
+
+    def describe(self) -> dict[str, object]:
+        """A compact summary used in logs and examples."""
+        return {
+            "dataset": self.dataset,
+            "rows": round(self.row_count, 1),
+            "features": list(self.features),
+            "join_keys": {key: len(groups) for key, groups in self.keyed.items()},
+            "private": self.private,
+            "epsilon": self.epsilon,
+        }
+
+
+def horizontal_augment(left: CovarianceElement, right: CovarianceElement) -> CovarianceElement:
+    """Union two total sketches (O(1) in relation size)."""
+    return left + right
+
+
+def vertical_augment(
+    left_keyed: Mapping[str, CovarianceElement],
+    right_keyed: Mapping[str, CovarianceElement],
+) -> dict[str, CovarianceElement]:
+    """Join two keyed sketches group-by-group (O(d) in key cardinality)."""
+    joined: dict[str, CovarianceElement] = {}
+    for key, element in left_keyed.items():
+        partner = right_keyed.get(key)
+        if partner is not None:
+            joined[key] = element * partner
+    return joined

@@ -1,0 +1,57 @@
+"""The central sketch store.
+
+The central data store of Figure 1 holds only privatised sketches and
+discovery profiles — never raw provider rows.  The store is a simple named
+registry with lookup helpers used by the search algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import SketchError
+from repro.sketches.sketch import RelationSketch
+
+
+@dataclass
+class SketchStore:
+    """A registry of relation sketches keyed by dataset name."""
+
+    sketches: dict[str, RelationSketch] = field(default_factory=dict)
+
+    def add(self, sketch: RelationSketch, replace: bool = False) -> None:
+        """Register a sketch; refuses to silently overwrite unless ``replace``."""
+        if sketch.dataset in self.sketches and not replace:
+            raise SketchError(f"a sketch for {sketch.dataset!r} is already registered")
+        self.sketches[sketch.dataset] = sketch
+
+    def get(self, dataset: str) -> RelationSketch:
+        """The sketch for ``dataset``; raises when absent."""
+        if dataset not in self.sketches:
+            raise SketchError(f"no sketch registered for dataset {dataset!r}")
+        return self.sketches[dataset]
+
+    def remove(self, dataset: str) -> None:
+        """Drop a dataset's sketch (e.g. when a provider withdraws it)."""
+        self.sketches.pop(dataset, None)
+
+    def __contains__(self, dataset: object) -> bool:
+        return dataset in self.sketches
+
+    def __len__(self) -> int:
+        return len(self.sketches)
+
+    def datasets(self) -> list[str]:
+        """All registered dataset names."""
+        return list(self.sketches)
+
+    def with_join_key(self, key: str) -> list[RelationSketch]:
+        """Sketches that pre-computed a keyed aggregate on ``key``."""
+        return [sketch for sketch in self.sketches.values() if key in sketch.keyed]
+
+    def unionable_with(self, features: tuple[str, ...]) -> list[RelationSketch]:
+        """Sketches whose feature set matches ``features`` exactly (for unions)."""
+        target = set(features)
+        return [
+            sketch for sketch in self.sketches.values() if set(sketch.features) == target
+        ]

@@ -1,0 +1,238 @@
+"""Tests for the agent framework: LLM heuristics, individual agents, pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.agents import (
+    AgentTransformationPipeline,
+    CoderAgent,
+    DebuggerAgent,
+    EDAAgent,
+    HashingEmbedder,
+    ReviewerAgent,
+    SimulatedLLM,
+    TransformationSuggestion,
+    compile_draft,
+    transforms,
+)
+from repro.agents.base import COUNT_ITEMS, DATE_TO_YEARS, EXTRACT_NUMBER, ONE_HOT
+from repro.datasets import AirbnbSpec, generate_airbnb
+from repro.exceptions import AgentError
+from repro.ml import LinearRegression
+from repro.relational import Relation
+
+
+@pytest.fixture(scope="module")
+def listings():
+    return generate_airbnb(AirbnbSpec(num_listings=250, seed=0))
+
+
+# -- transformation library -------------------------------------------------------
+
+def test_extract_number():
+    assert transforms.extract_number("52 m2") == 52.0
+    assert transforms.extract_number("$1,299.50") == 1.0 or transforms.extract_number("1299.50") == 1299.5
+    assert np.isnan(transforms.extract_number("no digits"))
+    assert np.isnan(transforms.extract_number(None))
+
+
+def test_date_to_years():
+    assert transforms.date_to_years("2020-06-15") == pytest.approx(3.0)
+    assert transforms.date_to_years("2013-01-01") > transforms.date_to_years("2020-01-01")
+    assert np.isnan(transforms.date_to_years("not a date"))
+
+
+def test_count_items_and_string_length():
+    assert transforms.count_items("wifi,pool,gym") == 3.0
+    assert transforms.count_items("") == 0.0
+    assert transforms.count_items(None) == 0.0
+    assert transforms.string_length("abc") == 3.0
+    assert transforms.string_length(None) == 0.0
+
+
+def test_log_transform():
+    assert transforms.log_transform(0.0) == 0.0
+    assert transforms.log_transform(np.e - 1) == pytest.approx(1.0)
+    assert np.isnan(transforms.log_transform("text"))
+    assert np.isnan(transforms.log_transform(-5.0))
+
+
+def test_one_hot_helpers():
+    vocabulary = transforms.one_hot_categories(["a", "b", "a", None])
+    assert vocabulary[0] == "a"
+    assert transforms.one_hot_indicator("a", "a") == 1.0
+    assert transforms.one_hot_indicator("b", "a") == 0.0
+    assert transforms.one_hot_indicator(None, "") == 1.0
+
+
+# -- simulated LLM -------------------------------------------------------------------
+
+def test_llm_suggests_date_parsing():
+    llm = SimulatedLLM()
+    suggestions = llm.suggest_transformations("host_since", ["2020-01-02", "2018-07-11"], 100)
+    assert suggestions[0].kind == DATE_TO_YEARS
+
+
+def test_llm_suggests_count_for_lists():
+    llm = SimulatedLLM()
+    suggestions = llm.suggest_transformations("amenities", ["wifi,pool", "gym,wifi"], 50)
+    assert suggestions[0].kind == COUNT_ITEMS
+
+
+def test_llm_suggests_extract_number_for_embedded_numbers():
+    llm = SimulatedLLM()
+    suggestions = llm.suggest_transformations("size_text", ["52 m2", "33 m2"], 80)
+    assert suggestions[0].kind == EXTRACT_NUMBER
+
+
+def test_llm_suggests_one_hot_for_low_cardinality():
+    llm = SimulatedLLM()
+    suggestions = llm.suggest_transformations("room_type", ["entire_home", "shared_room"], 3)
+    assert suggestions[0].kind == ONE_HOT
+
+
+def test_llm_empty_sample_returns_nothing():
+    assert SimulatedLLM().suggest_transformations("c", [None, None], 0) == []
+
+
+def test_llm_records_calls():
+    llm = SimulatedLLM()
+    llm.suggest_transformations("c", ["1 kg"], 30)
+    suggestion = TransformationSuggestion("c", EXTRACT_NUMBER, "extract", "c_value")
+    llm.write_code(suggestion)
+    llm.review("extract", [1.0, 2.0])
+    assert llm.calls["suggest"] == 1
+    assert llm.calls["code"] == 1
+    assert llm.calls["review"] == 1
+
+
+# -- individual agents -----------------------------------------------------------------
+
+def test_eda_agent_covers_messy_columns(listings):
+    suggestions = EDAAgent().act(listings)
+    columns = {suggestion.column for suggestion in suggestions}
+    assert {"size_text", "host_since", "amenities", "room_type"} <= columns
+
+
+def test_coder_and_debugger_produce_runnable_code():
+    suggestion = TransformationSuggestion("size_text", EXTRACT_NUMBER, "extract size", "size_value")
+    draft = CoderAgent().act(suggestion)
+    executable = DebuggerAgent().act(draft, ["52 m2", "19 m2"])
+    assert executable is not None
+    assert executable.function(["77 m2"]) == [77.0]
+    assert executable.attempts == 1
+
+
+def test_debugger_fixes_buggy_first_draft():
+    llm = SimulatedLLM(buggy_first_draft=True)
+    suggestion = TransformationSuggestion("size_text", EXTRACT_NUMBER, "extract size", "size_value")
+    draft = CoderAgent(llm=llm).act(suggestion)
+    executable = DebuggerAgent(llm=llm).act(draft, ["52 m2"])
+    assert executable is not None
+    assert executable.attempts == 2
+    assert llm.calls.get("fix", 0) >= 1
+
+
+def test_debugger_gives_up_on_unfixable_code():
+    class HopelessLLM(SimulatedLLM):
+        def fix_code(self, source, error_message):
+            return source  # never actually fixes anything
+
+    from repro.agents.base import CodeDraft
+
+    draft = CodeDraft(
+        suggestion=TransformationSuggestion("c", EXTRACT_NUMBER, "x", "c_v"),
+        function_name="transform",
+        source="def transform(values):\n    raise RuntimeError('nope')\n",
+    )
+    assert DebuggerAgent(llm=HopelessLLM()).act(draft, ["a"]) is None
+
+
+def test_compile_draft_requires_callable():
+    with pytest.raises(AgentError):
+        compile_draft("x = 1\n")
+
+
+def test_reviewer_rejects_constant_output():
+    suggestion = TransformationSuggestion("c", EXTRACT_NUMBER, "extract", "c_v")
+    draft = CoderAgent().act(suggestion)
+    executable = DebuggerAgent().act(draft, ["5 kg", "5 kg"])
+    verdict = ReviewerAgent().act(executable, ["5 kg", "5 kg"])
+    assert not verdict.accepted
+
+
+def test_reviewer_rejects_mostly_invalid_output():
+    suggestion = TransformationSuggestion("c", EXTRACT_NUMBER, "extract", "c_v")
+    draft = CoderAgent().act(suggestion)
+    executable = DebuggerAgent().act(draft, ["no digits", "none here"])
+    verdict = ReviewerAgent().act(executable, ["no digits", "none here"])
+    assert not verdict.accepted
+
+
+def test_reviewer_accepts_useful_output():
+    suggestion = TransformationSuggestion("c", EXTRACT_NUMBER, "extract", "c_v")
+    draft = CoderAgent().act(suggestion)
+    executable = DebuggerAgent().act(draft, ["5 kg", "9 kg"])
+    verdict = ReviewerAgent().act(executable, ["5 kg", "9 kg"])
+    assert verdict.accepted
+
+
+# -- pipeline and embeddings ---------------------------------------------------------------
+
+def test_pipeline_adds_numeric_features(listings):
+    pipeline = AgentTransformationPipeline()
+    transformed = pipeline.transform(listings)
+    numeric = set(transformed.schema.numeric_names)
+    assert "size_text_value" in numeric
+    assert "host_since_years" in numeric
+    assert "amenities_count" in numeric
+    assert any(name.startswith("room_type=") for name in numeric)
+    assert pipeline.last_report is not None
+    assert pipeline.last_report.accepted
+
+
+def test_pipeline_can_drop_raw_columns(listings):
+    pipeline = AgentTransformationPipeline(keep_raw_columns=False)
+    transformed = pipeline.transform(listings)
+    assert "size_text" not in transformed.columns
+    assert "price" in transformed.columns
+
+
+def test_pipeline_transformation_unlocks_linear_signal(listings):
+    """The Figure 6(b) story: transformations let linear regression shine."""
+    raw_features = ["minimum_nights", "number_of_reviews"]
+    raw_model = LinearRegression().fit(listings.numeric_matrix(raw_features), listings["price"])
+    raw_r2 = raw_model.score(listings.numeric_matrix(raw_features), listings["price"])
+
+    transformed = AgentTransformationPipeline().transform(listings)
+    features = [name for name in transformed.schema.numeric_names if name != "price"]
+    model = LinearRegression().fit(transformed.numeric_matrix(features), transformed["price"])
+    transformed_r2 = model.score(transformed.numeric_matrix(features), transformed["price"])
+    assert transformed_r2 > raw_r2 + 0.3
+    assert transformed_r2 > 0.7
+
+
+def test_hashing_embedder_shapes(listings):
+    embedder = HashingEmbedder(dimensions=4)
+    embedded = embedder.transform(listings)
+    assert "room_type_emb0" in embedded.columns
+    assert "room_type" not in embedded.columns
+    matrix = embedder.embed_column(["wifi,pool", None, "wifi"])
+    assert matrix.shape == (3, 4)
+    assert matrix[1].sum() == 0.0
+    assert matrix[0].sum() >= matrix[2].sum()
+
+
+def test_embedder_is_worse_than_agents_for_linear_models(listings):
+    embedded = HashingEmbedder(dimensions=6).transform(listings)
+    embed_features = [name for name in embedded.schema.numeric_names if name != "price"]
+    embed_model = LinearRegression().fit(embedded.numeric_matrix(embed_features), embedded["price"])
+    embed_r2 = embed_model.score(embedded.numeric_matrix(embed_features), embedded["price"])
+
+    transformed = AgentTransformationPipeline().transform(listings)
+    agent_features = [name for name in transformed.schema.numeric_names if name != "price"]
+    agent_model = LinearRegression().fit(
+        transformed.numeric_matrix(agent_features), transformed["price"]
+    )
+    agent_r2 = agent_model.score(transformed.numeric_matrix(agent_features), transformed["price"])
+    assert agent_r2 > embed_r2

@@ -1,0 +1,167 @@
+"""Tests for the sketch proxy model and the augmentation state algebra."""
+
+import numpy as np
+import pytest
+
+from repro.core import AugmentationState, SketchProxyModel
+from repro.exceptions import SketchError
+from repro.ml import LinearRegression, r2_score
+from repro.relational import KEY, NUMERIC, Relation, Schema, join
+from repro.sketches import SketchBuilder
+
+
+def make_task(seed=0, n=300, zones=8):
+    """A task whose target depends on a zone-level latent feature."""
+    rng = np.random.default_rng(seed)
+    latent = rng.normal(size=zones)
+    zone_index = rng.integers(0, zones, size=n)
+    local = rng.normal(size=n)
+    y = 0.3 * local + 1.5 * latent[zone_index] + rng.normal(scale=0.1, size=n)
+    relation = Relation(
+        "task",
+        {
+            "zone": [f"z{i}" for i in zone_index],
+            "local": local,
+            "y": y,
+        },
+        Schema.from_spec({"zone": KEY, "local": NUMERIC, "y": NUMERIC}),
+    )
+    provider = Relation(
+        "zone_latent",
+        {"zone": [f"z{i}" for i in range(zones)], "latent": latent},
+        Schema.from_spec({"zone": KEY, "latent": NUMERIC}),
+    )
+    return relation, provider
+
+
+@pytest.fixture
+def task_fixture():
+    relation, provider = make_task()
+    rng = np.random.default_rng(1)
+    test, train = relation.split(0.3, rng)
+    train = train.renamed("train")
+    test = test.renamed("test")
+    builder = SketchBuilder()
+    train_sketch = builder.build(train, features=["local", "y"], key_columns=["zone"])
+    test_sketch = builder.build(
+        test, features=["local", "y"], key_columns=["zone"], scaling=train_sketch.scaling
+    )
+    provider_sketch = builder.build(provider, features=["latent"], key_columns=["zone"])
+    return train, test, provider, train_sketch, test_sketch, provider_sketch
+
+
+def test_proxy_evaluation_matches_raw_training(task_fixture):
+    train, test, provider, train_sketch, test_sketch, _ = task_fixture
+    proxy = SketchProxyModel(ridge=1e-8)
+    state = AugmentationState.from_sketches("y", train_sketch, test_sketch)
+    score = proxy.evaluate(state.train_element(), state.test_element(), "y")
+
+    # Raw-data reference: fit on scaled training data, score on scaled test data.
+    scaling = train_sketch.scaling
+    def scaled(relation):
+        x = (relation.numeric_matrix(["local"]) - scaling["local"].minimum) / scaling["local"].span
+        y = (np.asarray(relation.column("y")) - scaling["y"].minimum) / scaling["y"].span
+        return np.clip(x, 0, 1), np.clip(y, 0, 1)
+
+    x_train, y_train = scaled(train)
+    x_test, y_test = scaled(test)
+    model = LinearRegression(ridge=1e-8).fit(x_train, y_train)
+    assert score.train_r2 == pytest.approx(model.score(x_train, y_train), abs=1e-6)
+    assert score.test_r2 == pytest.approx(r2_score(y_test, model.predict(x_test)), abs=1e-6)
+
+
+def test_join_augmentation_improves_proxy_utility(task_fixture):
+    _, _, _, train_sketch, test_sketch, provider_sketch = task_fixture
+    proxy = SketchProxyModel()
+    state = AugmentationState.from_sketches("y", train_sketch, test_sketch)
+    base = proxy.evaluate(state.train_element(), state.test_element(), "y")
+    augmented = state.with_join("zone", provider_sketch)
+    improved = proxy.evaluate(augmented.train_element(), augmented.test_element(), "y")
+    assert improved.test_r2 > base.test_r2 + 0.2
+
+
+def test_join_state_statistics_match_materialized_join(task_fixture):
+    train, test, provider, train_sketch, test_sketch, provider_sketch = task_fixture
+    state = AugmentationState.from_sketches("y", train_sketch, test_sketch)
+    augmented = state.with_join("zone", provider_sketch)
+    element = augmented.train_element()
+
+    # Materialise the scaled join and compare the covariance statistics.
+    builder = SketchBuilder()
+    scaled_train, _ = builder._scale(train, ["local", "y"])
+    scaled_provider, _ = builder._scale(provider, ["latent"])
+    materialized = join(scaled_train, scaled_provider, on="zone")
+    from repro.semiring import covariance_aggregate
+
+    expected = covariance_aggregate(materialized, ["local", "y", "latent"])
+    assert element.is_close(expected, tolerance=1e-6)
+
+
+def test_union_augmentation_adds_rows(task_fixture):
+    _, _, _, train_sketch, test_sketch, _ = task_fixture
+    state = AugmentationState.from_sketches("y", train_sketch, test_sketch)
+    unioned = state.with_union(train_sketch)
+    assert unioned.train_element().count == pytest.approx(2 * train_sketch.row_count)
+    # Test-side statistics are untouched by horizontal augmentation.
+    assert unioned.test_element().is_close(state.test_element())
+    assert unioned.accepted_unions == [train_sketch.dataset]
+
+
+def test_with_join_requires_matching_keys(task_fixture):
+    _, _, _, train_sketch, test_sketch, provider_sketch = task_fixture
+    state = AugmentationState.from_sketches("y", train_sketch, test_sketch)
+    with pytest.raises(SketchError):
+        state.with_join("city", provider_sketch)
+
+
+def test_proxy_requires_shared_features(task_fixture):
+    _, _, _, train_sketch, test_sketch, _ = task_fixture
+    proxy = SketchProxyModel()
+    from repro.semiring import CovarianceElement
+
+    bogus = CovarianceElement.from_matrix(("other", "y2"), np.random.default_rng(0).random((5, 2)))
+    with pytest.raises(SketchError):
+        proxy.evaluate(train_sketch.total, bogus, "y")
+
+
+def test_multi_key_branches_combine():
+    """Joins on two different keys produce a usable combined element."""
+    rng = np.random.default_rng(0)
+    n, zones, months = 400, 6, 5
+    zone_latent = rng.normal(size=zones)
+    month_latent = rng.normal(size=months)
+    zone_index = rng.integers(0, zones, size=n)
+    month_index = rng.integers(0, months, size=n)
+    y = zone_latent[zone_index] + month_latent[month_index] + rng.normal(scale=0.05, size=n)
+    task = Relation(
+        "task",
+        {
+            "zone": [f"z{i}" for i in zone_index],
+            "month": [f"m{i}" for i in month_index],
+            "y": y,
+        },
+        Schema.from_spec({"zone": KEY, "month": KEY, "y": NUMERIC}),
+    )
+    zone_provider = Relation(
+        "zone_p",
+        {"zone": [f"z{i}" for i in range(zones)], "zlat": zone_latent},
+        Schema.from_spec({"zone": KEY, "zlat": NUMERIC}),
+    )
+    month_provider = Relation(
+        "month_p",
+        {"month": [f"m{i}" for i in range(months)], "mlat": month_latent},
+        Schema.from_spec({"month": KEY, "mlat": NUMERIC}),
+    )
+    builder = SketchBuilder()
+    train_sketch = builder.build(task, features=["y"], key_columns=["zone", "month"])
+    test_sketch = builder.build(task, features=["y"], key_columns=["zone", "month"],
+                                scaling=train_sketch.scaling)
+    state = AugmentationState.from_sketches("y", train_sketch, test_sketch)
+    state = state.with_join("zone", builder.build(zone_provider))
+    state = state.with_join("month", builder.build(month_provider))
+    element = state.train_element()
+    assert set(element.features) == {"y", "zlat", "mlat"}
+    assert element.count == pytest.approx(n)
+    proxy = SketchProxyModel()
+    score = proxy.evaluate(element, state.test_element(), "y")
+    assert score.test_r2 > 0.8

@@ -1,0 +1,91 @@
+"""Tests for SearchRequest validation and the clock/budget abstractions."""
+
+import pytest
+
+from repro.core import BudgetTimer, SearchRequest, SimulatedClock, WallClock
+from repro.datasets import make_regression_relation
+from repro.exceptions import SearchError
+from repro.relational import KEY, NUMERIC, Relation, Schema
+
+
+def make_request(**overrides):
+    train = Relation(
+        "train",
+        {"zone": ["a", "b"], "x": [1.0, 2.0], "y": [1.0, 2.0]},
+        Schema.from_spec({"zone": KEY, "x": NUMERIC, "y": NUMERIC}),
+    )
+    test = Relation(
+        "test",
+        {"zone": ["a", "b"], "x": [1.5, 2.5], "y": [1.5, 2.5]},
+        Schema.from_spec({"zone": KEY, "x": NUMERIC, "y": NUMERIC}),
+    )
+    defaults = dict(train=train, test=test, target="y")
+    defaults.update(overrides)
+    return SearchRequest(**defaults)
+
+
+def test_request_defaults_infer_join_keys_and_features():
+    request = make_request()
+    assert request.join_keys == ["zone"]
+    assert request.feature_columns == ["x"]
+    assert not request.is_private
+
+
+def test_request_private_flag():
+    assert make_request(epsilon=1.0).is_private
+    assert not make_request(epsilon=0.0).is_private
+
+
+def test_request_validation_errors():
+    with pytest.raises(SearchError):
+        make_request(target="missing")
+    with pytest.raises(SearchError):
+        make_request(task="classification")
+    with pytest.raises(SearchError):
+        make_request(max_augmentations=-1)
+    with pytest.raises(SearchError):
+        make_request(join_keys=["not_a_column"])
+    with pytest.raises(SearchError):
+        make_request(target="zone")
+
+
+def test_request_target_must_be_in_test():
+    train = make_regression_relation("train", 10, 2, target="y")
+    test = make_regression_relation("test", 10, 2, target="z")
+    with pytest.raises(SearchError):
+        SearchRequest(train=train, test=test, target="y")
+
+
+def test_simulated_clock_advances():
+    clock = SimulatedClock()
+    assert clock.now() == 0.0
+    clock.advance(5.0)
+    clock.sleep(2.5)
+    assert clock.now() == 7.5
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+def test_wall_clock_monotonic():
+    clock = WallClock()
+    first = clock.now()
+    second = clock.now()
+    assert second >= first
+
+
+def test_budget_timer_with_simulated_clock():
+    clock = SimulatedClock()
+    timer = BudgetTimer(clock, budget_seconds=10.0)
+    assert not timer.expired()
+    clock.advance(4.0)
+    assert timer.elapsed() == 4.0
+    assert timer.remaining() == 6.0
+    clock.advance(7.0)
+    assert timer.expired()
+    assert timer.remaining() == 0.0
+
+
+def test_budget_timer_without_budget_never_expires():
+    timer = BudgetTimer(SimulatedClock(), budget_seconds=None)
+    assert timer.remaining() == float("inf")
+    assert not timer.expired()

@@ -1,0 +1,111 @@
+"""Tests for the Aurum-style discovery index."""
+
+import pytest
+
+from repro.discovery import JOIN, UNION, DiscoveryIndex, profile_relation
+from repro.exceptions import DiscoveryError
+from repro.relational import CATEGORICAL, KEY, NUMERIC, Relation, Schema
+
+
+@pytest.fixture
+def query():
+    return Relation(
+        "query",
+        {
+            "zipcode": [f"1000{i % 5}" for i in range(20)],
+            "price": [float(i) for i in range(20)],
+        },
+        Schema.from_spec({"zipcode": KEY, "price": NUMERIC}),
+    )
+
+
+@pytest.fixture
+def index(query):
+    index = DiscoveryIndex(join_threshold=0.3, union_threshold=0.3)
+    # Joinable provider: shares the zipcode domain.
+    joinable = Relation(
+        "demographics",
+        {
+            "zipcode": [f"1000{i % 5}" for i in range(30)],
+            "income": [float(i) for i in range(30)],
+        },
+        Schema.from_spec({"zipcode": KEY, "income": NUMERIC}),
+    )
+    # Unionable provider: same schema vocabulary as the query.
+    unionable = Relation(
+        "query_extra",
+        {
+            "zipcode": [f"2000{i % 5}" for i in range(15)],
+            "price": [float(i) for i in range(15)],
+        },
+        Schema.from_spec({"zipcode": KEY, "price": NUMERIC}),
+    )
+    # Distractor: unrelated keys and columns.
+    distractor = Relation(
+        "weather",
+        {
+            "station": [f"st{i}" for i in range(25)],
+            "wind": [float(i) for i in range(25)],
+        },
+        Schema.from_spec({"station": CATEGORICAL, "wind": NUMERIC}),
+    )
+    for relation in (joinable, unionable, distractor):
+        index.register(relation)
+    return index
+
+
+def test_register_and_contains(index):
+    assert "demographics" in index
+    assert len(index) == 3
+    index.unregister("weather")
+    assert "weather" not in index
+    assert len(index) == 2
+
+
+def test_join_candidates_find_shared_key(index, query):
+    candidates = index.join_candidates(query)
+    datasets = [candidate.dataset for candidate in candidates]
+    assert "demographics" in datasets
+    top = candidates[0]
+    assert top.query_column == "zipcode"
+    assert top.candidate_column == "zipcode"
+    assert top.similarity > 0.5
+
+
+def test_join_candidates_exclude_distractor(index, query):
+    candidates = index.join_candidates(query)
+    assert all(candidate.dataset != "weather" for candidate in candidates)
+
+
+def test_union_candidates_find_same_schema(index, query):
+    candidates = index.union_candidates(query)
+    datasets = [candidate.dataset for candidate in candidates]
+    assert "query_extra" in datasets
+    mapping = dict(candidates[0].column_mapping)
+    assert mapping.get("price") == "price"
+
+
+def test_discover_dispatch(index, query):
+    joins = index.discover(query, JOIN, top_k=1)
+    unions = index.discover(query, UNION, top_k=1)
+    assert len(joins) <= 1
+    assert len(unions) <= 1
+    with pytest.raises(DiscoveryError):
+        index.discover(query, "cross_join")
+
+
+def test_register_profile_directly(query):
+    index = DiscoveryIndex()
+    profile = profile_relation(query)
+    index.register_profile(profile)
+    assert "query" in index
+
+
+def test_query_is_never_its_own_candidate(index, query):
+    index.register(query)
+    assert all(c.dataset != "query" for c in index.join_candidates(query))
+    assert all(c.dataset != "query" for c in index.union_candidates(query))
+
+
+def test_top_k_limits_results(index, query):
+    assert len(index.join_candidates(query, top_k=0)) == 0

@@ -1,0 +1,80 @@
+"""Tests for MinHash sketches."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.discovery import MinHasher, exact_jaccard
+from repro.exceptions import DiscoveryError
+
+
+def test_identical_columns_have_similarity_one():
+    hasher = MinHasher(num_hashes=64)
+    values = [f"key{i}" for i in range(50)]
+    assert hasher.sketch(values).jaccard(hasher.sketch(values)) == 1.0
+
+
+def test_disjoint_columns_have_near_zero_similarity():
+    hasher = MinHasher(num_hashes=128)
+    a = hasher.sketch([f"a{i}" for i in range(100)])
+    b = hasher.sketch([f"b{i}" for i in range(100)])
+    assert a.jaccard(b) < 0.1
+
+
+def test_estimate_tracks_exact_jaccard():
+    hasher = MinHasher(num_hashes=256, seed=3)
+    left = [f"v{i}" for i in range(100)]
+    right = [f"v{i}" for i in range(50, 150)]
+    estimate = hasher.sketch(left).jaccard(hasher.sketch(right))
+    exact = exact_jaccard(left, right)
+    assert abs(estimate - exact) < 0.12
+
+
+def test_empty_columns_give_zero():
+    hasher = MinHasher()
+    empty = hasher.sketch([])
+    other = hasher.sketch(["a"])
+    assert empty.jaccard(other) == 0.0
+    assert empty.num_values == 0
+
+
+def test_none_values_are_ignored():
+    hasher = MinHasher()
+    sketch = hasher.sketch(["a", None, "b"])
+    assert sketch.num_values == 2
+
+
+def test_sketch_is_deterministic_across_instances():
+    values = [f"id{i}" for i in range(30)]
+    first = MinHasher(num_hashes=32, seed=1).sketch(values)
+    second = MinHasher(num_hashes=32, seed=1).sketch(values)
+    assert first.signature == second.signature
+
+
+def test_mismatched_widths_raise():
+    a = MinHasher(num_hashes=16).sketch(["x"])
+    b = MinHasher(num_hashes=32).sketch(["x"])
+    with pytest.raises(DiscoveryError):
+        a.jaccard(b)
+
+
+def test_invalid_hasher():
+    with pytest.raises(DiscoveryError):
+        MinHasher(num_hashes=0)
+
+
+def test_exact_jaccard_edge_cases():
+    assert exact_jaccard([], ["a"]) == 0.0
+    assert exact_jaccard(["a", "b"], ["a", "b"]) == 1.0
+    assert exact_jaccard(["a"], ["b"]) == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    left=st.sets(st.text(alphabet="abcdef", min_size=1, max_size=4), min_size=1, max_size=40),
+    right=st.sets(st.text(alphabet="abcdef", min_size=1, max_size=4), min_size=1, max_size=40),
+)
+def test_jaccard_estimate_is_bounded(left, right):
+    hasher = MinHasher(num_hashes=64)
+    estimate = hasher.sketch(left).jaccard(hasher.sketch(right))
+    assert 0.0 <= estimate <= 1.0

@@ -1,0 +1,84 @@
+"""Tests for TF-IDF sketches and column/dataset profiles."""
+
+import numpy as np
+import pytest
+
+from repro.discovery import IdfModel, TfIdfSketch, profile_relation, tokenize
+from repro.relational import CATEGORICAL, KEY, NUMERIC, Relation, Schema
+
+
+def test_tokenize_lowercases_and_splits():
+    assert tokenize("Taxi_Zone ID-42") == ["taxi", "zone", "id", "42"]
+
+
+def test_identical_columns_have_cosine_one():
+    sketch = TfIdfSketch.from_column("price", ["10", "20", "30"])
+    assert sketch.cosine(sketch) == pytest.approx(1.0)
+
+
+def test_different_columns_have_lower_cosine():
+    price = TfIdfSketch.from_column("price_usd", ["cheap", "expensive"])
+    borough = TfIdfSketch.from_column("borough_name", ["brooklyn", "queens"])
+    similar = TfIdfSketch.from_column("price_dollars", ["cheap", "mid"])
+    assert price.cosine(similar) > price.cosine(borough)
+
+
+def test_empty_sketch_cosine_is_zero():
+    empty = TfIdfSketch({}, 0)
+    other = TfIdfSketch.from_column("a", ["x"])
+    assert empty.cosine(other) == 0.0
+
+
+def test_idf_model_downweights_common_terms():
+    model = IdfModel()
+    common = TfIdfSketch.from_column("id", ["1"])
+    rare = TfIdfSketch.from_column("wind_speed", ["5"])
+    for _ in range(10):
+        model.add_document(common)
+    model.add_document(rare)
+    idf = model.idf()
+    assert idf["wind"] > idf["id"]
+
+
+def test_idf_empty_model():
+    assert IdfModel().idf() == {}
+
+
+def test_profile_relation_numeric_and_categorical():
+    relation = Relation(
+        "listings",
+        {
+            "zip": ["10001", "10002", "10001"],
+            "price": [100.0, np.nan, 300.0],
+        },
+        Schema.from_spec({"zip": KEY, "price": NUMERIC}),
+    )
+    profile = profile_relation(relation)
+    assert profile.dataset == "listings"
+    assert profile.row_count == 3
+
+    zip_profile = profile.columns["zip"]
+    assert zip_profile.dtype == "key"
+    assert zip_profile.distinct_count == 2
+    assert zip_profile.is_joinable
+    assert zip_profile.minhash is not None
+
+    price_profile = profile.columns["price"]
+    assert price_profile.dtype == "numeric"
+    assert price_profile.null_count == 1
+    assert price_profile.minimum == 100.0
+    assert price_profile.maximum == 300.0
+    assert not price_profile.is_joinable
+
+
+def test_profile_uniqueness_and_helpers():
+    relation = Relation(
+        "r",
+        {"id": ["a", "b", "c"], "x": [1.0, 2.0, 3.0]},
+        Schema.from_spec({"id": CATEGORICAL, "x": NUMERIC}),
+    )
+    profile = profile_relation(relation)
+    assert profile.columns["id"].uniqueness == 1.0
+    assert [c.column for c in profile.joinable_columns()] == ["id"]
+    assert [c.column for c in profile.numeric_columns()] == ["x"]
+    assert profile.column_names() == ["id", "x"]

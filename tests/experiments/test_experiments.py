@@ -1,0 +1,121 @@
+"""Smoke + shape tests for the experiment drivers (scaled-down configurations)."""
+
+import pytest
+
+from repro.datasets import AirbnbSpec, CausalStudySpec, CorpusSpec
+from repro.experiments import (
+    AGENT,
+    APM,
+    AteExperimentConfig,
+    FPM,
+    Figure4Config,
+    Figure5Config,
+    Figure6Config,
+    MECHANISMS,
+    NON_PRIVATE,
+    RAW,
+    TPM,
+    format_sweep,
+    format_table,
+    run_ate_experiment,
+    run_figure4,
+    run_figure5a,
+    run_figure6,
+    run_runtime_experiment,
+)
+
+
+def test_format_table_alignment():
+    table = format_table(["a", "metric"], [["x", 1.23456], ["longer", 2.0]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert "1.235" in table
+
+
+def test_figure4_orderings():
+    config = Figure4Config(
+        corpus_spec=CorpusSpec(num_datasets=20, requester_rows=200, seed=0),
+        time_budget_seconds=600.0,
+    )
+    result = run_figure4(config)
+    assert set(result.results) == {"Mileena", "ARDA", "Novelty", "Auto-SK", "Vertex AI"}
+    mileena = result.results["Mileena"]
+    # Mileena finishes within budget and beats the feature-starved AutoML systems.
+    assert mileena.finished_within_budget
+    assert mileena.test_r2 > result.results["Auto-SK"].test_r2
+    assert mileena.test_r2 > result.results["Vertex AI"].test_r2
+    # ARDA and Vertex blow through the 10-minute budget.
+    assert result.results["ARDA"].elapsed_seconds > result.time_budget_seconds
+    assert result.results["Vertex AI"].elapsed_seconds > result.time_budget_seconds
+    # Novelty-driven acquisition does not beat the task-driven search.
+    assert mileena.test_r2 >= result.results["Novelty"].test_r2 - 0.05
+    assert "Mileena" in result.format()
+
+
+def test_figure5a_mechanism_ordering():
+    config = Figure5Config(corpus_size=30, runs=2, requester_rows=250, epsilon=1.0, seed=3)
+    result = run_figure5a(config)
+    assert set(result.utilities) == set(MECHANISMS)
+    for mechanism in MECHANISMS:
+        assert len(result.utilities[mechanism]) == 2
+    non_private = result.median_utility(NON_PRIVATE)
+    fpm = result.median_utility(FPM)
+    apm = result.median_utility(APM)
+    tpm = result.median_utility(TPM)
+    # The non-private search is an upper bound for every private mechanism,
+    # and every private mechanism still finds enough signal to beat the
+    # local-features-only baseline (~0.1-0.2 on this corpus).  The full
+    # FPM-vs-APM/TPM gap of the paper shows up in the (b)/(c) sweeps where
+    # the baselines' budgets collapse; panel (a) selection at eps=1 has high
+    # run-to-run variance on this synthetic corpus (see EXPERIMENTS.md).
+    assert non_private >= max(fpm, apm, tpm) - 0.1
+    assert fpm > 0.1
+    assert apm <= non_private + 1e-6
+    assert tpm <= non_private + 1e-6
+    assert "FPM" in result.format()
+    assert "median_r2" in result.format()
+
+
+def test_figure5_sweep_formatting():
+    config = Figure5Config(corpus_size=12, runs=1, requester_rows=200, seed=2)
+    sweep = {12: run_figure5a(config)}
+    table = format_sweep(sweep, "corpus_size")
+    assert "corpus_size" in table and "FPM" in table
+
+
+def test_figure6_agent_transformations_win():
+    config = Figure6Config(airbnb_spec=AirbnbSpec(num_listings=250, seed=0))
+    result = run_figure6(config)
+    assert set(result.scores) == {"Raw", "Embed", "Agent"}
+    # Agent transformations dominate raw features for the linear model ...
+    assert result.score(AGENT, "LR") > result.score(RAW, "LR") + 0.2
+    # ... and with them linear regression is competitive with every other model.
+    best_other = max(result.score(AGENT, model) for model in ("XGB", "ASK", "NN"))
+    assert result.score(AGENT, "LR") >= best_other - 0.05
+    assert "Agent" in result.format()
+
+
+def test_runtime_experiment_sketch_path_is_flat():
+    result = run_runtime_experiment(sizes=[500, 30_000])
+    assert len(result.measurements) == 2
+    small, large = result.measurements
+    # The materialising path grows with relation size; the sketch path is
+    # roughly constant, so at the larger size it is clearly faster.
+    assert large.materialize_seconds > small.materialize_seconds
+    assert large.sketch_seconds < large.materialize_seconds
+    assert large.speedup > 1.0
+    # Candidate evaluation from sketches stays in the milliseconds range.
+    assert large.sketch_seconds < 0.25
+    assert "speedup" in result.format()
+
+
+def test_ate_experiment_reproduces_error_gap():
+    config = AteExperimentConfig(
+        study_spec=CausalStudySpec(num_students=15_000, seed=0), repetitions=3
+    )
+    result = run_ate_experiment(config)
+    assert len(result.runs) == 3
+    assert result.mediator_error_percent < result.backdoor_error_percent
+    assert result.mediator_error_percent < 5.0
+    assert result.backdoor_error_percent > 3.0
+    assert "backdoor" in result.format()

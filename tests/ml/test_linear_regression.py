@@ -1,0 +1,115 @@
+"""Tests for linear regression, both raw and factorized (from sketches)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SketchError
+from repro.ml import LinearRegression, r2_score
+from repro.semiring import CovarianceElement
+
+
+def make_data(n=200, noise=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    coefficients = np.array([2.0, -1.0, 0.5])
+    y = 3.0 + x @ coefficients + rng.normal(scale=noise, size=n)
+    return x, y, coefficients
+
+
+def test_ols_recovers_coefficients():
+    x, y, coefficients = make_data(noise=0.01)
+    model = LinearRegression(ridge=0.0).fit(x, y)
+    np.testing.assert_allclose(model.coefficients, coefficients, atol=0.05)
+    assert model.intercept == pytest.approx(3.0, abs=0.05)
+
+
+def test_predict_and_score():
+    x, y, _ = make_data()
+    model = LinearRegression().fit(x, y)
+    assert model.score(x, y) > 0.95
+    assert model.predict(x).shape == (len(y),)
+
+
+def test_ridge_shrinks_coefficients():
+    x, y, _ = make_data()
+    ols = LinearRegression(ridge=0.0).fit(x, y)
+    ridge = LinearRegression(ridge=100.0).fit(x, y)
+    assert np.linalg.norm(ridge.coefficients) < np.linalg.norm(ols.coefficients)
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        LinearRegression(ridge=-1.0)
+    with pytest.raises(ValueError):
+        LinearRegression().fit(np.zeros((2, 2)), np.zeros(3))
+    with pytest.raises(ValueError):
+        LinearRegression().fit(np.zeros((0, 2)), np.zeros(0))
+    with pytest.raises(ValueError):
+        LinearRegression().predict(np.zeros((1, 1)))
+
+
+def test_model_as_dict_names():
+    x, y, _ = make_data()
+    model = LinearRegression().fit(x, y, feature_names=["a", "b", "c"])
+    weights = model.model_.as_dict()
+    assert set(weights) == {"a", "b", "c", "__intercept__"}
+
+
+def test_fit_from_statistics_matches_raw_fit():
+    x, y, _ = make_data()
+    features = ["f0", "f1", "f2"]
+    element = CovarianceElement.from_matrix(
+        (*features, "y"), np.column_stack([x, y])
+    )
+    raw = LinearRegression(ridge=1e-9).fit(x, y, feature_names=features)
+    factorized = LinearRegression(ridge=1e-9).fit_from_statistics(element, features, "y")
+    np.testing.assert_allclose(factorized.coefficients, raw.coefficients, atol=1e-6)
+    assert factorized.intercept == pytest.approx(raw.intercept, abs=1e-6)
+
+
+def test_score_from_statistics_matches_raw_score():
+    x_train, y_train, _ = make_data(seed=1)
+    x_test, y_test, _ = make_data(seed=2)
+    features = ["f0", "f1", "f2"]
+    model = LinearRegression(ridge=1e-9).fit(x_train, y_train, feature_names=features)
+    test_element = CovarianceElement.from_matrix(
+        (*features, "y"), np.column_stack([x_test, y_test])
+    )
+    from_stats = model.score_from_statistics(test_element, features, "y")
+    from_raw = r2_score(y_test, model.predict(x_test))
+    assert from_stats == pytest.approx(from_raw, abs=1e-8)
+
+
+def test_statistics_validation_errors():
+    x, y, _ = make_data()
+    element = CovarianceElement.from_matrix(("a", "y"), np.column_stack([x[:, :1], y]))
+    model = LinearRegression()
+    with pytest.raises(SketchError):
+        model.fit_from_statistics(element, ["missing"], "y")
+    with pytest.raises(SketchError):
+        model.fit_from_statistics(element, ["y"], "y")
+    model.fit_from_statistics(element, ["a"], "y")
+    empty = CovarianceElement.zero(("a", "y"))
+    with pytest.raises(SketchError):
+        model.score_from_statistics(empty, ["a"], "y")
+    with pytest.raises(ValueError):
+        LinearRegression().score_from_statistics(element, ["a"], "y")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    n=st.integers(20, 80),
+    noise=st.floats(0.0, 1.0),
+)
+def test_factorized_and_raw_training_agree_property(seed, n, noise):
+    """Training from the sketch must match training from the raw rows."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    y = 1.0 + x @ np.array([0.5, -2.0]) + rng.normal(scale=noise, size=n)
+    element = CovarianceElement.from_matrix(("a", "b", "y"), np.column_stack([x, y]))
+    raw = LinearRegression(ridge=1e-8).fit(x, y, feature_names=["a", "b"])
+    factorized = LinearRegression(ridge=1e-8).fit_from_statistics(element, ["a", "b"], "y")
+    np.testing.assert_allclose(factorized.coefficients, raw.coefficients, atol=1e-5)

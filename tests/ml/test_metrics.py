@@ -1,0 +1,66 @@
+"""Tests for regression metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    adjusted_r2_score,
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    root_mean_squared_error,
+)
+
+
+def test_perfect_predictions():
+    y = np.array([1.0, 2.0, 3.0])
+    assert r2_score(y, y) == 1.0
+    assert mean_squared_error(y, y) == 0.0
+    assert mean_absolute_error(y, y) == 0.0
+
+
+def test_mean_prediction_gives_zero_r2():
+    y = np.array([1.0, 2.0, 3.0])
+    prediction = np.full(3, y.mean())
+    assert r2_score(y, prediction) == pytest.approx(0.0)
+
+
+def test_r2_can_be_negative():
+    y = np.array([1.0, 2.0, 3.0])
+    assert r2_score(y, np.array([10.0, -5.0, 7.0])) < 0.0
+
+
+def test_constant_target_behaviour():
+    y = np.array([2.0, 2.0, 2.0])
+    assert r2_score(y, y) == 0.0
+    assert r2_score(y, np.array([1.0, 2.0, 3.0])) == float("-inf")
+
+
+def test_mse_rmse_relationship():
+    y = np.array([0.0, 0.0])
+    pred = np.array([3.0, 4.0])
+    assert mean_squared_error(y, pred) == pytest.approx(12.5)
+    assert root_mean_squared_error(y, pred) == pytest.approx(np.sqrt(12.5))
+
+
+def test_mae():
+    assert mean_absolute_error([1.0, -1.0], [0.0, 0.0]) == 1.0
+
+
+def test_shape_mismatch_raises():
+    with pytest.raises(ValueError):
+        r2_score([1.0, 2.0], [1.0])
+    with pytest.raises(ValueError):
+        mean_squared_error([], [])
+
+
+def test_adjusted_r2_penalises_features():
+    rng = np.random.default_rng(0)
+    y = rng.normal(size=30)
+    pred = y + rng.normal(scale=0.1, size=30)
+    plain = r2_score(y, pred)
+    adjusted_few = adjusted_r2_score(y, pred, num_features=2)
+    adjusted_many = adjusted_r2_score(y, pred, num_features=20)
+    assert adjusted_few <= plain
+    assert adjusted_many < adjusted_few
+    assert adjusted_r2_score(y[:3], pred[:3], num_features=5) == float("-inf")

@@ -1,0 +1,97 @@
+"""Tests for splitting, cross-validation, and the AutoML driver."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    AutoMLRegressor,
+    LinearRegression,
+    ModelConfig,
+    cross_val_score,
+    default_search_space,
+    kfold_indices,
+    train_test_split,
+)
+
+
+def linear_data(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    y = 1.0 + x @ np.array([1.0, 2.0, -1.0]) + rng.normal(scale=0.1, size=n)
+    return x, y
+
+
+def test_train_test_split_sizes_and_disjointness():
+    x, y = linear_data(100)
+    x_train, x_test, y_train, y_test = train_test_split(x, y, 0.25, random_state=0)
+    assert len(x_test) == 25
+    assert len(x_train) == 75
+    assert len(y_train) == 75 and len(y_test) == 25
+
+
+def test_train_test_split_validation():
+    x, y = linear_data(10)
+    with pytest.raises(ValueError):
+        train_test_split(x, y, 0.0)
+    with pytest.raises(ValueError):
+        train_test_split(x, y[:-1])
+
+
+def test_kfold_covers_all_rows_exactly_once():
+    folds = kfold_indices(23, n_splits=4, random_state=1)
+    all_test = np.concatenate([test for _, test in folds])
+    assert sorted(all_test.tolist()) == list(range(23))
+    for train, test in folds:
+        assert set(train) & set(test) == set()
+
+
+def test_kfold_validation():
+    with pytest.raises(ValueError):
+        kfold_indices(10, n_splits=1)
+    with pytest.raises(ValueError):
+        kfold_indices(3, n_splits=5)
+
+
+def test_cross_val_score_high_for_linear_model():
+    x, y = linear_data()
+    scores = cross_val_score(lambda: LinearRegression(), x, y, n_splits=4, random_state=0)
+    assert len(scores) == 4
+    assert min(scores) > 0.9
+
+
+def test_automl_selects_reasonable_model():
+    x, y = linear_data()
+    automl = AutoMLRegressor(n_splits=3, random_state=0).fit(x, y)
+    assert automl.result_ is not None
+    assert automl.result_.best_cv_score > 0.9
+    assert automl.score(x, y) > 0.9
+    assert automl.result_.evaluated >= 1
+    assert len(automl.result_.leaderboard) == automl.result_.evaluated
+
+
+def test_automl_respects_time_budget():
+    class FakeClock:
+        def __init__(self):
+            self.t = 0.0
+
+        def now(self):
+            self.t += 100.0  # every call advances far past the budget
+            return self.t
+
+    x, y = linear_data(60)
+    automl = AutoMLRegressor(time_budget_seconds=50.0, clock=FakeClock(), n_splits=3).fit(x, y)
+    # Budget exceeded after the first evaluation: only the cheapest configs run.
+    assert automl.result_.evaluated < len(default_search_space())
+
+
+def test_automl_requires_enough_rows():
+    with pytest.raises(ValueError):
+        AutoMLRegressor(n_splits=5).fit(np.zeros((3, 1)), np.zeros(3))
+
+
+def test_custom_search_space():
+    x, y = linear_data(80)
+    space = [ModelConfig("only_linear", lambda: LinearRegression(), 0.1)]
+    automl = AutoMLRegressor(search_space=space, n_splits=3).fit(x, y)
+    assert automl.result_.best_name == "only_linear"
+    assert automl.predict(x).shape == (80,)

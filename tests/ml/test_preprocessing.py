@@ -1,0 +1,119 @@
+"""Tests for scalers, one-hot encoding, and the Featurizer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RelationError
+from repro.ml import Featurizer, MinMaxScaler, OneHotEncoder, StandardScaler, clip_matrix
+from repro.relational import CATEGORICAL, KEY, NUMERIC, Relation, Schema
+
+
+def test_standard_scaler_round_trip():
+    rng = np.random.default_rng(0)
+    matrix = rng.normal(loc=5.0, scale=3.0, size=(100, 2))
+    scaler = StandardScaler()
+    transformed = scaler.fit_transform(matrix)
+    np.testing.assert_allclose(transformed.mean(axis=0), 0.0, atol=1e-9)
+    np.testing.assert_allclose(transformed.std(axis=0), 1.0, atol=1e-9)
+    np.testing.assert_allclose(scaler.inverse_transform(transformed), matrix)
+
+
+def test_standard_scaler_constant_column():
+    matrix = np.array([[1.0, 5.0], [1.0, 7.0]])
+    transformed = StandardScaler().fit_transform(matrix)
+    np.testing.assert_allclose(transformed[:, 0], 0.0)
+
+
+def test_standard_scaler_requires_fit():
+    with pytest.raises(RelationError):
+        StandardScaler().transform(np.zeros((1, 1)))
+
+
+def test_minmax_scaler_bounds():
+    matrix = np.array([[0.0, 10.0], [5.0, 20.0], [10.0, 30.0]])
+    transformed = MinMaxScaler().fit_transform(matrix)
+    assert transformed.min() == 0.0
+    assert transformed.max() == 1.0
+
+
+def test_minmax_scaler_requires_fit():
+    with pytest.raises(RelationError):
+        MinMaxScaler().transform(np.zeros((1, 1)))
+
+
+def test_clip_matrix():
+    matrix = np.array([[-10.0, 0.5], [3.0, 2.0]])
+    clipped = clip_matrix(matrix, 1.0)
+    assert clipped.min() == -1.0
+    assert clipped.max() == 1.0
+    with pytest.raises(ValueError):
+        clip_matrix(matrix, 0.0)
+
+
+def test_one_hot_encoder_caps_vocabulary():
+    values = ["a"] * 5 + ["b"] * 3 + ["c"] * 1 + ["d"] * 1
+    encoder = OneHotEncoder(max_categories=2).fit(values)
+    assert encoder.categories_ == ["a", "b"]
+    matrix = encoder.transform(["a", "d", "b"])
+    np.testing.assert_allclose(matrix, [[1, 0], [0, 0], [0, 1]])
+    assert encoder.feature_names("col") == ["col=a", "col=b"]
+
+
+def test_one_hot_encoder_requires_fit():
+    with pytest.raises(RelationError):
+        OneHotEncoder().transform(["a"])
+
+
+def test_featurizer_numeric_only():
+    relation = Relation(
+        "r",
+        {"x": [1.0, 2.0, np.nan], "y": [2.0, 4.0, 6.0]},
+        Schema.from_spec({"x": NUMERIC, "y": NUMERIC}),
+    )
+    featurizer = Featurizer(target="y")
+    design, target = featurizer.fit_transform(relation)
+    assert design.shape == (3, 1)
+    # NaN imputed to the mean of the finite values (1.5).
+    assert design[2, 0] == pytest.approx(1.5)
+    np.testing.assert_allclose(target, [2.0, 4.0, 6.0])
+
+
+def test_featurizer_with_one_hot():
+    relation = Relation(
+        "r",
+        {"city": ["nyc", "sf", "nyc"], "x": [1.0, 2.0, 3.0], "y": [1.0, 2.0, 3.0]},
+        Schema.from_spec({"city": CATEGORICAL, "x": NUMERIC, "y": NUMERIC}),
+    )
+    featurizer = Featurizer(target="y", one_hot=True)
+    design, _ = featurizer.fit_transform(relation)
+    assert design.shape == (3, 3)  # x + 2 city dummies
+    assert "city=nyc" in featurizer.feature_names_
+
+
+def test_featurizer_missing_target_raises():
+    relation = Relation("r", {"x": [1.0]})
+    with pytest.raises(RelationError):
+        Featurizer(target="y").fit(relation)
+
+
+def test_featurizer_requires_fit_before_transform():
+    relation = Relation("r", {"x": [1.0], "y": [1.0]})
+    with pytest.raises(RelationError):
+        Featurizer(target="y").transform(relation)
+
+
+def test_featurizer_consistent_columns_between_train_and_test():
+    train = Relation(
+        "train",
+        {"city": ["nyc", "sf"], "y": [1.0, 2.0]},
+        Schema.from_spec({"city": CATEGORICAL, "y": NUMERIC}),
+    )
+    test = Relation(
+        "test",
+        {"city": ["la", "nyc"], "y": [3.0, 4.0]},
+        Schema.from_spec({"city": CATEGORICAL, "y": NUMERIC}),
+    )
+    featurizer = Featurizer(target="y", one_hot=True).fit(train)
+    design, _ = featurizer.transform(test)
+    # "la" was never seen: its row is all zeros.
+    np.testing.assert_allclose(design[0], 0.0)

@@ -1,0 +1,104 @@
+"""Tests for the tree, forest, boosting, and MLP regressors."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeRegressor,
+    GradientBoostingRegressor,
+    MLPRegressor,
+    RandomForestRegressor,
+)
+
+
+def piecewise_data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-2, 2, size=(n, 2))
+    y = np.where(x[:, 0] > 0, 5.0, -5.0) + 0.5 * x[:, 1] + rng.normal(scale=0.2, size=n)
+    return x, y
+
+
+def nonlinear_data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-2, 2, size=(n, 2))
+    y = np.sin(2 * x[:, 0]) + x[:, 1] ** 2 + rng.normal(scale=0.1, size=n)
+    return x, y
+
+
+def test_tree_fits_piecewise_function():
+    x, y = piecewise_data()
+    tree = DecisionTreeRegressor(max_depth=4).fit(x, y)
+    assert tree.score(x, y) > 0.9
+
+
+def test_tree_depth_zero_predicts_mean():
+    x, y = piecewise_data(50)
+    tree = DecisionTreeRegressor(max_depth=0).fit(x, y)
+    np.testing.assert_allclose(tree.predict(x), y.mean())
+
+
+def test_tree_invalid_inputs():
+    with pytest.raises(ValueError):
+        DecisionTreeRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+    with pytest.raises(ValueError):
+        DecisionTreeRegressor().fit(np.zeros((3, 2)), np.zeros(4))
+    with pytest.raises(ValueError):
+        DecisionTreeRegressor().predict(np.zeros((1, 2)))
+
+
+def test_tree_constant_target_is_single_leaf():
+    x = np.arange(10, dtype=float).reshape(-1, 1)
+    y = np.full(10, 7.0)
+    tree = DecisionTreeRegressor().fit(x, y)
+    np.testing.assert_allclose(tree.predict(x), 7.0)
+
+
+def test_forest_beats_single_deep_tree_on_noise():
+    x, y = nonlinear_data()
+    x_test, y_test = nonlinear_data(seed=99)
+    forest = RandomForestRegressor(n_estimators=15, max_depth=6, random_state=0).fit(x, y)
+    assert forest.score(x_test, y_test) > 0.7
+
+
+def test_forest_requires_fit_and_valid_params():
+    with pytest.raises(ValueError):
+        RandomForestRegressor(n_estimators=0)
+    with pytest.raises(ValueError):
+        RandomForestRegressor().predict(np.zeros((1, 2)))
+
+
+def test_gbm_fits_nonlinear_function():
+    x, y = nonlinear_data()
+    x_test, y_test = nonlinear_data(seed=7)
+    gbm = GradientBoostingRegressor(n_estimators=60, random_state=0).fit(x, y)
+    assert gbm.score(x_test, y_test) > 0.8
+
+
+def test_gbm_parameter_validation():
+    with pytest.raises(ValueError):
+        GradientBoostingRegressor(subsample=0.0)
+    with pytest.raises(ValueError):
+        GradientBoostingRegressor(learning_rate=0.0)
+    with pytest.raises(ValueError):
+        GradientBoostingRegressor().predict(np.zeros((1, 2)))
+
+
+def test_gbm_with_subsampling_still_learns():
+    x, y = piecewise_data()
+    gbm = GradientBoostingRegressor(n_estimators=40, subsample=0.7, random_state=0).fit(x, y)
+    assert gbm.score(x, y) > 0.85
+
+
+def test_mlp_learns_linear_relationship():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(400, 3))
+    y = 2.0 + x @ np.array([1.0, -2.0, 0.5]) + rng.normal(scale=0.05, size=400)
+    mlp = MLPRegressor(hidden_sizes=(16, 8), epochs=150, random_state=0).fit(x, y)
+    assert mlp.score(x, y) > 0.9
+
+
+def test_mlp_invalid_inputs():
+    with pytest.raises(ValueError):
+        MLPRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+    with pytest.raises(ValueError):
+        MLPRegressor().predict(np.zeros((1, 2)))

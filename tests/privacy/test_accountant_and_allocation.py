@@ -1,0 +1,82 @@
+"""Tests for the privacy accountant and budget allocation strategies."""
+
+import pytest
+
+from repro.exceptions import PrivacyError
+from repro.privacy import (
+    COUNT_HEAVY,
+    PROPORTIONAL,
+    UNIFORM,
+    PrivacyAccountant,
+    PrivacyBudget,
+    SketchSensitivity,
+    allocate_budget,
+)
+
+
+def test_accountant_register_and_spend():
+    accountant = PrivacyAccountant()
+    accountant.register("taxi", PrivacyBudget(1.0, 1e-5))
+    assert accountant.remaining("taxi").epsilon == 1.0
+    accountant.spend("taxi", PrivacyBudget(0.4, 1e-6))
+    assert accountant.remaining("taxi").epsilon == pytest.approx(0.6)
+    assert accountant.spent("taxi").epsilon == pytest.approx(0.4)
+    assert accountant.releases("taxi") == 1
+
+
+def test_accountant_rejects_overspend():
+    accountant = PrivacyAccountant()
+    accountant.register("taxi", PrivacyBudget(1.0, 1e-5))
+    accountant.spend("taxi", PrivacyBudget(0.9, 1e-6))
+    assert not accountant.can_spend("taxi", PrivacyBudget(0.5, 1e-6))
+    with pytest.raises(PrivacyError):
+        accountant.spend("taxi", PrivacyBudget(0.5, 1e-6))
+
+
+def test_accountant_unknown_and_duplicate_dataset():
+    accountant = PrivacyAccountant()
+    with pytest.raises(PrivacyError):
+        accountant.remaining("nope")
+    accountant.register("a", PrivacyBudget(1.0))
+    with pytest.raises(PrivacyError):
+        accountant.register("a", PrivacyBudget(1.0))
+
+
+def test_sensitivity_for_clipped_features():
+    sensitivity = SketchSensitivity.for_clipped_features(4, 0.5)
+    assert sensitivity.count == 1.0
+    assert sensitivity.sums == pytest.approx(2 * 0.5)
+    assert sensitivity.products == pytest.approx(4 * 0.25)
+    with pytest.raises(PrivacyError):
+        SketchSensitivity.for_clipped_features(0, 1.0)
+    with pytest.raises(PrivacyError):
+        SketchSensitivity.for_clipped_features(3, 0.0)
+
+
+@pytest.mark.parametrize("strategy", [UNIFORM, PROPORTIONAL, COUNT_HEAVY])
+def test_allocation_preserves_total_budget(strategy):
+    budget = PrivacyBudget(1.0, 1e-5)
+    sensitivity = SketchSensitivity.for_clipped_features(5, 1.0)
+    allocation = allocate_budget(budget, sensitivity, strategy)
+    total_epsilon = (
+        allocation.count.epsilon + allocation.sums.epsilon + allocation.products.epsilon
+    )
+    assert total_epsilon == pytest.approx(1.0)
+
+
+def test_allocation_strategies_differ():
+    budget = PrivacyBudget(1.0, 1e-5)
+    sensitivity = SketchSensitivity.for_clipped_features(10, 1.0)
+    uniform = allocate_budget(budget, sensitivity, UNIFORM)
+    proportional = allocate_budget(budget, sensitivity, PROPORTIONAL)
+    count_heavy = allocate_budget(budget, sensitivity, COUNT_HEAVY)
+    assert uniform.count.epsilon == pytest.approx(1.0 / 3.0)
+    # Proportional gives more budget to the high-sensitivity products component.
+    assert proportional.products.epsilon > proportional.count.epsilon
+    # Count-heavy favours the count/sums.
+    assert count_heavy.count.epsilon > count_heavy.products.epsilon
+
+
+def test_allocation_unknown_strategy():
+    with pytest.raises(PrivacyError):
+        allocate_budget(PrivacyBudget(1.0, 1e-5), SketchSensitivity(1, 1, 1), "magic")

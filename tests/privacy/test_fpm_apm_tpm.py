@@ -1,0 +1,156 @@
+"""Tests for the factorized, aggregate, and tuple privacy mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrivacyError
+from repro.ml import LinearRegression
+from repro.privacy import (
+    AggregatePrivacyMechanism,
+    FactorizedPrivacyMechanism,
+    PrivacyBudget,
+    TuplePrivacyMechanism,
+)
+from repro.semiring import CovarianceElement
+
+
+def make_element(n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 2))
+    y = 0.3 + 0.5 * x[:, 0] - 0.2 * x[:, 1] + rng.normal(scale=0.05, size=n)
+    y = np.clip(y, -1, 1)
+    matrix = np.column_stack([x, y])
+    return CovarianceElement.from_matrix(("a", "b", "y"), matrix), matrix
+
+
+def test_fpm_privatized_element_is_usable_for_regression():
+    element, _ = make_element(n=5000)
+    fpm = FactorizedPrivacyMechanism(clip_bound=1.0, rng=np.random.default_rng(0))
+    noisy = fpm.privatize_element(element, PrivacyBudget(2.0, 1e-5))
+    model = LinearRegression(ridge=1e-3).fit_from_statistics(noisy, ["a", "b"], "y")
+    exact = LinearRegression(ridge=1e-3).fit_from_statistics(element, ["a", "b"], "y")
+    np.testing.assert_allclose(model.coefficients, exact.coefficients, atol=0.3)
+
+
+def test_fpm_noise_decreases_with_epsilon():
+    fpm = FactorizedPrivacyMechanism(clip_bound=1.0)
+    low = fpm.noise_scale(3, PrivacyBudget(0.1, 1e-6))
+    high = fpm.noise_scale(3, PrivacyBudget(5.0, 1e-6))
+    assert high["products"] < low["products"]
+    assert high["count"] < low["count"]
+
+
+def test_fpm_respects_budget_via_accountant():
+    element, _ = make_element(n=100)
+    fpm = FactorizedPrivacyMechanism(rng=np.random.default_rng(0))
+    fpm.privatize_element(element, PrivacyBudget(1.0, 1e-6), dataset="d1")
+    # The full budget was spent on the first release; a second one must fail.
+    with pytest.raises(PrivacyError):
+        fpm.privatize_element(element, PrivacyBudget(1.0, 1e-6), dataset="d1")
+
+
+def test_fpm_zero_epsilon_rejected():
+    element, _ = make_element(n=10)
+    fpm = FactorizedPrivacyMechanism()
+    with pytest.raises(PrivacyError):
+        fpm.privatize_element(element, PrivacyBudget(0.0, 1e-6))
+    with pytest.raises(PrivacyError):
+        FactorizedPrivacyMechanism(clip_bound=0.0)
+
+
+def test_fpm_keyed_sketch_privatization():
+    rng = np.random.default_rng(0)
+    groups = {
+        key: CovarianceElement.from_matrix(("a", "y"), rng.uniform(-1, 1, size=(50, 2)))
+        for key in ["k1", "k2", "k3"]
+    }
+    fpm = FactorizedPrivacyMechanism(rng=rng)
+    noisy = fpm.privatize_keyed(groups, PrivacyBudget(1.0, 1e-6), dataset="keyed")
+    assert set(noisy) == {"k1", "k2", "k3"}
+    for key in groups:
+        assert noisy[key].count > 0
+        assert not np.allclose(noisy[key].products, groups[key].products)
+    assert fpm.privatize_keyed({}, PrivacyBudget(1.0, 1e-6)) == {}
+
+
+def test_fpm_count_never_nonpositive():
+    tiny = CovarianceElement.from_matrix(("a",), np.array([[0.1]]))
+    fpm = FactorizedPrivacyMechanism(rng=np.random.default_rng(0))
+    for _ in range(20):
+        noisy = fpm.privatize_element(tiny, PrivacyBudget(0.01, 1e-6))
+        assert noisy.count > 0
+
+
+def test_fpm_products_noise_is_symmetric():
+    element, _ = make_element(n=200)
+    fpm = FactorizedPrivacyMechanism(rng=np.random.default_rng(1))
+    noisy = fpm.privatize_element(element, PrivacyBudget(0.5, 1e-6))
+    np.testing.assert_allclose(noisy.products, noisy.products.T)
+
+
+def test_apm_per_release_budget_shrinks_with_expected_releases():
+    few = AggregatePrivacyMechanism(expected_releases=2)
+    many = AggregatePrivacyMechanism(expected_releases=200)
+    budget = PrivacyBudget(1.0, 1e-5)
+    assert few.per_release_budget(budget).epsilon > many.per_release_budget(budget).epsilon
+
+
+def test_apm_noise_grows_with_expected_releases():
+    element, _ = make_element(n=2000)
+    budget = PrivacyBudget(1.0, 1e-5)
+    rng_few, rng_many = np.random.default_rng(0), np.random.default_rng(0)
+    few = AggregatePrivacyMechanism(expected_releases=1, rng=rng_few)
+    many = AggregatePrivacyMechanism(expected_releases=100, rng=rng_many)
+    error_few = np.abs(
+        few.privatize_element(element, budget).products - element.products
+    ).mean()
+    error_many = np.abs(
+        many.privatize_element(element, budget).products - element.products
+    ).mean()
+    assert error_many > error_few
+
+
+def test_apm_release_tracking_and_exhaustion():
+    element, _ = make_element(n=50)
+    apm = AggregatePrivacyMechanism(expected_releases=2, rng=np.random.default_rng(0))
+    budget = PrivacyBudget(1.0, 1e-5)
+    apm.privatize_element(element, budget, dataset="d")
+    apm.privatize_element(element, budget, dataset="d")
+    assert apm.releases_used("d") == 2
+    with pytest.raises(PrivacyError):
+        apm.privatize_element(element, budget, dataset="d")
+
+
+def test_apm_validation():
+    with pytest.raises(PrivacyError):
+        AggregatePrivacyMechanism(expected_releases=0)
+    with pytest.raises(PrivacyError):
+        AggregatePrivacyMechanism(clip_bound=-1.0)
+
+
+def test_tpm_perturbs_every_row():
+    _, matrix = make_element(n=100)
+    tpm = TuplePrivacyMechanism(rng=np.random.default_rng(0))
+    noisy = tpm.perturb_matrix(matrix, PrivacyBudget(1.0, 1e-5))
+    assert noisy.shape == matrix.shape
+    assert not np.allclose(noisy, matrix)
+
+
+def test_tpm_noise_is_much_larger_than_fpm_for_same_budget():
+    element, matrix = make_element(n=2000)
+    budget = PrivacyBudget(1.0, 1e-5)
+    fpm = FactorizedPrivacyMechanism(rng=np.random.default_rng(0))
+    tpm = TuplePrivacyMechanism(rng=np.random.default_rng(0))
+    fpm_element = fpm.privatize_element(element, budget)
+    tpm_element = tpm.privatize_element(["a", "b", "y"], matrix, budget)
+    fpm_error = np.abs(fpm_element.products - element.products).mean()
+    tpm_error = np.abs(tpm_element.products - element.products).mean()
+    assert tpm_error > fpm_error
+
+
+def test_tpm_validation():
+    with pytest.raises(PrivacyError):
+        TuplePrivacyMechanism(clip_bound=0.0)
+    tpm = TuplePrivacyMechanism()
+    with pytest.raises(PrivacyError):
+        tpm.perturb_matrix(np.zeros((2, 2)), PrivacyBudget(0.0, 1e-6))

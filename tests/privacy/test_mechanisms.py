@@ -1,0 +1,114 @@
+"""Tests for DP primitives: budgets, Laplace/Gaussian mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrivacyError
+from repro.privacy import (
+    GaussianMechanism,
+    LaplaceMechanism,
+    PrivacyBudget,
+    analytic_gaussian_sigma,
+    classic_gaussian_sigma,
+    gaussian_noise,
+    laplace_noise,
+    laplace_scale,
+)
+
+
+def test_budget_validation():
+    PrivacyBudget(1.0, 1e-6)
+    PrivacyBudget(0.0, 0.0)
+    with pytest.raises(PrivacyError):
+        PrivacyBudget(-1.0)
+    with pytest.raises(PrivacyError):
+        PrivacyBudget(1.0, 1.5)
+
+
+def test_budget_split_and_divide():
+    budget = PrivacyBudget(1.0, 1e-5)
+    parts = budget.split([0.5, 0.25, 0.25])
+    assert sum(part.epsilon for part in parts) == pytest.approx(1.0)
+    assert parts[0].epsilon == pytest.approx(0.5)
+    per_request = budget.divide(10)
+    assert per_request.epsilon == pytest.approx(0.1)
+    with pytest.raises(PrivacyError):
+        budget.split([0.9, 0.5])
+    with pytest.raises(PrivacyError):
+        budget.split([0.5, -0.1])
+    with pytest.raises(PrivacyError):
+        budget.divide(0)
+
+
+def test_laplace_scale_and_noise():
+    assert laplace_scale(2.0, 0.5) == 4.0
+    with pytest.raises(PrivacyError):
+        laplace_scale(-1.0, 1.0)
+    with pytest.raises(PrivacyError):
+        laplace_scale(1.0, 0.0)
+    rng = np.random.default_rng(0)
+    noise = laplace_noise(10_000, sensitivity=1.0, epsilon=1.0, rng=rng)
+    # Laplace(b=1) has std sqrt(2).
+    assert np.std(noise) == pytest.approx(np.sqrt(2.0), rel=0.05)
+
+
+def test_classic_and_analytic_sigma_ordering():
+    classic = classic_gaussian_sigma(1.0, 1.0, 1e-6)
+    analytic = analytic_gaussian_sigma(1.0, 1.0, 1e-6)
+    assert analytic <= classic
+    assert analytic > 0
+
+
+def test_analytic_sigma_monotonic_in_epsilon():
+    tight = analytic_gaussian_sigma(1.0, 0.1, 1e-6)
+    loose = analytic_gaussian_sigma(1.0, 2.0, 1e-6)
+    assert tight > loose
+
+
+def test_analytic_sigma_scales_with_sensitivity():
+    small = analytic_gaussian_sigma(1.0, 1.0, 1e-6)
+    large = analytic_gaussian_sigma(5.0, 1.0, 1e-6)
+    assert large == pytest.approx(5.0 * small, rel=1e-6)
+    assert analytic_gaussian_sigma(0.0, 1.0, 1e-6) == 0.0
+
+
+def test_sigma_validation():
+    with pytest.raises(PrivacyError):
+        analytic_gaussian_sigma(1.0, 0.0, 1e-6)
+    with pytest.raises(PrivacyError):
+        analytic_gaussian_sigma(1.0, 1.0, 0.0)
+    with pytest.raises(PrivacyError):
+        classic_gaussian_sigma(-1.0, 1.0, 1e-6)
+
+
+def test_gaussian_noise_matches_sigma():
+    rng = np.random.default_rng(1)
+    budget = PrivacyBudget(1.0, 1e-6)
+    noise = gaussian_noise(20_000, 1.0, budget, rng=rng)
+    expected_sigma = analytic_gaussian_sigma(1.0, 1.0, 1e-6)
+    assert np.std(noise) == pytest.approx(expected_sigma, rel=0.05)
+    with pytest.raises(PrivacyError):
+        gaussian_noise(10, 1.0, PrivacyBudget(0.0, 1e-6))
+
+
+def test_gaussian_mechanism_randomize_scalar_and_array():
+    mechanism = GaussianMechanism(1.0, PrivacyBudget(5.0, 1e-6), rng=np.random.default_rng(0))
+    scalar = mechanism.randomize(10.0)
+    assert isinstance(scalar, float)
+    array = mechanism.randomize(np.zeros(5))
+    assert array.shape == (5,)
+    with pytest.raises(PrivacyError):
+        GaussianMechanism(1.0, PrivacyBudget(0.0, 1e-6))
+
+
+def test_laplace_mechanism_randomize():
+    mechanism = LaplaceMechanism(1.0, 2.0, rng=np.random.default_rng(0))
+    assert isinstance(mechanism.randomize(1.0), float)
+    assert mechanism.randomize(np.zeros(3)).shape == (3,)
+
+
+def test_noise_decreases_with_larger_epsilon():
+    rng = np.random.default_rng(2)
+    low_eps = gaussian_noise(5_000, 1.0, PrivacyBudget(0.1, 1e-6), rng=rng)
+    high_eps = gaussian_noise(5_000, 1.0, PrivacyBudget(10.0, 1e-6), rng=rng)
+    assert np.std(high_eps) < np.std(low_eps)

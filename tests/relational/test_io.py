@@ -1,0 +1,48 @@
+"""Unit tests for CSV io."""
+
+import math
+
+import pytest
+
+from repro.exceptions import RelationError
+from repro.relational import CATEGORICAL, NUMERIC, Relation, read_csv, write_csv
+
+
+def test_csv_round_trip(tmp_path):
+    relation = Relation(
+        "r", {"zip": ["10001", "10002"], "price": [10.5, 20.0], "city": ["a", "b"]}
+    )
+    path = write_csv(relation, tmp_path / "r.csv")
+    loaded = read_csv(path)
+    assert loaded.columns == ["zip", "price", "city"]
+    assert loaded.schema["price"].dtype == NUMERIC
+    assert loaded.schema["city"].dtype == CATEGORICAL
+    assert loaded["price"][1] == 20.0
+
+
+def test_read_csv_handles_missing_numeric_values(tmp_path):
+    path = tmp_path / "m.csv"
+    path.write_text("a,b\n1.5,x\n,y\n")
+    relation = read_csv(path)
+    assert relation.schema["a"].dtype == NUMERIC
+    assert math.isnan(relation["a"][1])
+
+
+def test_read_csv_empty_file_raises(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(RelationError):
+        read_csv(path)
+
+
+def test_read_csv_malformed_row_raises(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("a,b\n1,2\n3\n")
+    with pytest.raises(RelationError):
+        read_csv(path)
+
+
+def test_read_csv_uses_stem_as_name(tmp_path):
+    path = tmp_path / "taxi_trips.csv"
+    path.write_text("a\n1\n")
+    assert read_csv(path).name == "taxi_trips"

@@ -1,0 +1,154 @@
+"""Unit tests for join, union, group-by, and helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RelationError, SchemaError
+from repro.relational import (
+    KEY,
+    NUMERIC,
+    Relation,
+    Schema,
+    distinct_values,
+    groupby,
+    join,
+    project,
+    select,
+    semi_join_keys,
+    union,
+)
+
+
+@pytest.fixture
+def orders():
+    return Relation(
+        "orders",
+        {
+            "zip": ["10001", "10002", "10001"],
+            "amount": [10.0, 20.0, 30.0],
+        },
+        Schema.from_spec({"zip": KEY, "amount": NUMERIC}),
+    )
+
+
+@pytest.fixture
+def demographics():
+    return Relation(
+        "demographics",
+        {
+            "zip": ["10001", "10002", "10003"],
+            "income": [55.0, 70.0, 40.0],
+        },
+        Schema.from_spec({"zip": KEY, "income": NUMERIC}),
+    )
+
+
+def test_join_matches_expected_rows(orders, demographics):
+    joined = join(orders, demographics, on="zip")
+    assert len(joined) == 3
+    rows = {(row["zip"], row["amount"], row["income"]) for row in joined.to_rows()}
+    assert ("10001", 10.0, 55.0) in rows
+    assert ("10002", 20.0, 70.0) in rows
+
+
+def test_join_one_to_many_duplicates_left_rows(orders, demographics):
+    joined = join(demographics, orders, on="zip")
+    # 10001 matches two orders, 10002 one, 10003 zero.
+    assert len(joined) == 3
+
+
+def test_join_missing_key_raises(orders):
+    other = Relation("o2", {"city": ["nyc"], "x": [1.0]})
+    with pytest.raises(SchemaError):
+        join(orders, other, on="zip")
+
+
+def test_join_suffixes_colliding_columns(orders):
+    other = Relation(
+        "dupe",
+        {"zip": ["10001"], "amount": [99.0]},
+        Schema.from_spec({"zip": KEY, "amount": NUMERIC}),
+    )
+    joined = join(orders, other, on="zip")
+    assert "amount_r" in joined.columns
+
+
+def test_union_is_bag_semantics(orders):
+    doubled = union(orders, orders)
+    assert len(doubled) == 6
+
+
+def test_union_aligns_column_order(orders):
+    reordered = orders.project(["amount", "zip"])
+    combined = union(orders, reordered)
+    assert combined.columns == orders.columns
+    assert len(combined) == 6
+
+
+def test_union_incompatible_raises(orders, demographics):
+    with pytest.raises(SchemaError):
+        union(orders, demographics)
+
+
+def test_groupby_sum_mean_count(orders):
+    grouped = groupby(
+        orders,
+        ["zip"],
+        {"total": ("amount", "sum"), "avg": ("amount", "mean"), "n": ("amount", "count")},
+    )
+    by_zip = {row["zip"]: row for row in grouped.to_rows()}
+    assert by_zip["10001"]["total"] == 40.0
+    assert by_zip["10001"]["avg"] == 20.0
+    assert by_zip["10002"]["n"] == 1.0
+
+
+def test_groupby_min_max(orders):
+    grouped = groupby(orders, ["zip"], {"lo": ("amount", "min"), "hi": ("amount", "max")})
+    by_zip = {row["zip"]: row for row in grouped.to_rows()}
+    assert by_zip["10001"]["lo"] == 10.0
+    assert by_zip["10001"]["hi"] == 30.0
+
+
+def test_groupby_rejects_unknown_aggregate(orders):
+    with pytest.raises(RelationError):
+        groupby(orders, ["zip"], {"x": ("amount", "median")})
+
+
+def test_groupby_rejects_unknown_columns(orders):
+    with pytest.raises(SchemaError):
+        groupby(orders, ["missing"], {"x": ("amount", "sum")})
+    with pytest.raises(SchemaError):
+        groupby(orders, ["zip"], {"x": ("missing", "sum")})
+
+
+def test_project_and_select_helpers(orders):
+    projected = project(orders, ["amount"], name="amounts")
+    assert projected.columns == ["amount"]
+    assert projected.name == "amounts"
+    filtered = select(orders, lambda row: row["amount"] >= 20, name="big")
+    assert len(filtered) == 2
+    assert filtered.name == "big"
+
+
+def test_distinct_values_numeric_and_categorical(orders):
+    assert distinct_values(orders, "zip") == ["10001", "10002"]
+    assert distinct_values(orders, "amount") == [10.0, 20.0, 30.0]
+
+
+def test_semi_join_keys(orders, demographics):
+    assert semi_join_keys(orders, demographics, "zip") == {"10001", "10002"}
+
+
+def test_join_then_union_consistency(orders, demographics):
+    """Join after union equals union of joins (distributivity sanity check)."""
+    combined = union(orders, orders)
+    joined_once = join(combined, demographics, on="zip")
+    joined_twice = union(
+        join(orders, demographics, on="zip"), join(orders, demographics, on="zip")
+    )
+    assert sorted(r["amount"] for r in joined_once.to_rows()) == sorted(
+        r["amount"] for r in joined_twice.to_rows()
+    )
+    np.testing.assert_allclose(
+        sorted(joined_once["income"]), sorted(joined_twice["income"])
+    )

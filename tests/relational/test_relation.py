@@ -1,0 +1,137 @@
+"""Unit tests for the columnar Relation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RelationError, SchemaError
+from repro.relational import Attribute, CATEGORICAL, KEY, NUMERIC, Relation, Schema
+
+
+@pytest.fixture
+def listings():
+    return Relation(
+        "listings",
+        {
+            "zip": ["10001", "10002", "10001", "10003"],
+            "price": [100.0, 250.0, 175.0, 90.0],
+            "beds": [1, 2, 2, 1],
+        },
+        Schema.from_spec({"zip": KEY, "price": NUMERIC, "beds": NUMERIC}),
+    )
+
+
+def test_relation_infers_schema_types():
+    relation = Relation("r", {"a": [1, 2, 3], "b": ["x", "y", "z"]})
+    assert relation.schema["a"].dtype == NUMERIC
+    assert relation.schema["b"].dtype == CATEGORICAL
+
+
+def test_relation_requires_name():
+    with pytest.raises(RelationError):
+        Relation("", {"a": [1]})
+
+
+def test_relation_rejects_mismatched_lengths():
+    with pytest.raises(RelationError):
+        Relation("r", {"a": [1, 2], "b": [1]})
+
+
+def test_relation_rejects_schema_column_mismatch():
+    with pytest.raises(SchemaError):
+        Relation("r", {"a": [1]}, Schema.from_spec({"a": NUMERIC, "b": NUMERIC}))
+
+
+def test_len_and_shape(listings):
+    assert len(listings) == 4
+    assert listings.num_rows == 4
+    assert listings.num_columns == 3
+    assert listings.columns == ["zip", "price", "beds"]
+
+
+def test_column_access_and_missing(listings):
+    np.testing.assert_allclose(listings["price"], [100.0, 250.0, 175.0, 90.0])
+    with pytest.raises(RelationError):
+        listings.column("missing")
+
+
+def test_from_rows_round_trip(listings):
+    rebuilt = Relation.from_rows("copy", listings.to_rows(), listings.schema)
+    assert rebuilt == listings.renamed("copy")
+    assert rebuilt.name == "copy"
+
+
+def test_from_rows_requires_schema_when_empty():
+    with pytest.raises(RelationError):
+        Relation.from_rows("r", [])
+
+
+def test_empty_like(listings):
+    empty = Relation.empty_like(listings, "empty")
+    assert len(empty) == 0
+    assert empty.columns == listings.columns
+
+
+def test_numeric_matrix_orders_columns(listings):
+    matrix = listings.numeric_matrix(["beds", "price"])
+    assert matrix.shape == (4, 2)
+    np.testing.assert_allclose(matrix[:, 0], [1, 2, 2, 1])
+
+
+def test_numeric_matrix_rejects_categorical(listings):
+    with pytest.raises(RelationError):
+        listings.numeric_matrix(["zip"])
+
+
+def test_with_column_replaces_and_appends(listings):
+    with_log = listings.with_column("log_price", np.log(listings["price"]))
+    assert "log_price" in with_log
+    replaced = with_log.with_column("beds", [9, 9, 9, 9])
+    np.testing.assert_allclose(replaced["beds"], [9, 9, 9, 9])
+
+
+def test_without_columns(listings):
+    trimmed = listings.without_columns(["beds"])
+    assert trimmed.columns == ["zip", "price"]
+
+
+def test_rename_columns(listings):
+    renamed = listings.rename({"price": "nightly_price"})
+    assert "nightly_price" in renamed
+    assert "price" not in renamed
+
+
+def test_take_and_head(listings):
+    head = listings.head(2)
+    assert len(head) == 2
+    taken = listings.take([3, 0])
+    assert taken["zip"][0] == "10003"
+
+
+def test_select_and_filter_mask(listings):
+    expensive = listings.select(lambda row: row["price"] > 150)
+    assert len(expensive) == 2
+    mask = listings["beds"] == 2
+    assert len(listings.filter_mask(mask)) == 2
+    with pytest.raises(RelationError):
+        listings.filter_mask(np.array([True]))
+
+
+def test_sample_and_split(listings):
+    rng = np.random.default_rng(0)
+    sample = listings.sample(2, rng)
+    assert len(sample) == 2
+    first, second = listings.split(0.5, rng)
+    assert len(first) + len(second) == len(listings)
+    with pytest.raises(RelationError):
+        listings.split(1.5)
+
+
+def test_concat_rows_requires_compatibility(listings):
+    other = Relation("r", {"a": [1.0]})
+    with pytest.raises(SchemaError):
+        listings.concat_rows(other)
+
+
+def test_equality_detects_value_changes(listings):
+    other = listings.with_column("price", [100.0, 250.0, 175.0, 91.0])
+    assert listings != other

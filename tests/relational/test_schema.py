@@ -1,0 +1,88 @@
+"""Unit tests for Schema and Attribute."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational import Attribute, CATEGORICAL, KEY, NUMERIC, Schema
+
+
+def test_attribute_defaults_to_numeric():
+    attribute = Attribute("price")
+    assert attribute.is_numeric
+    assert not attribute.is_categorical
+    assert not attribute.is_key
+
+
+def test_attribute_rejects_unknown_dtype():
+    with pytest.raises(SchemaError):
+        Attribute("price", "decimal")
+
+
+def test_attribute_rejects_empty_name():
+    with pytest.raises(SchemaError):
+        Attribute("")
+
+
+def test_key_attribute_is_categorical_and_key():
+    attribute = Attribute("zipcode", KEY)
+    assert attribute.is_categorical
+    assert attribute.is_key
+
+
+def test_schema_from_dict_spec():
+    schema = Schema.from_spec({"zip": KEY, "price": NUMERIC, "desc": CATEGORICAL})
+    assert schema.names == ["zip", "price", "desc"]
+    assert schema.numeric_names == ["price"]
+    assert schema.categorical_names == ["zip", "desc"]
+    assert schema.key_names == ["zip"]
+
+
+def test_schema_rejects_duplicate_names():
+    with pytest.raises(SchemaError):
+        Schema.from_spec([Attribute("a"), Attribute("a")])
+
+
+def test_schema_getitem_and_contains():
+    schema = Schema.from_spec({"a": NUMERIC, "b": CATEGORICAL})
+    assert "a" in schema
+    assert "z" not in schema
+    assert schema["b"].dtype == CATEGORICAL
+    with pytest.raises(SchemaError):
+        schema["z"]
+
+
+def test_schema_project_preserves_requested_order():
+    schema = Schema.from_spec({"a": NUMERIC, "b": NUMERIC, "c": CATEGORICAL})
+    projected = schema.project(["c", "a"])
+    assert projected.names == ["c", "a"]
+
+
+def test_schema_rename():
+    schema = Schema.from_spec({"a": NUMERIC, "b": CATEGORICAL})
+    renamed = schema.rename({"a": "x"})
+    assert renamed.names == ["x", "b"]
+    assert renamed["x"].dtype == NUMERIC
+
+
+def test_schema_drop():
+    schema = Schema.from_spec({"a": NUMERIC, "b": CATEGORICAL, "c": NUMERIC})
+    assert schema.drop(["b"]).names == ["a", "c"]
+
+
+def test_union_compatible_ignores_order():
+    left = Schema.from_spec({"a": NUMERIC, "b": CATEGORICAL})
+    right = Schema.from_spec({"b": CATEGORICAL, "a": NUMERIC})
+    assert left.union_compatible(right)
+
+
+def test_union_incompatible_on_dtype_mismatch():
+    left = Schema.from_spec({"a": NUMERIC})
+    right = Schema.from_spec({"a": CATEGORICAL})
+    assert not left.union_compatible(right)
+
+
+def test_merge_suffixes_colliding_columns():
+    left = Schema.from_spec({"k": KEY, "x": NUMERIC})
+    right = Schema.from_spec({"k": KEY, "x": NUMERIC, "y": NUMERIC})
+    merged = left.merge(right, on=["k"])
+    assert merged.names == ["k", "x", "x_r", "y"]

@@ -1,0 +1,143 @@
+"""Tests for semi-ring aggregation and pushdown over relations."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SemiringError
+from repro.relational import KEY, NUMERIC, Relation, Schema, join, union
+from repro.semiring import (
+    AnnotatedRelation,
+    CountSemiring,
+    CovarianceElement,
+    SumSemiring,
+    add_keyed,
+    collapse_keyed,
+    covariance_aggregate,
+    join_aggregate,
+    keyed_covariance_aggregate,
+    merge_keyed,
+    union_aggregate,
+)
+from repro.semiring.aggregation import aggregate
+
+
+@pytest.fixture
+def left():
+    return Relation(
+        "left",
+        {"k": ["a", "a", "b"], "x": [1.0, 2.0, 3.0]},
+        Schema.from_spec({"k": KEY, "x": NUMERIC}),
+    )
+
+
+@pytest.fixture
+def right():
+    return Relation(
+        "right",
+        {"k": ["a", "b", "b", "c"], "z": [10.0, 20.0, 30.0, 40.0]},
+        Schema.from_spec({"k": KEY, "z": NUMERIC}),
+    )
+
+
+def test_covariance_aggregate_matches_matrix(left):
+    element = covariance_aggregate(left, ["x"])
+    assert element.count == 3
+    assert element.sum_of("x") == 6.0
+
+
+def test_keyed_aggregate_counts_groups(left):
+    groups = keyed_covariance_aggregate(left, "k", ["x"])
+    assert set(groups) == {"a", "b"}
+    assert groups["a"].count == 2
+    assert groups["b"].sum_of("x") == 3.0
+
+
+def test_keyed_aggregate_unknown_key_raises(left):
+    with pytest.raises(SemiringError):
+        keyed_covariance_aggregate(left, "missing", ["x"])
+
+
+def test_join_aggregate_equals_materialized_join(left, right):
+    """γ(left ⋈ right) via pushdown must equal aggregation of the real join."""
+    pushed = join_aggregate(left, right, "k", ["x"], ["z"])
+    materialized = join(left, right, on="k")
+    expected = covariance_aggregate(materialized, ["x", "z"])
+    assert pushed.is_close(expected)
+
+
+def test_union_aggregate_equals_materialized_union(left):
+    pushed = union_aggregate([left, left], ["x"])
+    materialized = union(left, left)
+    expected = covariance_aggregate(materialized, ["x"])
+    assert pushed.is_close(expected)
+
+
+def test_merge_keyed_drops_unmatched_keys(left, right):
+    merged = merge_keyed(
+        keyed_covariance_aggregate(left, "k", ["x"]),
+        keyed_covariance_aggregate(right, "k", ["z"]),
+    )
+    assert set(merged) == {"a", "b"}
+
+
+def test_add_keyed_keeps_all_keys(left, right):
+    added = add_keyed(
+        keyed_covariance_aggregate(left, "k", ["x"]),
+        keyed_covariance_aggregate(right, "k", ["x"] if "x" in right.schema else ["z"]),
+    )
+    assert set(added) == {"a", "b", "c"}
+
+
+def test_collapse_keyed_empty_returns_zero():
+    collapsed = collapse_keyed({})
+    assert collapsed.count == 0
+
+
+def test_generic_aggregate_with_count_semiring(left):
+    assert aggregate(left, CountSemiring()) == 3
+
+
+def test_generic_aggregate_with_sum_semiring(left):
+    annotation = aggregate(left, SumSemiring("x"))
+    assert annotation.count == 3
+    assert annotation.total == 6.0
+
+
+def test_annotated_relation_union_and_join(left, right):
+    count = CountSemiring()
+    left_ann = AnnotatedRelation.from_relation(left, count, ["k"])
+    right_ann = AnnotatedRelation.from_relation(right, count, ["k"])
+
+    unioned = left_ann.union(right_ann)
+    assert unioned.annotation(("a",)) == 3  # 2 from left, 1 from right
+    assert unioned.annotation(("c",)) == 1
+
+    joined = left_ann.join(right_ann)
+    assert joined.annotation(("a",)) == 2  # 2 left rows × 1 right row
+    assert joined.annotation(("b",)) == 2  # 1 × 2
+    assert joined.annotation(("c",)) == 0  # dropped
+
+    # Total of the joined annotated relation equals the real join size.
+    assert joined.total() == len(join(left, right, on="k"))
+
+
+def test_annotated_relation_rejects_mismatched_groups(left, right):
+    count = CountSemiring()
+    by_key = AnnotatedRelation.from_relation(left, count, ["k"])
+    ungrouped = AnnotatedRelation.from_relation(right, count, [])
+    with pytest.raises(SemiringError):
+        by_key.union(ungrouped)
+    with pytest.raises(SemiringError):
+        by_key.join(ungrouped)
+
+
+def test_annotated_relation_map_annotations(left):
+    count = CountSemiring()
+    annotated = AnnotatedRelation.from_relation(left, count, ["k"])
+    doubled = annotated.map_annotations(lambda c: 2 * c)
+    assert doubled.annotation(("a",)) == 4
+
+
+def test_annotated_relation_unknown_group_column(left):
+    with pytest.raises(SemiringError):
+        AnnotatedRelation.from_relation(left, CountSemiring(), ["missing"])

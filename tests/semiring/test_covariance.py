@@ -1,0 +1,195 @@
+"""Unit and property-based tests for the covariance semi-ring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import SemiringError
+from repro.semiring import CovarianceElement, CovarianceSemiring
+
+
+def element_from(matrix, features=("x", "y")):
+    return CovarianceElement.from_matrix(features, np.asarray(matrix, dtype=float))
+
+
+def test_from_matrix_matches_manual_statistics():
+    matrix = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+    element = element_from(matrix)
+    assert element.count == 3
+    np.testing.assert_allclose(element.sums, matrix.sum(axis=0))
+    np.testing.assert_allclose(element.products, matrix.T @ matrix)
+
+
+def test_from_row_equivalent_to_single_row_matrix():
+    row = CovarianceElement.from_row(("a", "b"), [2.0, 3.0])
+    matrix = CovarianceElement.from_matrix(("a", "b"), [[2.0, 3.0]])
+    assert row.is_close(matrix)
+
+
+def test_addition_equals_union_of_rows():
+    top = element_from([[1.0, 2.0], [3.0, 4.0]])
+    bottom = element_from([[5.0, 6.0]])
+    combined = element_from([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+    assert (top + bottom).is_close(combined)
+
+
+def test_addition_with_zero_is_identity():
+    element = element_from([[1.0, 2.0]])
+    zero = CovarianceElement.zero(("x", "y"))
+    assert (element + zero).is_close(element)
+    assert (zero + element).is_close(element)
+
+
+def test_multiplication_matches_cross_join_statistics():
+    """a × b must equal the statistics of the cross product of the two row sets."""
+    left_rows = np.array([[1.0], [2.0]])
+    right_rows = np.array([[10.0], [20.0], [30.0]])
+    left = CovarianceElement.from_matrix(("x",), left_rows)
+    right = CovarianceElement.from_matrix(("z",), right_rows)
+    product = left * right
+
+    cross = np.array([[x[0], z[0]] for x in left_rows for z in right_rows])
+    expected = CovarianceElement.from_matrix(("x", "z"), cross)
+    assert product.is_close(expected)
+
+
+def test_multiplication_with_one_is_identity():
+    element = element_from([[1.0, 2.0], [3.0, 4.0]])
+    one = CovarianceElement.one()
+    assert (element * one).is_close(element)
+    assert (one * element).is_close(element)
+
+
+def test_shape_validation():
+    with pytest.raises(SemiringError):
+        CovarianceElement(("a",), 1.0, np.zeros(2), np.zeros((1, 1)))
+    with pytest.raises(SemiringError):
+        CovarianceElement(("a",), 1.0, np.zeros(1), np.zeros((2, 2)))
+    with pytest.raises(SemiringError):
+        CovarianceElement.from_matrix(("a",), np.zeros((3, 2)))
+
+
+def test_expand_project_round_trip():
+    element = element_from([[1.0, 2.0], [3.0, 4.0]])
+    expanded = element.expand(("x", "y", "w"))
+    assert expanded.features == ("x", "y", "w")
+    assert expanded.sum_of("w") == 0.0
+    assert expanded.project(("x", "y")).is_close(element)
+    with pytest.raises(SemiringError):
+        element.expand(("x",))
+    with pytest.raises(SemiringError):
+        element.project(("unknown",))
+
+
+def test_rename_features():
+    element = element_from([[1.0, 2.0]])
+    renamed = element.rename({"y": "y_r"})
+    assert renamed.features == ("x", "y_r")
+    assert renamed.sum_of("y_r") == 2.0
+
+
+def test_statistics_accessors():
+    matrix = np.array([[1.0, 10.0], [2.0, 20.0], [3.0, 30.0]])
+    element = element_from(matrix)
+    assert element.sum_of("x") == 6.0
+    assert element.mean_of("x") == 2.0
+    assert element.product_of("x", "y") == pytest.approx(float((matrix[:, 0] * matrix[:, 1]).sum()))
+    assert element.variance_of("x") == pytest.approx(np.var(matrix[:, 0]))
+    assert element.covariance_of("x", "y") == pytest.approx(
+        np.cov(matrix[:, 0], matrix[:, 1], bias=True)[0, 1]
+    )
+    with pytest.raises(SemiringError):
+        element.sum_of("missing")
+
+
+def test_empty_element_statistics_are_nan():
+    zero = CovarianceElement.zero(("x",))
+    assert np.isnan(zero.mean_of("x"))
+    assert np.isnan(zero.variance_of("x"))
+
+
+def test_gram_with_bias():
+    matrix = np.array([[1.0, 2.0], [3.0, 4.0]])
+    element = element_from(matrix)
+    gram = element.gram(include_bias=True)
+    design = np.column_stack([np.ones(2), matrix])
+    np.testing.assert_allclose(gram, design.T @ design)
+
+
+def test_scale():
+    element = element_from([[1.0, 2.0]])
+    scaled = element.scale(3.0)
+    assert scaled.count == 3.0
+    np.testing.assert_allclose(scaled.sums, 3.0 * element.sums)
+
+
+def test_semiring_wrapper_lift_and_fold():
+    semiring = CovarianceSemiring(("x", "y"))
+    rows = [{"x": 1.0, "y": 2.0}, {"x": 3.0, "y": 4.0}]
+    total = semiring.sum(semiring.lift(row) for row in rows)
+    expected = element_from([[1.0, 2.0], [3.0, 4.0]])
+    assert total.is_close(expected)
+    assert semiring.zero().count == 0
+    assert semiring.one().count == 1
+    with pytest.raises(SemiringError):
+        CovarianceSemiring(())
+
+
+# -- property-based tests -------------------------------------------------------
+
+row_matrices = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 6), st.just(2)),
+    elements=st.floats(-50, 50, allow_nan=False),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=row_matrices, b=row_matrices)
+def test_addition_is_commutative(a, b):
+    left = element_from(a) + element_from(b)
+    right = element_from(b) + element_from(a)
+    assert left.is_close(right, tolerance=1e-6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=row_matrices, b=row_matrices, c=row_matrices)
+def test_addition_is_associative(a, b, c):
+    one = (element_from(a) + element_from(b)) + element_from(c)
+    two = element_from(a) + (element_from(b) + element_from(c))
+    assert one.is_close(two, tolerance=1e-6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=row_matrices, b=row_matrices)
+def test_multiplication_is_commutative_up_to_feature_order(a, b):
+    left = CovarianceElement.from_matrix(("p", "q"), a)
+    right = CovarianceElement.from_matrix(("r", "s"), b)
+    forward = left * right
+    backward = right * left
+    assert forward.is_close(backward.project(forward.features), tolerance=1e-5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=row_matrices, b=row_matrices, c=row_matrices)
+def test_multiplication_distributes_over_addition(a, b, c):
+    """a × (b + c) == a × b + a × c — the property that makes pushdown correct."""
+    left = CovarianceElement.from_matrix(("p", "q"), a)
+    b_el = CovarianceElement.from_matrix(("r", "s"), b)
+    c_el = CovarianceElement.from_matrix(("r", "s"), c)
+    lhs = left * (b_el + c_el)
+    rhs = (left * b_el) + (left * c_el)
+    assert lhs.is_close(rhs, tolerance=1e-4)
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=row_matrices)
+def test_addition_matches_vertical_stack(a):
+    half = len(a) // 2
+    if half == 0:
+        return
+    top, bottom = a[:half], a[half:]
+    combined = element_from(top) + element_from(bottom)
+    assert combined.is_close(element_from(a), tolerance=1e-6)

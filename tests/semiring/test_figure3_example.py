@@ -1,0 +1,74 @@
+"""The worked example of Figure 3: γ((R1 ∪ R2) ⋈_A R3).
+
+The paper's Figure 3 trains linear regression over the union of R1 and R2
+joined with R3 on A, and shows that pushing the covariance aggregation below
+the union and join yields exactly the same sufficient statistics as the
+naive materialise-then-aggregate plan.
+"""
+
+import pytest
+
+from repro.relational import KEY, NUMERIC, Relation, Schema
+from repro.semiring import AggregatePlan, Join, Scan, Union
+from repro.exceptions import SemiringError
+
+
+def make_relations():
+    schema_bc = Schema.from_spec({"A": KEY, "B": NUMERIC, "C": NUMERIC})
+    schema_d = Schema.from_spec({"A": KEY, "D": NUMERIC})
+    r1 = Relation("R1", {"A": ["1", "3"], "B": [1.0, 3.0], "C": [2.0, 2.0]}, schema_bc)
+    r2 = Relation("R2", {"A": ["2", "3"], "B": [2.0, 3.0], "C": [3.0, 4.0]}, schema_bc)
+    r3 = Relation("R3", {"A": ["2", "3"], "D": [2.0, 4.0]}, schema_d)
+    return r1, r2, r3
+
+
+def test_pushdown_equals_naive_plan():
+    r1, r2, r3 = make_relations()
+    plan = AggregatePlan(
+        Join(Union(Scan(r1, ["B", "C"]), Scan(r2, ["B", "C"])), Scan(r3, ["D"]), key="A"),
+        key="A",
+    )
+    naive = plan.naive()
+    optimized = plan.optimized()
+    assert optimized.is_close(naive)
+    # The join keeps keys 2 and 3: rows (2,3,2), (3,2,4), (3,4,4).
+    assert naive.count == 3
+
+
+def test_pushdown_statistics_values():
+    r1, r2, r3 = make_relations()
+    plan = AggregatePlan(
+        Join(Union(Scan(r1, ["B", "C"]), Scan(r2, ["B", "C"])), Scan(r3, ["D"]), key="A"),
+        key="A",
+    )
+    element = plan.optimized()
+    # Manual expansion of (R1 ∪ R2) ⋈_A R3 rows: (B,C,D) = (2,3,2), (3,2,4), (3,4,4).
+    assert element.sum_of("B") == pytest.approx(8.0)
+    assert element.sum_of("C") == pytest.approx(9.0)
+    assert element.sum_of("D") == pytest.approx(10.0)
+    assert element.product_of("B", "D") == pytest.approx(2 * 2 + 3 * 4 + 3 * 4)
+    assert element.product_of("C", "C") == pytest.approx(9 + 4 + 16)
+
+
+def test_plan_description_mentions_both_strategies():
+    r1, r2, r3 = make_relations()
+    plan = AggregatePlan(
+        Join(Union(Scan(r1, ["B", "C"]), Scan(r2, ["B", "C"])), Scan(r3, ["D"]), key="A"),
+        key="A",
+    )
+    text = plan.describe()
+    assert "naive" in text and "optimized" in text
+    assert "R1" in text and "R3" in text
+
+
+def test_union_requires_matching_features():
+    r1, r2, r3 = make_relations()
+    with pytest.raises(SemiringError):
+        Union(Scan(r1, ["B", "C"]), Scan(r3, ["D"])).features()
+
+
+def test_join_pushdown_requires_matching_key():
+    r1, r2, r3 = make_relations()
+    node = Join(Scan(r1, ["B", "C"]), Scan(r3, ["D"]), key="A")
+    with pytest.raises(SemiringError):
+        node.pushdown("Z")

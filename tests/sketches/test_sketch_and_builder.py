@@ -1,0 +1,159 @@
+"""Tests for relation sketches, the builder, and the store."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SketchError
+from repro.privacy import PrivacyBudget
+from repro.relational import KEY, NUMERIC, Relation, Schema, join, union
+from repro.semiring import covariance_aggregate
+from repro.sketches import (
+    FeatureScaling,
+    RelationSketch,
+    SketchBuilder,
+    SketchStore,
+    horizontal_augment,
+    vertical_augment,
+)
+
+
+@pytest.fixture
+def listings():
+    rng = np.random.default_rng(0)
+    zones = [f"z{i % 5}" for i in range(100)]
+    return Relation(
+        "listings",
+        {
+            "zone": zones,
+            "price": rng.uniform(0, 100, size=100),
+            "beds": rng.integers(1, 5, size=100).astype(float),
+        },
+        Schema.from_spec({"zone": KEY, "price": NUMERIC, "beds": NUMERIC}),
+    )
+
+
+@pytest.fixture
+def zone_stats():
+    return Relation(
+        "zone_stats",
+        {"zone": [f"z{i}" for i in range(5)], "income": [10.0, 20.0, 30.0, 40.0, 50.0]},
+        Schema.from_spec({"zone": KEY, "income": NUMERIC}),
+    )
+
+
+def test_feature_scaling_round_trip():
+    scaling = FeatureScaling(10.0, 30.0)
+    assert scaling.scale(20.0) == pytest.approx(0.5)
+    assert scaling.unscale(0.5) == pytest.approx(20.0)
+    degenerate = FeatureScaling(5.0, 5.0)
+    assert degenerate.span == 1.0
+
+
+def test_builder_builds_total_and_keyed(listings):
+    sketch = SketchBuilder().build(listings)
+    assert sketch.dataset == "listings"
+    assert set(sketch.features) == {"price", "beds"}
+    assert sketch.row_count == 100
+    assert "zone" in sketch.join_keys
+    assert sketch.key_cardinality("zone") == 5
+    # Scaled features live in [0, 1]: the total sums are bounded by the count.
+    assert 0 <= sketch.total.sum_of("price") <= 100
+
+
+def test_builder_feature_validation(listings):
+    with pytest.raises(SketchError):
+        SketchBuilder().build(listings, features=["missing"])
+    keys_only = listings.project(["zone"])
+    with pytest.raises(SketchError):
+        SketchBuilder().build(keys_only)
+
+
+def test_builder_respects_key_cardinality_limit(listings):
+    unique_keys = listings.with_column("row_id", [f"r{i}" for i in range(100)], dtype="key")
+    sketch = SketchBuilder(max_key_cardinality=10).build(unique_keys)
+    assert "row_id" not in sketch.join_keys
+    assert "zone" in sketch.join_keys
+
+
+def test_builder_reuses_provided_scaling(listings):
+    builder = SketchBuilder()
+    first = builder.build(listings)
+    second = builder.build(listings, scaling=first.scaling)
+    assert first.scaling["price"].minimum == second.scaling["price"].minimum
+    assert first.total.is_close(second.total)
+
+
+def test_sketch_total_features_must_match():
+    element = covariance_aggregate(
+        Relation("r", {"a": [1.0, 2.0]}), ["a"]
+    )
+    with pytest.raises(SketchError):
+        RelationSketch(dataset="r", features=("a", "b"), total=element)
+
+
+def test_keyed_sketch_lookup_errors(listings):
+    sketch = SketchBuilder().build(listings)
+    with pytest.raises(SketchError):
+        sketch.keyed_sketch("nope")
+    description = sketch.describe()
+    assert description["dataset"] == "listings"
+    assert description["private"] is False
+
+
+def test_private_sketch_marks_metadata(listings):
+    sketch = SketchBuilder().build(listings, budget=PrivacyBudget(1.0, 1e-6))
+    assert sketch.private
+    assert sketch.epsilon == 1.0
+    # Noise was added: totals differ from the exact sketch.
+    exact = SketchBuilder().build(listings)
+    assert not np.allclose(sketch.total.products, exact.total.products)
+
+
+def test_horizontal_augment_matches_union(listings):
+    builder = SketchBuilder()
+    # Use shared scaling so both halves are on the same scale.
+    full_sketch = builder.build(listings)
+    first = listings.take(range(0, 50), name="first")
+    second = listings.take(range(50, 100), name="second")
+    sketch_a = builder.build(first, scaling=full_sketch.scaling)
+    sketch_b = builder.build(second, scaling=full_sketch.scaling)
+    combined = horizontal_augment(sketch_a.total, sketch_b.total)
+    assert combined.is_close(full_sketch.total, tolerance=1e-6)
+
+
+def test_vertical_augment_matches_materialized_join(listings, zone_stats):
+    builder = SketchBuilder()
+    listing_sketch = builder.build(listings)
+    stats_sketch = builder.build(zone_stats)
+    joined_groups = vertical_augment(
+        listing_sketch.keyed_sketch("zone"), stats_sketch.keyed_sketch("zone")
+    )
+    total = None
+    for element in joined_groups.values():
+        total = element if total is None else total + element
+
+    # Materialise the same join on the scaled relations to compare.
+    scaled_listings, _ = builder._scale(listings, ["price", "beds"])
+    scaled_stats, _ = builder._scale(zone_stats, ["income"])
+    materialized = join(scaled_listings, scaled_stats, on="zone")
+    expected = covariance_aggregate(materialized, ["price", "beds", "income"])
+    assert total.is_close(expected, tolerance=1e-6)
+
+
+def test_store_add_get_remove(listings):
+    store = SketchStore()
+    sketch = SketchBuilder().build(listings)
+    store.add(sketch)
+    assert "listings" in store
+    assert len(store) == 1
+    assert store.get("listings").dataset == "listings"
+    with pytest.raises(SketchError):
+        store.add(sketch)
+    store.add(sketch, replace=True)
+    with pytest.raises(SketchError):
+        store.get("missing")
+    assert store.datasets() == ["listings"]
+    assert [s.dataset for s in store.with_join_key("zone")] == ["listings"]
+    assert store.unionable_with(sketch.features)[0].dataset == "listings"
+    store.remove("listings")
+    assert len(store) == 0
