@@ -1,0 +1,109 @@
+"""Serving-gateway throughput: concurrent + cached vs. the sequential service loop.
+
+The multi-tenant workload of Figure 1: N requesters submit search-then-AutoML
+jobs drawn from a small pool of distinct tasks (popular requester relations
+repeat, as they do on any shared platform).  The baseline serves them the
+only way the pre-serving-layer repo could — a sequential
+``MileenaAutoMLService.run()`` loop, one request at a time, no caching.  The
+gateway serves the same batch through its worker pool with epoch-keyed
+result caching and request coalescing.
+
+Acceptance target: gateway throughput at 16 concurrent requesters must be at
+least 2x the sequential loop's.
+"""
+
+import time
+
+from repro.core import Mileena, MileenaAutoMLService, SearchRequest
+from repro.datasets import CorpusSpec, generate_corpus
+from repro.serving import Gateway, GatewayConfig
+
+from conftest import run_once
+
+_DISTINCT_TASKS = 4
+_SPEC = CorpusSpec(
+    num_datasets=12, requester_rows=150, provider_rows=150, rows_per_key=10, seed=5
+)
+
+
+def _make_requests(corpus, num_requesters):
+    """``num_requesters`` requests drawn round-robin from a small task pool."""
+    return [
+        SearchRequest(
+            train=corpus.train,
+            test=corpus.test,
+            target=corpus.target,
+            max_augmentations=1 + (index % _DISTINCT_TASKS),
+        )
+        for index in range(num_requesters)
+    ]
+
+
+def _fresh_platform(corpus):
+    platform = Mileena()
+    for relation in corpus.providers:
+        platform.register_dataset(relation)
+    return platform
+
+
+def _run_sequential(corpus, requests):
+    service = MileenaAutoMLService(platform=_fresh_platform(corpus))
+    started = time.perf_counter()
+    results = [service.run(request) for request in requests]
+    return results, time.perf_counter() - started
+
+
+def _run_gateway(corpus, requests, max_workers=4):
+    config = GatewayConfig(max_workers=max_workers, run_automl=True)
+    with Gateway(_fresh_platform(corpus), config) as gateway:
+        started = time.perf_counter()
+        responses = gateway.run_many(requests)
+        elapsed = time.perf_counter() - started
+        metrics = gateway.metrics.snapshot()["counters"]
+    return responses, elapsed, metrics
+
+
+def _throughput_sweep():
+    corpus = generate_corpus(_SPEC)
+    rows = []
+    for num_requesters in (1, 4, 16):
+        requests = _make_requests(corpus, num_requesters)
+        sequential_results, sequential_seconds = _run_sequential(corpus, requests)
+        responses, gateway_seconds, counters = _run_gateway(corpus, requests)
+        assert all(response.ok for response in responses)
+        # The gateway serves the same answers the sequential loop computes.
+        for expected, response in zip(sequential_results, responses):
+            got = response.result
+            assert got.search_result.proxy_test_r2 == expected.search_result.proxy_test_r2
+            assert got.automl_test_r2 == expected.automl_test_r2
+        rows.append(
+            {
+                "requesters": num_requesters,
+                "sequential_rps": num_requesters / sequential_seconds,
+                "gateway_rps": num_requesters / gateway_seconds,
+                "speedup": sequential_seconds / gateway_seconds,
+                "cache_hits": sum(response.cache_hit for response in responses),
+                "coalesced": counters.get("gateway.coalesced", 0),
+            }
+        )
+    return rows
+
+
+def test_gateway_throughput_vs_sequential(benchmark, capsys):
+    rows = run_once(benchmark, _throughput_sweep)
+    print("\nServing gateway throughput (search + AutoML per request)")
+    print(
+        f"{'requesters':>10} {'seq req/s':>10} {'gw req/s':>10} "
+        f"{'speedup':>8} {'hits':>5} {'coalesced':>9}"
+    )
+    for row in rows:
+        print(
+            f"{row['requesters']:>10} {row['sequential_rps']:>10.3f} "
+            f"{row['gateway_rps']:>10.3f} {row['speedup']:>8.2f} "
+            f"{row['cache_hits']:>5} {row['coalesced']:>9}"
+        )
+    by_requesters = {row["requesters"]: row for row in rows}
+    # Acceptance: >= 2x the sequential service loop at 16 concurrent requesters.
+    assert by_requesters[16]["speedup"] >= 2.0
+    # Repeated tasks are answered from cache/coalescing, not recomputed.
+    assert by_requesters[16]["cache_hits"] >= 16 - _DISTINCT_TASKS

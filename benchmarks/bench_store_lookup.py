@@ -1,0 +1,94 @@
+"""Sketch-store lookup scaling: reverse indices vs. full scans at 10k sketches.
+
+``with_join_key`` and ``unionable_with`` used to scan every registered
+sketch; the store now maintains reverse indices (join-key → datasets,
+feature-set → datasets) updated in ``add``/``remove``.  This benchmark
+registers 10,000 sketches and compares indexed lookups against the old
+linear scan on the same store.
+"""
+
+import time
+
+from repro.semiring.covariance import CovarianceElement
+from repro.sketches import SketchStore
+from repro.sketches.sketch import RelationSketch
+
+from conftest import run_once
+
+_NUM_SKETCHES = 10_000
+_NUM_JOIN_KEYS = 50
+_NUM_FEATURE_SETS = 100
+_LOOKUPS = 200
+
+
+def _build_store():
+    store = SketchStore()
+    for index in range(_NUM_SKETCHES):
+        features = (f"f{index % _NUM_FEATURE_SETS}", f"g{index % _NUM_FEATURE_SETS}")
+        store.add(
+            RelationSketch(
+                dataset=f"dataset_{index}",
+                features=features,
+                total=CovarianceElement.zero(features),
+                keyed={f"key_{index % _NUM_JOIN_KEYS}": {}},
+            )
+        )
+    return store
+
+
+def _scan_with_join_key(store, key):
+    """The pre-index implementation: scan every sketch."""
+    return [sketch for sketch in store.sketches.values() if key in sketch.keyed]
+
+
+def _scan_unionable_with(store, features):
+    target = set(features)
+    return [
+        sketch for sketch in store.sketches.values() if set(sketch.features) == target
+    ]
+
+
+def _time_lookups(lookup):
+    started = time.perf_counter()
+    for index in range(_LOOKUPS):
+        lookup(index)
+    return time.perf_counter() - started
+
+
+def _compare():
+    store = _build_store()
+    join_keys = [f"key_{index % _NUM_JOIN_KEYS}" for index in range(_LOOKUPS)]
+    feature_sets = [
+        (f"f{index % _NUM_FEATURE_SETS}", f"g{index % _NUM_FEATURE_SETS}")
+        for index in range(_LOOKUPS)
+    ]
+    # Indexed and scanned lookups must agree before timing means anything.
+    assert store.with_join_key(join_keys[0]) == _scan_with_join_key(store, join_keys[0])
+    assert store.unionable_with(feature_sets[0]) == _scan_unionable_with(
+        store, feature_sets[0]
+    )
+    return {
+        "join_indexed": _time_lookups(lambda i: store.with_join_key(join_keys[i])),
+        "join_scan": _time_lookups(lambda i: _scan_with_join_key(store, join_keys[i])),
+        "union_indexed": _time_lookups(lambda i: store.unionable_with(feature_sets[i])),
+        "union_scan": _time_lookups(
+            lambda i: _scan_unionable_with(store, feature_sets[i])
+        ),
+    }
+
+
+def test_reverse_index_lookup_speedup(benchmark, capsys):
+    timings = run_once(benchmark, _compare)
+    join_speedup = timings["join_scan"] / timings["join_indexed"]
+    union_speedup = timings["union_scan"] / timings["union_indexed"]
+    print(f"\nSketch store lookups at {_NUM_SKETCHES} sketches ({_LOOKUPS} lookups)")
+    print(
+        f"with_join_key   scan {timings['join_scan']:.4f}s  "
+        f"indexed {timings['join_indexed']:.4f}s  speedup {join_speedup:.1f}x"
+    )
+    print(
+        f"unionable_with  scan {timings['union_scan']:.4f}s  "
+        f"indexed {timings['union_indexed']:.4f}s  speedup {union_speedup:.1f}x"
+    )
+    assert join_speedup > 5.0
+    assert union_speedup > 5.0

@@ -11,12 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.discovery.index import DiscoveryIndex
+from repro.discovery.index import DiscoveryIndex, DiscoveryIndexLike
 from repro.exceptions import SearchError
 from repro.privacy.mechanisms import PrivacyBudget
 from repro.relational.relation import Relation
 from repro.sketches.sketch import RelationSketch
-from repro.sketches.store import SketchStore
+from repro.sketches.store import SketchStore, SketchStoreLike
 
 
 @dataclass
@@ -35,11 +35,19 @@ class DatasetRegistration:
 
 @dataclass
 class Corpus:
-    """All registered provider datasets plus the discovery index and sketch store."""
+    """All registered provider datasets plus the discovery index and sketch store.
+
+    ``discovery`` and ``sketches`` are typed against the store/index
+    protocols so the serving layer's sharded variants drop in unchanged.
+    ``epoch`` increments on every registration change; epoch-keyed caches
+    (``repro.serving.cache.ResultCache``) use it to invalidate memoised
+    discovery candidates and search results when the corpus mutates.
+    """
 
     registrations: dict[str, DatasetRegistration] = field(default_factory=dict)
-    discovery: DiscoveryIndex = field(default_factory=DiscoveryIndex)
-    sketches: SketchStore = field(default_factory=SketchStore)
+    discovery: DiscoveryIndexLike = field(default_factory=DiscoveryIndex)
+    sketches: SketchStoreLike = field(default_factory=SketchStore)
+    epoch: int = 0
 
     def add(self, registration: DatasetRegistration) -> None:
         """Register a dataset (name must be unique across the corpus)."""
@@ -49,12 +57,16 @@ class Corpus:
         self.registrations[name] = registration
         self.discovery.register(registration.relation)
         self.sketches.add(registration.sketch)
+        self.epoch += 1
 
     def remove(self, name: str) -> None:
         """Withdraw a dataset from the corpus."""
+        if name not in self.registrations:
+            return
         self.registrations.pop(name, None)
         self.discovery.unregister(name)
         self.sketches.remove(name)
+        self.epoch += 1
 
     def get(self, name: str) -> DatasetRegistration:
         """Registration for ``name``; raises when unknown."""

@@ -52,13 +52,32 @@ class SearchResult:
 
 @dataclass
 class Mileena:
-    """Fast, private, task-based dataset search platform."""
+    """Fast, private, task-based dataset search platform.
+
+    ``cache`` and ``metrics`` are optional serving-layer hooks (an
+    epoch-keyed ``repro.serving.cache.ResultCache`` and a
+    ``repro.serving.metrics.MetricsRegistry``); the gateway wires them in,
+    and a bare platform works exactly as before without them.
+    """
 
     corpus: Corpus = field(default_factory=Corpus)
     builder: SketchBuilder = field(default_factory=SketchBuilder)
     proxy: SketchProxyModel = field(default_factory=SketchProxyModel)
     clock: object = field(default_factory=WallClock)
     discovery_top_k: int = 50
+    cache: object | None = None
+    metrics: object | None = None
+
+    @classmethod
+    def sharded(cls, num_shards: int = 4, **kwargs) -> "Mileena":
+        """A platform whose sketch store and discovery index are sharded."""
+        from repro.serving.sharded import ShardedDiscoveryIndex, ShardedSketchStore
+
+        corpus = Corpus(
+            discovery=ShardedDiscoveryIndex(num_shards=num_shards),
+            sketches=ShardedSketchStore(num_shards=num_shards),
+        )
+        return cls(corpus=corpus, **kwargs)
 
     # -- provider side ------------------------------------------------------------
     def register_dataset(
@@ -105,7 +124,32 @@ class Mileena:
 
     # -- requester side -------------------------------------------------------------
     def discover_candidates(self, request: SearchRequest) -> list[AugmentationCandidate]:
-        """``Discover(R, ∪)`` and ``Discover(R, ⋈)`` for one request."""
+        """``Discover(R, ∪)`` and ``Discover(R, ⋈)`` for one request.
+
+        When a serving-layer cache is attached, the candidate list is
+        memoised on (train-relation fingerprint, join keys, corpus epoch):
+        requests sharing a requester relation skip re-profiling and
+        re-scanning, and any register/unregister bumps the epoch so stale
+        candidates are never served.
+        """
+        if self.cache is None:
+            return self._discover_candidates(request)
+        from repro.serving.fingerprint import relation_fingerprint
+
+        key = (
+            "discover",
+            relation_fingerprint(request.train),
+            tuple(request.join_keys),
+            self.discovery_top_k,
+            self.corpus.epoch,
+        )
+        return self.cache.get_or_compute(
+            key, lambda: self._discover_candidates(request)
+        )
+
+    def _discover_candidates(self, request: SearchRequest) -> list[AugmentationCandidate]:
+        if self.metrics is not None:
+            self.metrics.increment("platform.discoveries")
         join_candidates = self.corpus.discovery.join_candidates(
             request.train, top_k=self.discovery_top_k
         )
@@ -161,11 +205,15 @@ class Mileena:
         if train_final_model:
             relations = {name: reg.relation for name, reg in self.corpus.registrations.items()}
             final_report = requester.train_final_model(request, plan, relations)
+        elapsed = timer.elapsed()
+        if self.metrics is not None:
+            self.metrics.increment("platform.searches")
+            self.metrics.observe("platform.search_seconds", elapsed)
         return SearchResult(
             plan=plan,
             proxy_test_r2=proxy_score.test_r2,
             final_report=final_report,
-            elapsed_seconds=timer.elapsed(),
+            elapsed_seconds=elapsed,
             candidates_considered=len(candidates),
         )
 

@@ -24,7 +24,7 @@ from repro.core.clock import BudgetTimer, WallClock
 from repro.core.proxy import AugmentationState, SketchProxyModel
 from repro.exceptions import SketchError
 from repro.sketches.sketch import RelationSketch
-from repro.sketches.store import SketchStore
+from repro.sketches.store import SketchStoreLike
 
 
 @dataclass
@@ -37,9 +37,9 @@ class CandidateEvaluation:
 
 @dataclass
 class GreedySketchSearch:
-    """Greedy augmentation search over a sketch store."""
+    """Greedy augmentation search over a sketch store (flat or sharded)."""
 
-    store: SketchStore
+    store: SketchStoreLike
     proxy: SketchProxyModel = field(default_factory=SketchProxyModel)
     clock: object = field(default_factory=WallClock)
 

@@ -10,7 +10,7 @@ the star/circle pairs in the figure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -56,7 +56,10 @@ class MileenaAutoMLService:
         search_budget = (
             time_budget_seconds * self.search_fraction if time_budget_seconds else None
         )
-        request.time_budget_seconds = search_budget
+        # Work on a copy: the caller's request stays untouched, and concurrent
+        # gateway workers serving the same request object never race on the
+        # budget field.
+        request = replace(request, time_budget_seconds=search_budget)
         search_result = self.platform.search(request, train_final_model=True)
         search_seconds = timer.elapsed()
 

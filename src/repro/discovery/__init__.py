@@ -4,6 +4,7 @@ from repro.discovery.index import (
     JOIN,
     UNION,
     DiscoveryIndex,
+    DiscoveryIndexLike,
     JoinCandidate,
     UnionCandidate,
 )
@@ -13,6 +14,7 @@ from repro.discovery.tfidf import IdfModel, TfIdfSketch, tokenize
 
 __all__ = [
     "DiscoveryIndex",
+    "DiscoveryIndexLike",
     "JoinCandidate",
     "UnionCandidate",
     "JOIN",

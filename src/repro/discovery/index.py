@@ -13,9 +13,10 @@ the only artefacts uploaded to the central platform.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 from repro.discovery.minhash import MinHasher
-from repro.discovery.profiles import ColumnProfile, DatasetProfile, profile_relation
+from repro.discovery.profiles import DatasetProfile, profile_relation
 from repro.discovery.tfidf import IdfModel
 from repro.exceptions import DiscoveryError
 from repro.relational.relation import Relation
@@ -43,6 +44,32 @@ class UnionCandidate:
     similarity: float
 
 
+@runtime_checkable
+class DiscoveryIndexLike(Protocol):
+    """The index surface the platform (and serving layer) depends on.
+
+    Both the flat :class:`DiscoveryIndex` and the serving layer's
+    ``ShardedDiscoveryIndex`` satisfy this protocol, which is what lets the
+    sharded variant drop into :class:`repro.core.catalog.Corpus` unchanged.
+    """
+
+    def register(self, relation: Relation) -> DatasetProfile: ...
+
+    def register_profile(self, profile: DatasetProfile) -> None: ...
+
+    def unregister(self, dataset: str) -> None: ...
+
+    def __contains__(self, dataset: object) -> bool: ...
+
+    def __len__(self) -> int: ...
+
+    def discover(self, query: Relation, augmentation_type: str, top_k: int | None = None): ...
+
+    def join_candidates(self, query: Relation, top_k: int | None = None) -> list[JoinCandidate]: ...
+
+    def union_candidates(self, query: Relation, top_k: int | None = None) -> list[UnionCandidate]: ...
+
+
 @dataclass
 class DiscoveryIndex:
     """Profiles of every registered dataset plus corpus-level IDF statistics."""
@@ -57,22 +84,31 @@ class DiscoveryIndex:
     def register(self, relation: Relation) -> DatasetProfile:
         """Profile a provider relation and add it to the index."""
         profile = profile_relation(relation, self.minhasher)
-        self.profiles[relation.name] = profile
-        for column_profile in profile.columns.values():
-            if column_profile.tfidf is not None:
-                self.idf_model.add_document(column_profile.tfidf)
+        self.register_profile(profile)
         return profile
 
     def register_profile(self, profile: DatasetProfile) -> None:
-        """Add a pre-computed profile (e.g. produced locally by a provider)."""
+        """Add a pre-computed profile (e.g. produced locally by a provider).
+
+        Re-registering a dataset replaces its profile: the old profile's IDF
+        documents are removed first, so repeated registration cannot inflate
+        the corpus-level document frequencies.
+        """
+        if profile.dataset in self.profiles:
+            self.unregister(profile.dataset)
         self.profiles[profile.dataset] = profile
         for column_profile in profile.columns.values():
             if column_profile.tfidf is not None:
                 self.idf_model.add_document(column_profile.tfidf)
 
     def unregister(self, dataset: str) -> None:
-        """Remove a dataset from the index."""
-        self.profiles.pop(dataset, None)
+        """Remove a dataset from the index, including its IDF documents."""
+        profile = self.profiles.pop(dataset, None)
+        if profile is None:
+            return
+        for column_profile in profile.columns.values():
+            if column_profile.tfidf is not None:
+                self.idf_model.remove_document(column_profile.tfidf)
 
     def __contains__(self, dataset: object) -> bool:
         return dataset in self.profiles
@@ -94,9 +130,17 @@ class DiscoveryIndex:
     def join_candidates(self, query: Relation, top_k: int | None = None) -> list[JoinCandidate]:
         """Provider columns whose value sets overlap a query column."""
         query_profile = profile_relation(query, self.minhasher)
+        return self.join_candidates_for_profile(query_profile, top_k)
+
+    def join_candidates_for_profile(
+        self, query_profile: DatasetProfile, top_k: int | None = None
+    ) -> list[JoinCandidate]:
+        """Join candidates for an already-profiled query (shards reuse the profile)."""
         results: list[JoinCandidate] = []
-        for dataset, profile in self.profiles.items():
-            if dataset == query.name:
+        # Snapshot the registry so a concurrent register/unregister cannot
+        # break iteration mid-query.
+        for dataset, profile in list(self.profiles.items()):
+            if dataset == query_profile.dataset:
                 continue
             best: JoinCandidate | None = None
             for query_column in query_profile.joinable_columns():
@@ -116,10 +160,24 @@ class DiscoveryIndex:
     def union_candidates(self, query: Relation, top_k: int | None = None) -> list[UnionCandidate]:
         """Provider datasets whose schemas align column-by-column with the query."""
         query_profile = profile_relation(query, self.minhasher)
-        idf = self.idf_model.idf()
+        return self.union_candidates_for_profile(query_profile, top_k)
+
+    def union_candidates_for_profile(
+        self,
+        query_profile: DatasetProfile,
+        top_k: int | None = None,
+        idf: dict[str, float] | None = None,
+    ) -> list[UnionCandidate]:
+        """Union candidates for an already-profiled query.
+
+        ``idf`` lets a sharded index compute the corpus-level IDF weights once
+        and pass them to every shard.
+        """
+        if idf is None:
+            idf = self.idf_model.idf()
         results: list[UnionCandidate] = []
-        for dataset, profile in self.profiles.items():
-            if dataset == query.name:
+        for dataset, profile in list(self.profiles.items()):
+            if dataset == query_profile.dataset:
                 continue
             mapping, score = self._best_column_mapping(query_profile, profile, idf)
             if mapping and score >= self.union_threshold:

@@ -78,11 +78,31 @@ class IdfModel:
         for term in sketch.term_counts:
             self.document_frequency[term] += 1
 
+    def remove_document(self, sketch: TfIdfSketch) -> None:
+        """Forget one previously added column sketch.
+
+        Keeps IDF weights honest when a dataset is unregistered: without
+        removal, withdrawn documents keep deflating the IDF of their terms
+        for every later union search.
+        """
+        if self.document_count == 0:
+            return
+        self.document_count -= 1
+        for term in sketch.term_counts:
+            remaining = self.document_frequency[term] - 1
+            if remaining > 0:
+                self.document_frequency[term] = remaining
+            else:
+                del self.document_frequency[term]
+
     def idf(self) -> dict[str, float]:
         """Smoothed IDF weights for every known term."""
         if self.document_count == 0:
             return {}
+        # Snapshot first: building the dict from a live Counter would break
+        # if a concurrent register/unregister resizes it mid-iteration.
+        frequencies = dict(self.document_frequency)
         return {
             term: math.log((1 + self.document_count) / (1 + frequency)) + 1.0
-            for term, frequency in self.document_frequency.items()
+            for term, frequency in frequencies.items()
         }

@@ -43,6 +43,14 @@ class AgentError(ReproError):
     """An agent in the transformation pipeline failed irrecoverably."""
 
 
+class GatewayError(ReproError):
+    """The serving gateway could not accept or complete a request."""
+
+
+class AdmissionError(GatewayError):
+    """A request was refused because the gateway's pending queue is full."""
+
+
 class CausalError(ReproError):
     """A causal-inference routine received an invalid model or data."""
 

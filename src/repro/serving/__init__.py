@@ -1,0 +1,33 @@
+"""Mileena serving layer: concurrent gateway, sharded stores, cache, metrics.
+
+Lazy imports keep ``import repro.serving`` free of the core-platform import
+chain (and of circular imports: ``repro.core.platform`` uses the
+fingerprint helpers from this package).
+"""
+
+_EXPORTS = {
+    "Gateway": ("repro.serving.gateway", "Gateway"),
+    "GatewayConfig": ("repro.serving.gateway", "GatewayConfig"),
+    "GatewayResponse": ("repro.serving.gateway", "GatewayResponse"),
+    "ResultCache": ("repro.serving.cache", "ResultCache"),
+    "CachingProxy": ("repro.serving.cache", "CachingProxy"),
+    "MetricsRegistry": ("repro.serving.metrics", "MetricsRegistry"),
+    "CacheStats": ("repro.serving.metrics", "CacheStats"),
+    "ShardedSketchStore": ("repro.serving.sharded", "ShardedSketchStore"),
+    "ShardedDiscoveryIndex": ("repro.serving.sharded", "ShardedDiscoveryIndex"),
+    "relation_fingerprint": ("repro.serving.fingerprint", "relation_fingerprint"),
+    "request_fingerprint": ("repro.serving.fingerprint", "request_fingerprint"),
+    "element_fingerprint": ("repro.serving.fingerprint", "element_fingerprint"),
+    "stable_hash": ("repro.serving.fingerprint", "stable_hash"),
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    if name in _EXPORTS:
+        import importlib
+
+        module_name, attribute = _EXPORTS[name]
+        return getattr(importlib.import_module(module_name), attribute)
+    raise AttributeError(f"module 'repro.serving' has no attribute {name!r}")

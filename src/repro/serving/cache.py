@@ -1,0 +1,124 @@
+"""Epoch-aware LRU caching for the serving layer.
+
+:class:`ResultCache` memoises expensive per-request artefacts — discovery
+candidate lists and full search results — keyed on the requester relation
+fingerprint plus the corpus epoch.  The epoch (maintained by
+:class:`repro.core.catalog.Corpus`) increments on every register/unregister,
+so entries computed against an older corpus can never be returned; they age
+out of the LRU naturally.
+
+:class:`CachingProxy` wraps a :class:`repro.core.proxy.SketchProxyModel`
+and memoises proxy-score evaluations by the fingerprints of the train/test
+covariance elements.  During the greedy search the same (state, candidate)
+pairs are re-evaluated across requests that share a requester relation;
+memoisation turns those repeats into dictionary lookups.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Hashable
+
+from repro.serving.fingerprint import element_fingerprint
+from repro.serving.metrics import MetricsRegistry
+
+_MISSING = object()
+
+
+class ResultCache:
+    """A thread-safe LRU cache with hit/miss/eviction metrics."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        metrics: MetricsRegistry | None = None,
+        name: str = "result_cache",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: Hashable, default: object = None) -> object:
+        """The cached value for ``key`` (recording a hit or miss)."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.metrics.increment(f"{self.name}.misses")
+                return default
+            self._entries.move_to_end(key)
+            self.metrics.increment(f"{self.name}.hits")
+            return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert (or refresh) an entry, evicting the least recently used."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.metrics.increment(f"{self.name}.evictions")
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], object]) -> object:
+        """The cached value for ``key``, computing and caching it on a miss.
+
+        ``compute`` runs outside the lock; concurrent misses on the same key
+        may compute twice (both arrive at the same value — computations are
+        deterministic), which is preferable to serialising every requester
+        behind one in-flight computation.
+        """
+        value = self.get(key, _MISSING)
+        if value is not _MISSING:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    @property
+    def stats(self):
+        """Hit/miss/eviction totals recorded so far."""
+        return self.metrics.cache_stats(self.name)
+
+
+class CachingProxy:
+    """Memoises ``SketchProxyModel.evaluate`` by covariance-element content.
+
+    Drop-in for the proxy protocol used by the greedy search: anything with
+    ``evaluate(train_element, test_element, target) -> ProxyScore``.
+    """
+
+    def __init__(
+        self,
+        inner,
+        cache: ResultCache | None = None,
+        metrics: MetricsRegistry | None = None,
+        capacity: int = 4096,
+    ) -> None:
+        self.inner = inner
+        self.cache = cache if cache is not None else ResultCache(
+            capacity=capacity, metrics=metrics, name="proxy_cache"
+        )
+
+    def evaluate(self, train_element, test_element, target: str):
+        key = (
+            element_fingerprint(train_element),
+            element_fingerprint(test_element),
+            target,
+        )
+        return self.cache.get_or_compute(
+            key, lambda: self.inner.evaluate(train_element, test_element, target)
+        )

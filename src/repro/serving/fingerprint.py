@@ -1,0 +1,81 @@
+"""Stable content fingerprints for cache keys and shard routing.
+
+Python's builtin ``hash`` is salted per process, so every identifier the
+serving layer derives from data content uses BLAKE2b instead: shard
+assignment must be stable across restarts, and cache keys must be identical
+for identical requester relations regardless of object identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.core.request import SearchRequest
+from repro.relational.relation import Relation
+from repro.semiring.covariance import CovarianceElement
+
+_SEPARATOR = b"\x1f"
+
+
+def stable_hash(text: str) -> int:
+    """A deterministic 64-bit hash of a string (used for shard routing)."""
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _update_with_column(digest, name: str, dtype: str, values: np.ndarray) -> None:
+    digest.update(name.encode("utf-8"))
+    digest.update(_SEPARATOR)
+    digest.update(dtype.encode("utf-8"))
+    digest.update(_SEPARATOR)
+    array = np.asarray(values)
+    if array.dtype.kind == "f":
+        digest.update(np.ascontiguousarray(array).tobytes())
+    else:
+        for value in array:
+            digest.update(b"\x00" if value is None else str(value).encode("utf-8"))
+            digest.update(_SEPARATOR)
+
+
+def relation_fingerprint(relation: Relation) -> str:
+    """A content digest of a relation: name, schema, and column data."""
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(relation.name.encode("utf-8"))
+    for attribute in relation.schema:
+        _update_with_column(
+            digest, attribute.name, attribute.dtype, relation.column(attribute.name)
+        )
+    return digest.hexdigest()
+
+
+def request_fingerprint(request: SearchRequest) -> str:
+    """A digest of everything that determines a request's search outcome."""
+    digest = hashlib.blake2b(digest_size=16)
+    for part in (
+        relation_fingerprint(request.train),
+        relation_fingerprint(request.test),
+        request.target,
+        request.task,
+        repr(request.epsilon),
+        repr(request.delta),
+        ",".join(request.join_keys),
+        str(request.max_augmentations),
+        repr(request.min_improvement),
+        repr(request.time_budget_seconds),
+    ):
+        digest.update(part.encode("utf-8"))
+        digest.update(_SEPARATOR)
+    return digest.hexdigest()
+
+
+def element_fingerprint(element: CovarianceElement) -> str:
+    """A digest of a covariance semi-ring element (for proxy-score memoisation)."""
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(",".join(element.features).encode("utf-8"))
+    digest.update(_SEPARATOR)
+    digest.update(repr(element.count).encode("utf-8"))
+    digest.update(np.ascontiguousarray(element.sums).tobytes())
+    digest.update(np.ascontiguousarray(element.products).tobytes())
+    return digest.hexdigest()

@@ -1,0 +1,319 @@
+"""The concurrent serving gateway (hub of the multi-tenant deployment).
+
+The paper's platform is inherently multi-tenant: many requesters submit
+search-then-AutoML jobs against one central store of privatised sketches.
+The :class:`Gateway` is the hub-and-spoke broker in front of the platform:
+
+* requests enter a bounded worker pool (``concurrent.futures``); admission
+  control rejects work beyond ``max_pending`` instead of queueing unboundedly;
+* every request carries a deadline derived from :class:`BudgetTimer` — queue
+  wait consumes the budget, and whatever remains is handed to the search
+  (and AutoML) phases exactly as the single-tenant service does;
+* results are memoised in an epoch-keyed :class:`ResultCache`, so repeated
+  requests against an unchanged corpus are served without recomputation,
+  and concurrent duplicates are *coalesced*: the first worker to pick up a
+  given (request, epoch) computes while the rest piggyback on its result
+  instead of stampeding the platform;
+* counters and latency histograms for every stage land in a shared
+  :class:`MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, replace
+
+from repro.core.clock import BudgetTimer, WallClock
+from repro.core.platform import Mileena, SearchResult
+from repro.core.request import SearchRequest
+from repro.core.service import AutoMLServiceResult, MileenaAutoMLService
+from repro.exceptions import AdmissionError
+from repro.serving.cache import CachingProxy, ResultCache
+from repro.serving.fingerprint import request_fingerprint
+from repro.serving.metrics import MetricsRegistry
+
+OK = "ok"
+REJECTED = "rejected"
+EXPIRED = "expired"
+FAILED = "failed"
+
+_MISS = object()
+
+
+@dataclass
+class GatewayConfig:
+    """Tuning knobs for the serving gateway.
+
+    Parameters
+    ----------
+    max_workers:
+        Size of the worker pool serving requests concurrently.
+    max_pending:
+        Admission-control bound on submitted-but-unfinished requests;
+        submissions beyond it raise :class:`AdmissionError`.
+    default_time_budget_seconds:
+        Deadline applied to requests submitted without an explicit budget
+        (``None`` = no deadline).
+    cache_capacity:
+        LRU capacity of the result cache.
+    cache_results:
+        Memoise full per-request results keyed on (request fingerprint,
+        corpus epoch).
+    cache_proxy_scores:
+        Wrap the platform's proxy model in a :class:`CachingProxy` so
+        repeated candidate evaluations across requests are memoised.
+    run_automl:
+        Serve the full search-then-AutoML pipeline
+        (:class:`MileenaAutoMLService`) instead of search only.
+    """
+
+    max_workers: int = 4
+    max_pending: int = 64
+    default_time_budget_seconds: float | None = None
+    cache_capacity: int = 256
+    cache_results: bool = True
+    cache_proxy_scores: bool = True
+    run_automl: bool = False
+
+
+@dataclass
+class GatewayResponse:
+    """Outcome of one gateway request."""
+
+    request_id: int
+    status: str
+    result: SearchResult | AutoMLServiceResult | None = None
+    error: str | None = None
+    cache_hit: bool = False
+    waited_seconds: float = 0.0
+    service_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+
+class Gateway:
+    """A concurrent, caching front door to a :class:`Mileena` platform."""
+
+    def __init__(
+        self,
+        platform: Mileena,
+        config: GatewayConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        clock: object | None = None,
+        service: MileenaAutoMLService | None = None,
+    ) -> None:
+        self.platform = platform
+        self.config = config if config is not None else GatewayConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.clock = clock if clock is not None else getattr(platform, "clock", WallClock())
+        self.cache: ResultCache | None = None
+        if self.config.cache_results:
+            self.cache = ResultCache(
+                capacity=self.config.cache_capacity,
+                metrics=self.metrics,
+                name="gateway_cache",
+            )
+            # Let the platform memoise discovery candidates in the same
+            # epoch-keyed cache (near-identical requests share discovery).
+            if getattr(platform, "cache", None) is None:
+                platform.cache = self.cache
+        if getattr(platform, "metrics", None) is None:
+            platform.metrics = self.metrics
+        if self.config.cache_proxy_scores and not isinstance(platform.proxy, CachingProxy):
+            platform.proxy = CachingProxy(platform.proxy, metrics=self.metrics)
+        self.service = service if service is not None else MileenaAutoMLService(
+            platform=platform, clock=self.clock
+        )
+        self._executor = ThreadPoolExecutor(max_workers=self.config.max_workers)
+        self._pending = 0
+        self._next_request_id = 0
+        self._lock = threading.Lock()
+        # In-flight coalescing: cache key → Future set by the leading worker.
+        self._inflight: dict[object, Future] = {}
+        self._inflight_lock = threading.Lock()
+
+    # -- submission ------------------------------------------------------------
+    def submit(
+        self, request: SearchRequest, time_budget_seconds: float | None = None
+    ) -> Future:
+        """Admit a request into the worker pool; resolves to a GatewayResponse.
+
+        Raises :class:`AdmissionError` when ``max_pending`` requests are
+        already in flight.
+        """
+        budget = (
+            time_budget_seconds
+            if time_budget_seconds is not None
+            else self.config.default_time_budget_seconds
+        )
+        with self._lock:
+            if self._pending >= self.config.max_pending:
+                self.metrics.increment("gateway.rejected")
+                raise AdmissionError(
+                    f"gateway queue is full ({self._pending} pending, "
+                    f"max_pending={self.config.max_pending})"
+                )
+            self._pending += 1
+            request_id = self._next_request_id
+            self._next_request_id += 1
+        # The deadline starts at admission: queue wait consumes the budget.
+        timer = BudgetTimer(self.clock, budget)
+        return self._executor.submit(self._serve, request_id, request, timer)
+
+    def run_many(
+        self,
+        requests: list[SearchRequest],
+        time_budget_seconds: float | None = None,
+    ) -> list[GatewayResponse]:
+        """Submit a batch and gather responses in request order.
+
+        Requests refused by admission control come back as ``rejected``
+        responses rather than raising, so one overloaded burst cannot lose
+        track of which request failed.
+        """
+        futures: list[Future | GatewayResponse] = []
+        for request in requests:
+            try:
+                futures.append(self.submit(request, time_budget_seconds))
+            except AdmissionError as error:
+                with self._lock:
+                    request_id = self._next_request_id
+                    self._next_request_id += 1
+                futures.append(
+                    GatewayResponse(request_id, REJECTED, error=str(error))
+                )
+        return [
+            item if isinstance(item, GatewayResponse) else item.result()
+            for item in futures
+        ]
+
+    # -- lifecycle -------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "Gateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    @property
+    def pending(self) -> int:
+        """Requests submitted but not yet finished."""
+        return self._pending
+
+    # -- worker ----------------------------------------------------------------
+    def _serve(
+        self, request_id: int, request: SearchRequest, timer: BudgetTimer
+    ) -> GatewayResponse:
+        try:
+            waited = timer.elapsed()
+            self.metrics.increment("gateway.requests")
+            self.metrics.observe("gateway.queue_wait_seconds", waited)
+            if timer.expired():
+                self.metrics.increment("gateway.expired")
+                return GatewayResponse(
+                    request_id,
+                    EXPIRED,
+                    error="deadline expired while queued",
+                    waited_seconds=waited,
+                )
+            mode = "automl" if self.config.run_automl else "search"
+            key = None
+            inflight: Future | None = None
+            leading = False
+            if self.cache is not None:
+                # The submitted budget is part of the key: a result computed
+                # under a tight deadline may be truncated, and must never be
+                # served to a request with a looser (or no) deadline.
+                key = (
+                    mode,
+                    request_fingerprint(request),
+                    timer.budget_seconds,
+                    self.platform.corpus.epoch,
+                )
+                cached = self.cache.get(key, _MISS)
+                if cached is not _MISS:
+                    self.metrics.increment("gateway.ok")
+                    return GatewayResponse(
+                        request_id,
+                        OK,
+                        result=cached,
+                        cache_hit=True,
+                        waited_seconds=waited,
+                    )
+                with self._inflight_lock:
+                    inflight = self._inflight.get(key)
+                    if inflight is None:
+                        inflight = Future()
+                        self._inflight[key] = inflight
+                        leading = True
+            if inflight is not None and not leading:
+                # Another worker is already computing this exact request
+                # against the same corpus epoch — piggyback on its result.
+                # The leader occupies a worker slot, so waiting cannot
+                # deadlock the pool.
+                self.metrics.increment("gateway.coalesced")
+                budgeted = timer.budget_seconds is not None
+                try:
+                    result = inflight.result(
+                        timeout=timer.remaining() if budgeted else None
+                    )
+                except FutureTimeoutError:
+                    self.metrics.increment("gateway.expired")
+                    return GatewayResponse(
+                        request_id,
+                        EXPIRED,
+                        error="deadline expired waiting on a coalesced request",
+                        waited_seconds=waited,
+                    )
+                self.metrics.increment("gateway.ok")
+                return GatewayResponse(
+                    request_id, OK, result=result, cache_hit=True, waited_seconds=waited
+                )
+            remaining = timer.remaining() if timer.budget_seconds is not None else None
+            # Copy the request so concurrent workers never share a mutable
+            # budget field, and so the caller's object stays untouched.
+            scoped = replace(request, time_budget_seconds=remaining)
+            started = self.clock.now()
+            try:
+                if self.config.run_automl:
+                    result = self.service.run(scoped, time_budget_seconds=remaining)
+                else:
+                    result = self.platform.search(scoped)
+            except BaseException as error:
+                if leading:
+                    with self._inflight_lock:
+                        self._inflight.pop(key, None)
+                    inflight.set_exception(error)
+                raise
+            service_seconds = self.clock.now() - started
+            self.metrics.observe("gateway.service_seconds", service_seconds)
+            # Never cache a result whose deadline ran out mid-computation:
+            # the search may have been truncated by the budget, and queue
+            # wait (which varies per submission) determines how much budget
+            # the computation actually saw.
+            if self.cache is not None and not timer.expired():
+                self.cache.put(key, result)
+            if leading:
+                with self._inflight_lock:
+                    self._inflight.pop(key, None)
+                inflight.set_result(result)
+            self.metrics.increment("gateway.ok")
+            return GatewayResponse(
+                request_id,
+                OK,
+                result=result,
+                waited_seconds=waited,
+                service_seconds=service_seconds,
+            )
+        except Exception as error:  # noqa: BLE001 - one request must not kill the pool
+            self.metrics.increment("gateway.failed")
+            return GatewayResponse(request_id, FAILED, error=repr(error))
+        finally:
+            with self._lock:
+                self._pending -= 1

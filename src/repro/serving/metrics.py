@@ -1,0 +1,157 @@
+"""A small thread-safe metrics registry for the serving layer.
+
+Counters, latency histograms, and cache hit rates, threaded through the
+gateway, the sharded stores, and the result cache.  The registry is
+deliberately dependency-free (no prometheus client in this environment);
+``snapshot()`` returns plain dictionaries and ``render()`` a stable text
+exposition, so benchmarks and operators can read it directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+# Upper bucket bounds in seconds, spanning sub-millisecond sketch lookups to
+# multi-minute AutoML runs.
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0)
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def increment(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Histogram:
+    """A fixed-bucket latency histogram with count/sum/min/max."""
+
+    def __init__(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.buckets = tuple(sorted(buckets))
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            index = len(self.buckets)
+            for position, bound in enumerate(self.buckets):
+                if value <= bound:
+                    index = position
+                    break
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "mean": self.mean,
+                "min": self._min if self._count else 0.0,
+                "max": self._max,
+            }
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss/eviction totals for one cache."""
+
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        requests = self.hits + self.misses
+        return self.hits / requests if requests else 0.0
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def histogram(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name, buckets)
+            return self._histograms[name]
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Shorthand: bump a counter by name."""
+        self.counter(name).increment(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        """Shorthand: record one histogram observation by name."""
+        self.histogram(name).observe(value)
+
+    def cache_stats(self, prefix: str) -> CacheStats:
+        """Hit/miss/eviction stats for a cache that reports under ``prefix``."""
+        return CacheStats(
+            hits=self.counter(f"{prefix}.hits").value,
+            misses=self.counter(f"{prefix}.misses").value,
+            evictions=self.counter(f"{prefix}.evictions").value,
+        )
+
+    def snapshot(self) -> dict[str, object]:
+        """All current values as plain data."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: counter.value for name, counter in counters.items()},
+            "histograms": {name: histogram.summary() for name, histogram in histograms.items()},
+        }
+
+    def render(self) -> str:
+        """A stable text exposition (one metric per line, sorted by name)."""
+        snapshot = self.snapshot()
+        lines = [
+            f"{name} {value}" for name, value in sorted(snapshot["counters"].items())
+        ]
+        for name, summary in sorted(snapshot["histograms"].items()):
+            lines.append(
+                f"{name} count={summary['count']} mean={summary['mean']:.6f} "
+                f"min={summary['min']:.6f} max={summary['max']:.6f}"
+            )
+        return "\n".join(lines)

@@ -7,13 +7,14 @@ from repro.sketches.sketch import (
     horizontal_augment,
     vertical_augment,
 )
-from repro.sketches.store import SketchStore
+from repro.sketches.store import SketchStore, SketchStoreLike
 
 __all__ = [
     "RelationSketch",
     "FeatureScaling",
     "SketchBuilder",
     "SketchStore",
+    "SketchStoreLike",
     "horizontal_augment",
     "vertical_augment",
 ]

@@ -1,16 +1,47 @@
 """The central sketch store.
 
 The central data store of Figure 1 holds only privatised sketches and
-discovery profiles — never raw provider rows.  The store is a simple named
-registry with lookup helpers used by the search algorithm.
+discovery profiles — never raw provider rows.  The store is a named registry
+with lookup helpers used by the search algorithm.  Two reverse indices
+(feature-set → datasets, join-key → datasets) keep ``unionable_with`` and
+``with_join_key`` independent of corpus size instead of scanning every
+sketch; both are maintained incrementally by ``add``/``remove``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 from repro.exceptions import SketchError
 from repro.sketches.sketch import RelationSketch
+
+
+@runtime_checkable
+class SketchStoreLike(Protocol):
+    """The store surface the search algorithm and platform depend on.
+
+    Both the flat :class:`SketchStore` and the serving layer's
+    ``ShardedSketchStore`` satisfy this protocol, which is what lets the
+    sharded variant drop into :class:`repro.core.catalog.Corpus` and
+    :class:`repro.core.search.GreedySketchSearch` unchanged.
+    """
+
+    def add(self, sketch: RelationSketch, replace: bool = False) -> None: ...
+
+    def get(self, dataset: str) -> RelationSketch: ...
+
+    def remove(self, dataset: str) -> None: ...
+
+    def __contains__(self, dataset: object) -> bool: ...
+
+    def __len__(self) -> int: ...
+
+    def datasets(self) -> list[str]: ...
+
+    def with_join_key(self, key: str) -> list[RelationSketch]: ...
+
+    def unionable_with(self, features: tuple[str, ...]) -> list[RelationSketch]: ...
 
 
 @dataclass
@@ -18,12 +49,55 @@ class SketchStore:
     """A registry of relation sketches keyed by dataset name."""
 
     sketches: dict[str, RelationSketch] = field(default_factory=dict)
+    # Reverse indices: exact feature set → dataset names, join key → dataset
+    # names.  Inner dicts are used as ordered sets so lookups preserve
+    # registration order, matching what a linear scan over ``sketches`` would
+    # return.
+    _by_features: dict[frozenset[str], dict[str, None]] = field(
+        default_factory=dict, repr=False
+    )
+    _by_join_key: dict[str, dict[str, None]] = field(default_factory=dict, repr=False)
 
+    def __post_init__(self) -> None:
+        for sketch in self.sketches.values():
+            self._index(sketch)
+
+    # -- index maintenance -----------------------------------------------------
+    def _index(self, sketch: RelationSketch) -> None:
+        self._by_features.setdefault(frozenset(sketch.features), {})[sketch.dataset] = None
+        for key in sketch.keyed:
+            self._by_join_key.setdefault(key, {})[sketch.dataset] = None
+
+    def _deindex(self, sketch: RelationSketch) -> None:
+        feature_set = frozenset(sketch.features)
+        members = self._by_features.get(feature_set)
+        if members is not None:
+            members.pop(sketch.dataset, None)
+            if not members:
+                del self._by_features[feature_set]
+        for key in sketch.keyed:
+            members = self._by_join_key.get(key)
+            if members is not None:
+                members.pop(sketch.dataset, None)
+                if not members:
+                    del self._by_join_key[key]
+
+    # -- registry --------------------------------------------------------------
     def add(self, sketch: RelationSketch, replace: bool = False) -> None:
-        """Register a sketch; refuses to silently overwrite unless ``replace``."""
-        if sketch.dataset in self.sketches and not replace:
+        """Register a sketch; refuses to silently overwrite unless ``replace``.
+
+        Replacing re-registers the dataset at the end of the registration
+        order, keeping lookup order identical between the reverse indices
+        and a linear scan over ``sketches``.
+        """
+        existing = self.sketches.get(sketch.dataset)
+        if existing is not None and not replace:
             raise SketchError(f"a sketch for {sketch.dataset!r} is already registered")
+        if existing is not None:
+            self._deindex(existing)
+            del self.sketches[sketch.dataset]
         self.sketches[sketch.dataset] = sketch
+        self._index(sketch)
 
     def get(self, dataset: str) -> RelationSketch:
         """The sketch for ``dataset``; raises when absent."""
@@ -33,7 +107,9 @@ class SketchStore:
 
     def remove(self, dataset: str) -> None:
         """Drop a dataset's sketch (e.g. when a provider withdraws it)."""
-        self.sketches.pop(dataset, None)
+        sketch = self.sketches.pop(dataset, None)
+        if sketch is not None:
+            self._deindex(sketch)
 
     def __contains__(self, dataset: object) -> bool:
         return dataset in self.sketches
@@ -45,13 +121,14 @@ class SketchStore:
         """All registered dataset names."""
         return list(self.sketches)
 
+    # -- lookups ---------------------------------------------------------------
     def with_join_key(self, key: str) -> list[RelationSketch]:
         """Sketches that pre-computed a keyed aggregate on ``key``."""
-        return [sketch for sketch in self.sketches.values() if key in sketch.keyed]
+        return [self.sketches[name] for name in self._by_join_key.get(key, ())]
 
     def unionable_with(self, features: tuple[str, ...]) -> list[RelationSketch]:
         """Sketches whose feature set matches ``features`` exactly (for unions)."""
-        target = set(features)
         return [
-            sketch for sketch in self.sketches.values() if set(sketch.features) == target
+            self.sketches[name]
+            for name in self._by_features.get(frozenset(features), ())
         ]

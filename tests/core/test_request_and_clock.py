@@ -89,3 +89,48 @@ def test_budget_timer_without_budget_never_expires():
     timer = BudgetTimer(SimulatedClock(), budget_seconds=None)
     assert timer.remaining() == float("inf")
     assert not timer.expired()
+
+
+def test_budget_timer_without_budget_still_tracks_elapsed():
+    clock = SimulatedClock(start=100.0)
+    timer = BudgetTimer(clock, budget_seconds=None)
+    assert timer.elapsed() == 0.0
+    clock.advance(12.5)
+    assert timer.elapsed() == 12.5
+    assert timer.remaining() == float("inf")
+
+
+def test_budget_timer_zero_budget_expires_immediately():
+    timer = BudgetTimer(SimulatedClock(), budget_seconds=0.0)
+    assert timer.expired()
+    assert timer.remaining() == 0.0
+
+
+def test_budget_timer_expires_exactly_at_boundary():
+    clock = SimulatedClock()
+    timer = BudgetTimer(clock, budget_seconds=5.0)
+    clock.advance(5.0)
+    assert timer.remaining() == 0.0
+    assert timer.expired()
+
+
+def test_budget_timer_remaining_never_negative():
+    clock = SimulatedClock()
+    timer = BudgetTimer(clock, budget_seconds=1.0)
+    clock.advance(50.0)
+    assert timer.remaining() == 0.0
+    assert timer.elapsed() == 50.0
+
+
+def test_budget_timer_with_wall_clock():
+    timer = BudgetTimer(WallClock(), budget_seconds=60.0)
+    assert not timer.expired()
+    assert 0.0 <= timer.elapsed() < 60.0
+    assert 0.0 < timer.remaining() <= 60.0
+
+
+def test_wall_clock_sleep_advances_time():
+    clock = WallClock()
+    before = clock.now()
+    clock.sleep(0.01)
+    assert clock.now() - before >= 0.009

@@ -109,3 +109,65 @@ def test_query_is_never_its_own_candidate(index, query):
 
 def test_top_k_limits_results(index, query):
     assert len(index.join_candidates(query, top_k=0)) == 0
+
+
+def test_unregister_removes_idf_documents(index):
+    """Regression: unregistering a dataset must not leak its TF-IDF documents.
+
+    Before the fix, unregister only dropped the profile, leaving the
+    dataset's documents counted in the IDF model and skewing every later
+    union search.
+    """
+    baseline_docs = index.idf_model.document_count
+    extra = Relation(
+        "transient",
+        {
+            "station": [f"xx{i}" for i in range(10)],
+            "humidity": [float(i) for i in range(10)],
+        },
+        Schema.from_spec({"station": CATEGORICAL, "humidity": NUMERIC}),
+    )
+    index.register(extra)
+    assert index.idf_model.document_count > baseline_docs
+    index.unregister("transient")
+    assert index.idf_model.document_count == baseline_docs
+    assert "humidity" not in index.idf_model.document_frequency
+
+
+def test_unregister_restores_idf_weights(query):
+    """After register+unregister the IDF weights match a never-registered index."""
+    reference = DiscoveryIndex()
+    reference.register(query)
+    subject = DiscoveryIndex()
+    subject.register(query)
+    ghost = Relation(
+        "ghost",
+        {
+            "zipcode": [f"3000{i % 5}" for i in range(10)],
+            "price": [float(i) for i in range(10)],
+        },
+        Schema.from_spec({"zipcode": KEY, "price": NUMERIC}),
+    )
+    subject.register(ghost)
+    subject.unregister("ghost")
+    assert subject.idf_model.document_count == reference.idf_model.document_count
+    assert subject.idf_model.idf() == reference.idf_model.idf()
+
+
+def test_unregister_unknown_dataset_is_noop(index):
+    before = index.idf_model.document_count
+    index.unregister("never_registered")
+    assert index.idf_model.document_count == before
+
+
+def test_reregistration_does_not_double_count_idf_documents(query):
+    """Regression: replacing a profile must swap its IDF documents, not stack them."""
+    reference = DiscoveryIndex()
+    reference.register(query)
+    subject = DiscoveryIndex()
+    for _ in range(3):
+        subject.register(query)
+    assert subject.idf_model.document_count == reference.idf_model.document_count
+    assert subject.idf_model.idf() == reference.idf_model.idf()
+    subject.unregister(query.name)
+    assert subject.idf_model.document_count == 0

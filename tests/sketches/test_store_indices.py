@@ -1,0 +1,89 @@
+"""Tests for the sketch store's reverse indices (feature-set and join-key)."""
+
+import pytest
+
+from repro.exceptions import SketchError
+from repro.semiring.covariance import CovarianceElement
+from repro.sketches import SketchStore
+from repro.sketches.sketch import RelationSketch
+
+
+def make_sketch(name, features, join_keys=()):
+    return RelationSketch(
+        dataset=name,
+        features=tuple(features),
+        total=CovarianceElement.zero(tuple(features)),
+        keyed={key: {} for key in join_keys},
+    )
+
+
+@pytest.fixture
+def store():
+    store = SketchStore()
+    store.add(make_sketch("a", ["x", "y"], ["zone"]))
+    store.add(make_sketch("b", ["x", "y"], ["zone", "month"]))
+    store.add(make_sketch("c", ["z"], ["month"]))
+    return store
+
+
+def test_with_join_key_uses_reverse_index(store):
+    assert [s.dataset for s in store.with_join_key("zone")] == ["a", "b"]
+    assert [s.dataset for s in store.with_join_key("month")] == ["b", "c"]
+    assert store.with_join_key("unknown") == []
+
+
+def test_unionable_with_matches_exact_feature_sets(store):
+    assert [s.dataset for s in store.unionable_with(("x", "y"))] == ["a", "b"]
+    # Order of the queried tuple must not matter (sets are compared).
+    assert [s.dataset for s in store.unionable_with(("y", "x"))] == ["a", "b"]
+    assert [s.dataset for s in store.unionable_with(("z",))] == ["c"]
+    assert store.unionable_with(("x",)) == []
+
+
+def test_remove_updates_reverse_indices(store):
+    store.remove("b")
+    assert [s.dataset for s in store.with_join_key("zone")] == ["a"]
+    assert [s.dataset for s in store.with_join_key("month")] == ["c"]
+    assert [s.dataset for s in store.unionable_with(("x", "y"))] == ["a"]
+    store.remove("a")
+    assert store.with_join_key("zone") == []
+    assert store.unionable_with(("x", "y")) == []
+
+
+def test_replace_reindexes_changed_sketch(store):
+    with pytest.raises(SketchError):
+        store.add(make_sketch("a", ["p"], ["day"]))
+    store.add(make_sketch("a", ["p"], ["day"]), replace=True)
+    assert [s.dataset for s in store.with_join_key("zone")] == ["b"]
+    assert [s.dataset for s in store.with_join_key("day")] == ["a"]
+    assert [s.dataset for s in store.unionable_with(("p",))] == ["a"]
+    assert [s.dataset for s in store.unionable_with(("x", "y"))] == ["b"]
+
+
+def test_replace_moves_dataset_to_end_of_scan_order(store):
+    """Replacing re-registers at the end, keeping index order == scan order."""
+    store.add(make_sketch("a", ["x", "y"], ["zone"]), replace=True)
+    assert store.datasets() == ["b", "c", "a"]
+    assert [s.dataset for s in store.with_join_key("zone")] == ["b", "a"]
+    assert [s.dataset for s in store.unionable_with(("x", "y"))] == ["b", "a"]
+    # Invariant: indexed lookups match a linear scan exactly.
+    scan = [s for s in store.sketches.values() if "zone" in s.keyed]
+    assert store.with_join_key("zone") == scan
+
+
+def test_preseeded_store_builds_indices():
+    sketch = make_sketch("seeded", ["u"], ["zone"])
+    store = SketchStore(sketches={"seeded": sketch})
+    assert [s.dataset for s in store.with_join_key("zone")] == ["seeded"]
+    assert [s.dataset for s in store.unionable_with(("u",))] == ["seeded"]
+
+
+def test_lookups_match_linear_scan(store):
+    """The reverse indices must agree with the naive full scan."""
+    for key in ("zone", "month", "day", "missing"):
+        scan = [s for s in store.sketches.values() if key in s.keyed]
+        assert store.with_join_key(key) == scan
+    for features in (("x", "y"), ("z",), ("q",)):
+        target = set(features)
+        scan = [s for s in store.sketches.values() if set(s.features) == target]
+        assert store.unionable_with(features) == scan
