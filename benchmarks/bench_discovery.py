@@ -1,0 +1,161 @@
+"""Discovery engine latency: scalar vs vectorized vs LSH-pruned.
+
+Measures ``join_candidates`` / ``union_candidates`` latency against
+corpora of 100 / 1000 / 5000 registered datasets for the three engine
+modes, checks result parity between the scalar reference and the exact
+vectorized path, and writes the numbers to ``BENCH_discovery.json`` so the
+perf trajectory has durable data points.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_discovery.py            # full run
+    PYTHONPATH=src python benchmarks/bench_discovery.py --sizes 100 --repeats 2
+
+The CI smoke run uses the small size only; the committed
+``BENCH_discovery.json`` comes from a full local run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.discovery import DiscoveryIndex, profile_relation  # noqa: E402
+from repro.relational import CATEGORICAL, KEY, NUMERIC, Relation, Schema  # noqa: E402
+
+SPEC = {"key": KEY, "tag": CATEGORICAL, "metric": NUMERIC}
+NUM_ROWS = 40
+
+
+def make_relation(name: str, rng: random.Random, domain: str) -> Relation:
+    columns = {
+        "key": [f"{domain}_{rng.randint(0, 60)}" for _ in range(NUM_ROWS)],
+        "tag": [f"{domain}tag{rng.randint(0, 8)}" for _ in range(NUM_ROWS)],
+        "metric": [float(i) for i in range(NUM_ROWS)],
+    }
+    return Relation(name, columns, Schema.from_spec(SPEC))
+
+
+def build_corpus(num_datasets: int, seed: int) -> tuple[list[Relation], Relation]:
+    """A corpus with domain-scoped keys: queries match ~1/num_domains of it."""
+    rng = random.Random(seed)
+    num_domains = max(8, num_datasets // 25)
+    domains = [f"dom{i}" for i in range(num_domains)]
+    relations = [
+        make_relation(f"ds{i}", rng, rng.choice(domains)) for i in range(num_datasets)
+    ]
+    query = make_relation("query", rng, domains[0])
+    return relations, query
+
+
+def timed(function, repeats: int) -> float:
+    """Median wall time of ``function`` in milliseconds (one warm-up call)."""
+    function()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        samples.append((time.perf_counter() - start) * 1000.0)
+    return statistics.median(samples)
+
+
+def bench_size(num_datasets: int, repeats: int, seed: int) -> dict:
+    relations, query = build_corpus(num_datasets, seed)
+    modes = {
+        "scalar": DiscoveryIndex(vectorized=False, join_threshold=0.2, union_threshold=0.3),
+        "vectorized": DiscoveryIndex(join_threshold=0.2, union_threshold=0.3),
+        "lsh": DiscoveryIndex(use_lsh=True, join_threshold=0.2, union_threshold=0.3),
+    }
+    register_ms = {}
+    for mode, index in modes.items():
+        start = time.perf_counter()
+        for relation in relations:
+            index.register(relation)
+        register_ms[mode] = (time.perf_counter() - start) * 1000.0
+    profiles = {
+        mode: profile_relation(query, index.minhasher) for mode, index in modes.items()
+    }
+
+    def join(mode):
+        index, profile = modes[mode], profiles[mode]
+        if mode == "scalar":
+            return index.join_candidates_for_profile_scalar(profile)
+        return index.join_candidates_for_profile(profile)
+
+    def union(mode):
+        index, profile = modes[mode], profiles[mode]
+        if mode == "scalar":
+            return index.union_candidates_for_profile_scalar(profile)
+        return index.union_candidates_for_profile(profile)
+
+    join_ms = {mode: timed(lambda m=mode: join(m), repeats) for mode in modes}
+    union_ms = {
+        mode: timed(lambda m=mode: union(m), repeats)
+        for mode in ("scalar", "vectorized")
+    }
+    parity = join("scalar") == join("vectorized") and union("scalar") == union("vectorized")
+    result = {
+        "datasets": num_datasets,
+        "join_hits": len(join("scalar")),
+        "register_ms": {k: round(v, 3) for k, v in register_ms.items()},
+        "join_ms": {k: round(v, 4) for k, v in join_ms.items()},
+        "union_ms": {k: round(v, 4) for k, v in union_ms.items()},
+        "speedup": {
+            "join_vectorized": round(join_ms["scalar"] / join_ms["vectorized"], 2),
+            "join_lsh": round(join_ms["scalar"] / join_ms["lsh"], 2),
+            "union_vectorized": round(union_ms["scalar"] / union_ms["vectorized"], 2),
+        },
+        "parity": parity,
+    }
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+", default=[100, 1000, 5000])
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--out", type=Path, default=Path(__file__).resolve().parent.parent / "BENCH_discovery.json"
+    )
+    args = parser.parse_args(argv)
+    report = {
+        "benchmark": "discovery_engine",
+        "config": {
+            "num_hashes": 64,
+            "lsh_bands": 32,
+            "join_threshold": 0.2,
+            "union_threshold": 0.3,
+            "rows_per_dataset": NUM_ROWS,
+            "repeats": args.repeats,
+        },
+        "results": [],
+    }
+    ok = True
+    for size in args.sizes:
+        result = bench_size(size, args.repeats, args.seed)
+        report["results"].append(result)
+        ok = ok and result["parity"]
+        print(
+            f"{size:>6} datasets | join scalar {result['join_ms']['scalar']:9.2f}ms"
+            f"  vectorized {result['join_ms']['vectorized']:8.3f}ms"
+            f" ({result['speedup']['join_vectorized']:6.1f}x)"
+            f"  lsh {result['join_ms']['lsh']:8.3f}ms"
+            f" ({result['speedup']['join_lsh']:6.1f}x)"
+            f" | union {result['speedup']['union_vectorized']:5.1f}x"
+            f" | parity={'ok' if result['parity'] else 'FAIL'}"
+        )
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,7 +41,10 @@ class Corpus:
     protocols so the serving layer's sharded variants drop in unchanged.
     ``epoch`` increments on every registration change; epoch-keyed caches
     (``repro.serving.cache.ResultCache``) use it to invalidate memoised
-    discovery candidates and search results when the corpus mutates.
+    discovery candidates and search results when the corpus mutates.  The
+    discovery engine's internal caches (memoised corpus IDF, per-sketch
+    weighted norms) invalidate independently via ``IdfModel.version``, so
+    they stay warm across sketch-only epoch bumps.
     """
 
     registrations: dict[str, DatasetRegistration] = field(default_factory=dict)
@@ -57,6 +60,33 @@ class Corpus:
         self.registrations[name] = registration
         self.discovery.register(registration.relation)
         self.sketches.add(registration.sketch)
+        self.epoch += 1
+
+    def add_many(self, registrations: list[DatasetRegistration]) -> None:
+        """Bulk-register datasets with a single epoch bump at the end.
+
+        Per-dataset ``add`` moves the epoch once per registration, which
+        churns every epoch-keyed cache N times during an N-dataset backfill;
+        a bulk load is one corpus transition, so it advances the epoch once.
+        The discovery engine's packed structures still update incrementally
+        per profile.
+        """
+        if not registrations:
+            return
+        # Validate the whole batch (including intra-batch duplicates) before
+        # touching any structure: a mid-batch failure would otherwise leave
+        # the corpus partially mutated at the *old* epoch, so epoch-keyed
+        # caches would keep serving results that omit the applied prefix.
+        seen: set[str] = set()
+        for registration in registrations:
+            name = registration.name
+            if name in self.registrations or name in seen:
+                raise SearchError(f"dataset {name!r} is already registered")
+            seen.add(name)
+        for registration in registrations:
+            self.registrations[registration.name] = registration
+            self.discovery.register(registration.relation)
+            self.sketches.add(registration.sketch)
         self.epoch += 1
 
     def remove(self, name: str) -> None:

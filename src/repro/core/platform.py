@@ -69,12 +69,27 @@ class Mileena:
     metrics: object | None = None
 
     @classmethod
-    def sharded(cls, num_shards: int = 4, **kwargs) -> "Mileena":
-        """A platform whose sketch store and discovery index are sharded."""
+    def sharded(
+        cls,
+        num_shards: int = 4,
+        use_lsh: bool = False,
+        discovery_cache_capacity: int | None = None,
+        **kwargs,
+    ) -> "Mileena":
+        """A platform whose sketch store and discovery index are sharded.
+
+        ``use_lsh`` turns on LSH-banded candidate pruning in every shard
+        (sublinear, approximate); ``discovery_cache_capacity`` enables the
+        index-level epoch-scoped discovery cache.
+        """
         from repro.serving.sharded import ShardedDiscoveryIndex, ShardedSketchStore
 
         corpus = Corpus(
-            discovery=ShardedDiscoveryIndex(num_shards=num_shards),
+            discovery=ShardedDiscoveryIndex(
+                num_shards=num_shards,
+                use_lsh=use_lsh,
+                cache_capacity=discovery_cache_capacity,
+            ),
             sketches=ShardedSketchStore(num_shards=num_shards),
         )
         return cls(corpus=corpus, **kwargs)

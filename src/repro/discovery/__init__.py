@@ -1,5 +1,6 @@
 """Aurum-style data discovery: column profiles, MinHash/TF-IDF sketches, index."""
 
+from repro.discovery.engine import PackedSignatureMatrix, TokenIndex, VersionedCache
 from repro.discovery.index import (
     JOIN,
     UNION,
@@ -28,4 +29,7 @@ __all__ = [
     "TfIdfSketch",
     "IdfModel",
     "tokenize",
+    "PackedSignatureMatrix",
+    "TokenIndex",
+    "VersionedCache",
 ]

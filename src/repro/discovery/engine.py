@@ -1,0 +1,345 @@
+"""Packed data structures behind the vectorized discovery hot path.
+
+The scalar :class:`repro.discovery.index.DiscoveryIndex` compares a query
+against the corpus with O(datasets × query_cols × candidate_cols) Python
+loops.  This module holds the structures that replace those loops:
+
+* :class:`PackedSignatureMatrix` — every registered joinable column's
+  MinHash signature as one row of a contiguous ``int64`` matrix, so a
+  query's Jaccard estimates against the *whole corpus* are one broadcast
+  ``==`` / ``sum`` instead of a Python loop per pair.  Optional LSH banding
+  over the same rows prunes the candidate set sublinearly before exact
+  scoring.
+* :class:`TokenIndex` — an inverted token → dataset index over TF-IDF
+  sketches, so union scoring only visits datasets sharing at least one
+  token with the query (a dataset with no shared token scores exactly 0.0
+  in the scalar path and can never survive the threshold).
+* :class:`VersionedCache` — a memo whose entries are valid for exactly one
+  version of an upstream structure (e.g. weighted norms keyed on
+  ``IdfModel.version``); the serving layer shares one across shards.
+
+All structures are updated incrementally on register/unregister; freed
+matrix rows are recycled through a free list.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Hashable, Iterable
+
+import numpy as np
+
+from repro.exceptions import DiscoveryError
+
+_UNSET = object()
+
+
+class VersionedCache:
+    """A memo invalidated wholesale whenever an upstream version changes.
+
+    ``version_source`` is polled on every access; when it differs from the
+    version the entries were computed under, the cache empties itself.  Used
+    for per-sketch IDF-weighted norms (version = ``IdfModel.version``) and
+    shareable across shards because the version source is shared too.
+    """
+
+    def __init__(self, version_source: Callable[[], int]) -> None:
+        self._version_source = version_source
+        self._version: int | None = None
+        self._entries: dict[Hashable, object] = {}
+        self._lock = threading.Lock()
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], object]) -> object:
+        version = self._version_source()
+        with self._lock:
+            if version != self._version:
+                self._entries = {}
+                self._version = version
+            value = self._entries.get(key, _UNSET)
+        if value is not _UNSET:
+            return value
+        value = compute()
+        with self._lock:
+            # Only keep the value if the world did not move underneath the
+            # computation (compute() may itself bump the version source).
+            if self._version_source() == self._version:
+                self._entries[key] = value
+        return value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class PackedSignatureMatrix:
+    """Row-packed MinHash signatures of all registered joinable columns.
+
+    Rows are appended per (dataset, column) at registration and recycled via
+    a free list on unregister; ``_dataset_rows`` preserves each dataset's
+    column order (which the tie-breaking of the scalar reference depends
+    on) and its own insertion order mirrors the index's ``profiles`` dict.
+
+    When ``lsh_bands`` is set, each row is additionally keyed into
+    ``lsh_bands`` hash tables over ``num_hashes // lsh_bands``-wide slices
+    of its signature; :meth:`candidate_rows` unions the buckets the query
+    signatures fall into, which prunes the exact scan sublinearly.
+    """
+
+    def __init__(self, num_hashes: int, lsh_bands: int | None = None) -> None:
+        if num_hashes <= 0:
+            raise DiscoveryError("num_hashes must be positive")
+        if lsh_bands is not None:
+            if lsh_bands <= 0 or num_hashes % lsh_bands != 0:
+                raise DiscoveryError(
+                    f"lsh_bands must evenly divide num_hashes "
+                    f"(got {lsh_bands} bands over {num_hashes} hashes)"
+                )
+        self.num_hashes = num_hashes
+        self.lsh_bands = lsh_bands
+        self._rows_per_band = num_hashes // lsh_bands if lsh_bands else 0
+        self._matrix = np.empty((0, num_hashes), dtype=np.int64)
+        self._num_values = np.empty((0,), dtype=np.int64)
+        self._row_column: list[str | None] = []
+        self._row_dataset: list[str | None] = []
+        self._free: list[int] = []
+        self._dataset_rows: dict[str, list[int]] = {}
+        # Registration sequence per dataset: lets candidate subsets be
+        # re-ordered into the same order a full registry walk would visit.
+        self._dataset_seq: dict[str, int] = {}
+        self._next_seq = 0
+        self._band_tables: list[dict[bytes, set[int]]] = [
+            {} for _ in range(lsh_bands or 0)
+        ]
+        #: Bumped on every add/remove; callers key derived layouts on it.
+        self.mutations = 0
+        # One atomically-swapped tuple holding the per-dataset segment
+        # layout AND the gathered signature block: readers grab a single
+        # reference, so a concurrent register/unregister can never hand
+        # them a layout from one corpus state and similarities from
+        # another.
+        self._layout_cache: tuple | None = None
+
+    # -- registration ----------------------------------------------------------
+    def _grow(self, minimum: int) -> None:
+        capacity = max(minimum, max(16, 2 * self._matrix.shape[0]))
+        matrix = np.empty((capacity, self.num_hashes), dtype=np.int64)
+        matrix[: self._matrix.shape[0]] = self._matrix
+        num_values = np.zeros(capacity, dtype=np.int64)
+        num_values[: self._num_values.shape[0]] = self._num_values
+        # Replace wholesale instead of resizing in place: an in-flight query
+        # holding a view of the old buffer keeps reading consistent data.
+        self._matrix = matrix
+        self._num_values = num_values
+
+    def _band_keys(self, signature: np.ndarray) -> list[bytes]:
+        width = self._rows_per_band
+        return [
+            signature[band * width : (band + 1) * width].tobytes()
+            for band in range(self.lsh_bands or 0)
+        ]
+
+    def add(self, dataset: str, column: str, signature: np.ndarray, num_values: int) -> None:
+        """Pack one column signature (a ``(num_hashes,)`` int64 row)."""
+        if signature.shape != (self.num_hashes,):
+            raise DiscoveryError(
+                f"signature width {signature.shape} does not match "
+                f"matrix width {self.num_hashes}"
+            )
+        if self._free:
+            row = self._free.pop()
+        else:
+            row = len(self._row_column)
+            if row >= self._matrix.shape[0]:
+                self._grow(row + 1)
+            self._row_column.append(None)
+            self._row_dataset.append(None)
+        self._matrix[row] = signature
+        self._num_values[row] = num_values
+        self._row_column[row] = column
+        self._row_dataset[row] = dataset
+        if dataset not in self._dataset_seq:
+            self._dataset_seq[dataset] = self._next_seq
+            self._next_seq += 1
+        self._dataset_rows.setdefault(dataset, []).append(row)
+        if self.lsh_bands:
+            for table, key in zip(self._band_tables, self._band_keys(signature)):
+                table.setdefault(key, set()).add(row)
+        self.mutations += 1
+        self._layout_cache = None
+
+    def remove_dataset(self, dataset: str) -> None:
+        """Free every row belonging to ``dataset``."""
+        rows = self._dataset_rows.pop(dataset, None)
+        if not rows:
+            return
+        for row in rows:
+            if self.lsh_bands:
+                for table, key in zip(self._band_tables, self._band_keys(self._matrix[row])):
+                    bucket = table.get(key)
+                    if bucket is not None:
+                        bucket.discard(row)
+                        if not bucket:
+                            del table[key]
+            self._row_column[row] = None
+            self._row_dataset[row] = None
+            self._free.append(row)
+        self._dataset_seq.pop(dataset, None)
+        self.mutations += 1
+        self._layout_cache = None
+
+    # -- introspection ---------------------------------------------------------
+    def __contains__(self, dataset: object) -> bool:
+        return dataset in self._dataset_rows
+
+    def __len__(self) -> int:
+        return len(self._row_column) - len(self._free)
+
+    def rows_for(self, dataset: str) -> list[int]:
+        """Row ids of a dataset's columns, in registration (column) order."""
+        return self._dataset_rows.get(dataset, [])
+
+    def grouped_rows(self, rows: set[int]) -> list[tuple[str, list[int], list[str]]]:
+        """``rows`` grouped per dataset, in full-registry visit order.
+
+        Returns ``(dataset, rows, column_names)`` triples: datasets in
+        registration order and each group's rows in column order — the
+        order a full scan would produce — but the cost is proportional to
+        ``len(rows)``, not the corpus size, which is what keeps LSH-pruned
+        queries sublinear.
+        """
+        datasets = {self._row_dataset[row] for row in rows}
+        datasets.discard(None)
+        segments: list[tuple[str, list[int], list[str]]] = []
+        for dataset in sorted(datasets, key=self._dataset_seq.__getitem__):
+            selected = [row for row in self._dataset_rows[dataset] if row in rows]
+            segments.append(
+                (dataset, selected, [self._row_column[row] for row in selected])
+            )
+        return segments
+
+    def column_of(self, row: int) -> str | None:
+        return self._row_column[row]
+
+    def layout(self) -> tuple:
+        """The full corpus packed as contiguous per-dataset segments.
+
+        Returns ``(row_ids, segment_starts, segments, selected, empty)``
+        where ``segments`` lists ``(dataset, rows, column_names)`` in
+        registration order — the same order as the index's ``profiles``
+        dict, because both are insertion-ordered and mutated in lockstep —
+        and ``selected``/``empty`` are the gathered signature block and
+        empty-sketch mask for exactly those rows.  The whole tuple is
+        built together and cached until the next mutation, so one
+        reference read hands a consistent snapshot to concurrent queries.
+        """
+        cache = self._layout_cache
+        if cache is None:
+            generation = self.mutations
+            segments: list[tuple[str, list[int], list[str]]] = []
+            flat: list[int] = []
+            starts: list[int] = []
+            for dataset, rows in list(self._dataset_rows.items()):
+                if not rows:
+                    continue
+                starts.append(len(flat))
+                segments.append(
+                    (dataset, list(rows), [self._row_column[row] for row in rows])
+                )
+                flat.extend(rows)
+            row_ids = np.asarray(flat, dtype=np.intp)
+            cache = (
+                row_ids,
+                np.asarray(starts, dtype=np.intp),
+                segments,
+                self._matrix[row_ids],
+                self._num_values[row_ids] == 0,
+            )
+            # Only publish if no mutation raced the build: a snapshot taken
+            # mid-mutation must not outlive the mutation's invalidation.
+            if self.mutations == generation:
+                self._layout_cache = cache
+        return cache
+
+    def scan(self, query_signatures: np.ndarray):
+        """One consistent (layout, similarities) pair for an exact scan."""
+        row_ids, starts, segments, selected, empty = self.layout()
+        return (row_ids, starts, segments), self._broadcast(
+            query_signatures, selected, empty
+        )
+
+    # -- querying --------------------------------------------------------------
+    def candidate_rows(self, query_signatures: np.ndarray) -> set[int]:
+        """LSH-pruned candidate rows: share ≥1 band bucket with any query row."""
+        if not self.lsh_bands:
+            raise DiscoveryError("candidate_rows requires LSH banding to be enabled")
+        candidates: set[int] = set()
+        for signature in query_signatures:
+            for table, key in zip(self._band_tables, self._band_keys(signature)):
+                bucket = table.get(key)
+                if bucket:
+                    candidates |= bucket
+        return candidates
+
+    def similarities(self, query_signatures: np.ndarray, row_ids: np.ndarray) -> np.ndarray:
+        """Estimated Jaccard of every (query row, selected row) pair.
+
+        ``matches / num_hashes`` with float64 division — bit-identical to
+        the scalar :meth:`MinHashSketch.jaccard` (which is ``int / int``),
+        so vectorized similarities compare and sort exactly like scalar
+        ones.  Rows with ``num_values == 0`` are zeroed, matching the
+        scalar empty-sketch guard.
+        """
+        return self._broadcast(
+            query_signatures, self._matrix[row_ids], self._num_values[row_ids] == 0
+        )
+
+    @staticmethod
+    def _broadcast(
+        query_signatures: np.ndarray, selected: np.ndarray, empty: np.ndarray
+    ) -> np.ndarray:
+        matches = (query_signatures[:, None, :] == selected[None, :, :]).sum(axis=2)
+        sims = matches / selected.shape[1]
+        sims[:, empty] = 0.0
+        return sims
+
+
+class TokenIndex:
+    """Inverted token → dataset index over TF-IDF sketches (refcounted).
+
+    Multiple columns of one dataset can share a token, so entries are
+    refcounts; a dataset leaves a token's posting only when its last column
+    carrying that token is removed.
+    """
+
+    def __init__(self) -> None:
+        self._postings: dict[str, dict[str, int]] = {}
+
+    def add(self, dataset: str, tokens: Iterable[str]) -> None:
+        for token in tokens:
+            posting = self._postings.setdefault(token, {})
+            posting[dataset] = posting.get(dataset, 0) + 1
+
+    def remove(self, dataset: str, tokens: Iterable[str]) -> None:
+        for token in tokens:
+            posting = self._postings.get(token)
+            if posting is None:
+                continue
+            remaining = posting.get(dataset, 0) - 1
+            if remaining > 0:
+                posting[dataset] = remaining
+            else:
+                posting.pop(dataset, None)
+                if not posting:
+                    del self._postings[token]
+
+    def datasets_sharing(self, tokens: Iterable[str]) -> set[str]:
+        """Datasets with at least one column containing at least one token."""
+        matches: set[str] = set()
+        postings = self._postings
+        for token in tokens:
+            posting = postings.get(token)
+            if posting:
+                matches.update(posting)
+        return matches
+
+    def __len__(self) -> int:
+        return len(self._postings)

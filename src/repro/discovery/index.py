@@ -8,13 +8,31 @@ columns align under TF-IDF cosine similarity).
 The index holds only profiles/sketches — never raw provider rows — matching
 the paper's architecture where discovery metadata and semi-ring sketches are
 the only artefacts uploaded to the central platform.
+
+Discovery is the serving hot path, so the index keeps two implementations:
+
+* the **vectorized engine** (default): joinable-column signatures live in a
+  packed ``int64`` matrix (:class:`PackedSignatureMatrix`), so one query is
+  a single broadcast comparison over the whole corpus plus a segmented
+  max-reduction — optionally preceded by LSH banding (``use_lsh``) that
+  prunes the candidate rows sublinearly before exact scoring; union
+  queries consult an inverted token index and score only datasets sharing
+  at least one token, with per-sketch IDF-weighted norms memoised against
+  ``IdfModel.version``;
+* the **scalar reference** (``vectorized=False`` or the ``*_scalar``
+  methods): the original nested-loop implementation, kept as the parity
+  oracle — the vectorized exact path returns candidate lists identical to
+  it (same candidates, same order, bit-equal similarities).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, runtime_checkable
+from typing import Mapping, Protocol, runtime_checkable
 
+import numpy as np
+
+from repro.discovery.engine import PackedSignatureMatrix, TokenIndex, VersionedCache
 from repro.discovery.minhash import MinHasher
 from repro.discovery.profiles import DatasetProfile, profile_relation
 from repro.discovery.tfidf import IdfModel
@@ -72,13 +90,45 @@ class DiscoveryIndexLike(Protocol):
 
 @dataclass
 class DiscoveryIndex:
-    """Profiles of every registered dataset plus corpus-level IDF statistics."""
+    """Profiles of every registered dataset plus corpus-level IDF statistics.
+
+    ``vectorized`` selects the packed-matrix engine (the default);
+    ``use_lsh`` additionally prunes join scans with LSH banding
+    (``lsh_bands`` bands over ``num_hashes // lsh_bands`` rows each) — an
+    approximation that can miss low-similarity candidates, so it is off by
+    default and the exact vectorized scan stays result-identical to the
+    scalar reference.  ``norm_cache`` memoises per-sketch IDF-weighted
+    norms against ``idf_model.version``; the sharded index passes one
+    shared cache to every shard.
+    """
 
     minhasher: MinHasher = field(default_factory=MinHasher)
     join_threshold: float = 0.3
     union_threshold: float = 0.55
     profiles: dict[str, DatasetProfile] = field(default_factory=dict)
     idf_model: IdfModel = field(default_factory=IdfModel)
+    vectorized: bool = True
+    use_lsh: bool = False
+    lsh_bands: int = 32
+    norm_cache: VersionedCache | None = None
+
+    def __post_init__(self) -> None:
+        bands = self.lsh_bands if self.use_lsh else None
+        # Band validation (positive, evenly divides the signature width)
+        # happens in PackedSignatureMatrix so the error is raised in one
+        # place with one message.
+        self._signatures = PackedSignatureMatrix(self.minhasher.num_hashes, bands)
+        self._tokens = TokenIndex()
+        if self.norm_cache is None:
+            self.norm_cache = VersionedCache(lambda: self.idf_model.version)
+        # Datasets whose sketches do not fit the packed matrix (e.g. a
+        # profile built with a different MinHasher width); while any is
+        # registered, the scalar reference serves every join query,
+        # preserving the flat index's historical behaviour for exotic
+        # profiles.  Unregistering the offenders restores the fast path.
+        self._unpacked: set[str] = set()
+        for profile in self.profiles.values():
+            self._index_profile(profile)
 
     # -- registration ----------------------------------------------------------
     def register(self, relation: Relation) -> DatasetProfile:
@@ -100,6 +150,7 @@ class DiscoveryIndex:
         for column_profile in profile.columns.values():
             if column_profile.tfidf is not None:
                 self.idf_model.add_document(column_profile.tfidf)
+        self._index_profile(profile)
 
     def unregister(self, dataset: str) -> None:
         """Remove a dataset from the index, including its IDF documents."""
@@ -109,6 +160,32 @@ class DiscoveryIndex:
         for column_profile in profile.columns.values():
             if column_profile.tfidf is not None:
                 self.idf_model.remove_document(column_profile.tfidf)
+        self._deindex_profile(profile)
+
+    def _index_profile(self, profile: DatasetProfile) -> None:
+        """Incrementally add one profile to the packed structures."""
+        for column_profile in profile.joinable_columns():
+            sketch = column_profile.minhash
+            if sketch is None:
+                continue
+            if len(sketch.signature) != self._signatures.num_hashes:
+                # Can't pack a foreign-width signature; fall back to the
+                # scalar path (which raises on the mismatched comparison,
+                # exactly as the historical implementation did).
+                self._unpacked.add(profile.dataset)
+                continue
+            self._signatures.add(
+                profile.dataset,
+                column_profile.column,
+                sketch.signature_array(),
+                sketch.num_values,
+            )
+        self._tokens.add(profile.dataset, profile.sketch_tokens())
+
+    def _deindex_profile(self, profile: DatasetProfile) -> None:
+        self._signatures.remove_dataset(profile.dataset)
+        self._tokens.remove(profile.dataset, profile.sketch_tokens())
+        self._unpacked.discard(profile.dataset)
 
     def __contains__(self, dataset: object) -> bool:
         return dataset in self.profiles
@@ -136,15 +213,225 @@ class DiscoveryIndex:
         self, query_profile: DatasetProfile, top_k: int | None = None
     ) -> list[JoinCandidate]:
         """Join candidates for an already-profiled query (shards reuse the profile)."""
+        if not self.vectorized or self._unpacked:
+            return self.join_candidates_for_profile_scalar(query_profile, top_k)
+        return self._join_candidates_vectorized(query_profile, top_k)
+
+    def union_candidates(self, query: Relation, top_k: int | None = None) -> list[UnionCandidate]:
+        """Provider datasets whose schemas align column-by-column with the query."""
+        query_profile = profile_relation(query, self.minhasher)
+        return self.union_candidates_for_profile(query_profile, top_k)
+
+    def union_candidates_for_profile(
+        self,
+        query_profile: DatasetProfile,
+        top_k: int | None = None,
+        idf: dict[str, float] | None = None,
+        query_norms: dict[str, float] | None = None,
+    ) -> list[UnionCandidate]:
+        """Union candidates for an already-profiled query.
+
+        ``idf`` and ``query_norms`` let a sharded index compute the
+        corpus-level IDF weights and the query columns' weighted norms once
+        and pass them to every shard.
+        """
+        if not self.vectorized:
+            return self.union_candidates_for_profile_scalar(query_profile, top_k, idf)
+        if idf is None:
+            idf = self.idf_model.idf()
+        if query_norms is None:
+            query_norms = self.query_column_norms(query_profile, idf)
+        candidates = self._tokens.datasets_sharing(
+            term
+            for column in query_profile.columns.values()
+            if column.tfidf is not None
+            for term in column.tfidf.term_counts
+        )
+        results: list[UnionCandidate] = []
+        for dataset, profile in list(self.profiles.items()):
+            if dataset == query_profile.dataset or dataset not in candidates:
+                continue
+            mapping, score = self._best_column_mapping_fast(
+                query_profile, profile, idf, query_norms
+            )
+            if mapping and score >= self.union_threshold:
+                results.append(UnionCandidate(dataset, tuple(mapping), score))
+        results.sort(key=lambda candidate: -candidate.similarity)
+        return results[:top_k] if top_k is not None else results
+
+    def query_column_norms(
+        self, query_profile: DatasetProfile, idf: Mapping[str, float]
+    ) -> dict[str, float]:
+        """IDF-weighted norm of every query column sketch, computed once."""
+        return {
+            name: column.tfidf.norm(idf)
+            for name, column in query_profile.columns.items()
+            if column.tfidf is not None
+        }
+
+    # -- vectorized join engine -----------------------------------------------
+    def _join_candidates_vectorized(
+        self, query_profile: DatasetProfile, top_k: int | None
+    ) -> list[JoinCandidate]:
+        engine = self._signatures
+        query_columns = [
+            column
+            for column in query_profile.joinable_columns()
+            if column.minhash is not None
+        ]
         results: list[JoinCandidate] = []
+        if query_columns and len(engine):
+            width = engine.num_hashes
+            for column in query_columns:
+                if len(column.minhash.signature) != width:
+                    raise DiscoveryError(
+                        "cannot compare MinHash sketches of different widths"
+                    )
+            signatures = np.array(
+                [column.minhash.signature for column in query_columns], dtype=np.int64
+            )
+            valid = np.array(
+                [column.minhash.num_values > 0 for column in query_columns], dtype=bool
+            )
+            if self.use_lsh:
+                selection = self._lsh_layout(signatures[valid]) if valid.any() else None
+                sims = engine.similarities(signatures, selection[0]) if selection else None
+            else:
+                # One engine call hands back a layout and similarities built
+                # from the same snapshot, so a concurrent register/unregister
+                # cannot misalign the two.
+                selection, sims = engine.scan(signatures)
+                if not selection[0].size:
+                    sims = None
+            if sims is not None:
+                row_ids, starts, segments = selection
+                sims[~valid, :] = 0.0
+                total_rows = row_ids.size
+                num_query = sims.shape[0]
+                segment_lengths = np.diff(np.append(starts, total_rows))
+                segment_max = np.maximum.reduceat(sims, starts, axis=1).max(axis=0)
+                hit_mask = segment_max >= self.join_threshold
+                if hit_mask.any():
+                    # Recover, per hit segment, the first (query column,
+                    # candidate column) pair achieving the segment max — the
+                    # same pair the scalar loop's strict-> replacement picks.
+                    # Each cell is ranked by its flat position in the scalar
+                    # iteration order (query-major within the segment), and
+                    # a min-reduce finds the earliest max-achieving cell.
+                    segment_of_column = np.repeat(
+                        np.arange(len(segments)), segment_lengths
+                    )
+                    column_max = segment_max[segment_of_column]
+                    local_offset = np.arange(total_rows) - starts[segment_of_column]
+                    rank = (
+                        np.arange(num_query)[:, None] * segment_lengths[segment_of_column][None, :]
+                        + local_offset[None, :]
+                    )
+                    sentinel = num_query * total_rows + 1
+                    rank = np.where(sims == column_max[None, :], rank, sentinel)
+                    first_rank = np.minimum.reduceat(rank.min(axis=0), starts)
+                    for segment_index in map(int, np.flatnonzero(hit_mask)):
+                        dataset, rows, column_names = segments[segment_index]
+                        if dataset == query_profile.dataset:
+                            continue
+                        query_index, row_index = divmod(
+                            int(first_rank[segment_index]), len(rows)
+                        )
+                        results.append(
+                            JoinCandidate(
+                                dataset,
+                                query_columns[query_index].column,
+                                column_names[row_index],
+                                float(segment_max[segment_index]),
+                            )
+                        )
+        results.sort(key=lambda candidate: -candidate.similarity)
+        return results[:top_k] if top_k is not None else results
+
+    def _lsh_layout(self, query_signatures: np.ndarray):
+        """Per-dataset segments restricted to LSH band-collision rows.
+
+        Cost is proportional to the candidate set, not the corpus: the
+        banded rows are grouped per dataset by the engine (in the same
+        order a full registry walk would visit them, so tie-breaking
+        matches the exact scan).
+        """
+        engine = self._signatures
+        allowed = engine.candidate_rows(query_signatures)
+        if not allowed:
+            return None
+        segments = engine.grouped_rows(allowed)
+        flat: list[int] = []
+        starts: list[int] = []
+        for _, rows, _ in segments:
+            starts.append(len(flat))
+            flat.extend(rows)
+        return (
+            np.asarray(flat, dtype=np.intp),
+            np.asarray(starts, dtype=np.intp),
+            segments,
+        )
+
+    def _best_column_mapping_fast(
+        self,
+        query_profile: DatasetProfile,
+        candidate_profile: DatasetProfile,
+        idf: dict[str, float],
+        query_norms: dict[str, float],
+    ) -> tuple[list[tuple[str, str]], float]:
+        """The scalar greedy mapping with all norms served from caches.
+
+        Float arithmetic is identical to :meth:`_best_column_mapping`
+        (same dot-product iteration order, same weighting expression), so
+        the two return bit-equal scores.
+        """
+        norm_cache = self.norm_cache
+        dataset = candidate_profile.dataset
+        pairs: list[tuple[float, str, str]] = []
+        for query_column in query_profile.columns.values():
+            query_norm = query_norms.get(query_column.column, 0.0)
+            for candidate_column in candidate_profile.columns.values():
+                if query_column.dtype != candidate_column.dtype and not (
+                    query_column.dtype in ("key", "categorical")
+                    and candidate_column.dtype in ("key", "categorical")
+                ):
+                    continue
+                candidate_sketch = candidate_column.tfidf
+                candidate_norm = norm_cache.get_or_compute(
+                    (dataset, candidate_column.column),
+                    lambda sketch=candidate_sketch: sketch.norm(idf),
+                )
+                similarity = query_column.tfidf.cosine_with_norms(
+                    candidate_sketch, idf, query_norm, candidate_norm
+                )
+                pairs.append((similarity, query_column.column, candidate_column.column))
+        return self._greedy_mapping(pairs, query_profile)
+
+    # -- scalar reference (parity oracle) ---------------------------------------
+    def join_candidates_scalar(
+        self, query: Relation, top_k: int | None = None
+    ) -> list[JoinCandidate]:
+        """The original nested-loop join scan (reference for parity tests)."""
+        query_profile = profile_relation(query, self.minhasher)
+        return self.join_candidates_for_profile_scalar(query_profile, top_k)
+
+    def join_candidates_for_profile_scalar(
+        self, query_profile: DatasetProfile, top_k: int | None = None
+    ) -> list[JoinCandidate]:
+        results: list[JoinCandidate] = []
+        # Hoisted out of the loops: joinable_columns() rebuilds a list per
+        # call, and the inner loop used to rebuild the candidate's list once
+        # per query column.
+        query_joinable = query_profile.joinable_columns()
         # Snapshot the registry so a concurrent register/unregister cannot
         # break iteration mid-query.
         for dataset, profile in list(self.profiles.items()):
             if dataset == query_profile.dataset:
                 continue
+            candidate_joinable = profile.joinable_columns()
             best: JoinCandidate | None = None
-            for query_column in query_profile.joinable_columns():
-                for candidate_column in profile.joinable_columns():
+            for query_column in query_joinable:
+                for candidate_column in candidate_joinable:
                     similarity = query_column.minhash.jaccard(candidate_column.minhash)
                     if similarity < self.join_threshold:
                         continue
@@ -157,22 +444,19 @@ class DiscoveryIndex:
         results.sort(key=lambda candidate: -candidate.similarity)
         return results[:top_k] if top_k is not None else results
 
-    def union_candidates(self, query: Relation, top_k: int | None = None) -> list[UnionCandidate]:
-        """Provider datasets whose schemas align column-by-column with the query."""
+    def union_candidates_scalar(
+        self, query: Relation, top_k: int | None = None
+    ) -> list[UnionCandidate]:
+        """The original full-corpus union scan (reference for parity tests)."""
         query_profile = profile_relation(query, self.minhasher)
-        return self.union_candidates_for_profile(query_profile, top_k)
+        return self.union_candidates_for_profile_scalar(query_profile, top_k)
 
-    def union_candidates_for_profile(
+    def union_candidates_for_profile_scalar(
         self,
         query_profile: DatasetProfile,
         top_k: int | None = None,
         idf: dict[str, float] | None = None,
     ) -> list[UnionCandidate]:
-        """Union candidates for an already-profiled query.
-
-        ``idf`` lets a sharded index compute the corpus-level IDF weights once
-        and pass them to every shard.
-        """
         if idf is None:
             idf = self.idf_model.idf()
         results: list[UnionCandidate] = []
@@ -203,6 +487,11 @@ class DiscoveryIndex:
                     continue
                 similarity = query_column.tfidf.cosine(candidate_column.tfidf, idf)
                 pairs.append((similarity, query_column.column, candidate_column.column))
+        return self._greedy_mapping(pairs, query_profile)
+
+    def _greedy_mapping(
+        self, pairs: list[tuple[float, str, str]], query_profile: DatasetProfile
+    ) -> tuple[list[tuple[str, str]], float]:
         pairs.sort(reverse=True)
         used_query: set[str] = set()
         used_candidate: set[str] = set()

@@ -42,9 +42,17 @@ class MinHashSketch:
         matches = sum(1 for a, b in zip(self.signature, other.signature) if a == b)
         return matches / len(self.signature)
 
+    def signature_array(self) -> np.ndarray:
+        """The signature as an ``int64`` row, ready to pack into a matrix."""
+        return np.asarray(self.signature, dtype=np.int64)
+
 
 class MinHasher:
     """Generates MinHash sketches with a shared family of hash functions."""
+
+    #: Values hashed per vectorised block; bounds the (num_hashes × chunk)
+    #: permutation table to a few MB regardless of column cardinality.
+    _CHUNK = 4096
 
     def __init__(self, num_hashes: int = 64, seed: int = 7) -> None:
         if num_hashes <= 0:
@@ -55,14 +63,31 @@ class MinHasher:
         self._b = rng.integers(0, _PRIME - 1, size=num_hashes, dtype=np.int64)
 
     def sketch(self, values: Iterable) -> MinHashSketch:
-        """Sketch the distinct (stringified) values of a column."""
+        """Sketch the distinct (stringified) values of a column.
+
+        Value hashing is batched: the per-value digests are concatenated and
+        decoded in one ``np.frombuffer`` pass, and the permutation table is
+        minimised chunk by chunk so memory stays bounded on wide columns.
+        The arithmetic (including int64 wraparound in ``a * h``) is
+        element-for-element identical to the original scalar loop, so
+        signatures are unchanged.
+        """
         distinct = {str(value) for value in values if value is not None}
         if not distinct:
             return MinHashSketch(tuple([int(_PRIME)] * self.num_hashes), 0)
-        hashes = np.array([_stable_hash(value) % _PRIME for value in distinct], dtype=np.int64)
+        digests = b"".join(
+            hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest()
+            for value in distinct
+        )
+        hashes = (np.frombuffer(digests, dtype=">u8") % np.uint64(_PRIME)).astype(np.int64)
         # (a * h + b) mod p for every hash function, minimised over values.
-        table = (self._a[:, None] * hashes[None, :] + self._b[:, None]) % _PRIME
-        signature = table.min(axis=1)
+        signature = np.full(self.num_hashes, _PRIME, dtype=np.int64)
+        a_column = self._a[:, None]
+        b_column = self._b[:, None]
+        for start in range(0, len(hashes), self._CHUNK):
+            chunk = hashes[start : start + self._CHUNK]
+            table = (a_column * chunk[None, :] + b_column) % _PRIME
+            np.minimum(signature, table.min(axis=1), out=signature)
         return MinHashSketch(tuple(int(v) for v in signature), len(distinct))
 
 

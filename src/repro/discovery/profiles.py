@@ -62,6 +62,16 @@ class DatasetProfile:
     def numeric_columns(self) -> list[ColumnProfile]:
         return [profile for profile in self.columns.values() if profile.dtype == "numeric"]
 
+    def sketch_tokens(self):
+        """Every TF-IDF term of every column (with repeats across columns).
+
+        The discovery engine's inverted token index refcounts these, so a
+        token shared by several columns survives until the last one leaves.
+        """
+        for profile in self.columns.values():
+            if profile.tfidf is not None:
+                yield from profile.tfidf.term_counts
+
 
 def profile_relation(
     relation: Relation,

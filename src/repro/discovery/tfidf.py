@@ -4,6 +4,16 @@ Aurum retrieves unionable datasets via the cosine similarity of TF-IDF
 vectors built from column names and values.  The corpus-level inverse
 document frequencies are maintained by the discovery index; each column
 contributes a sparse term-frequency vector.
+
+Two layers of caching keep union queries off the recomputation treadmill:
+
+* every :class:`TfIdfSketch` lazily caches its *unweighted* self-norm (the
+  sketch is frozen, so the norm can never go stale), and exposes
+  :meth:`TfIdfSketch.norm` so callers scoring many pairs against the same
+  IDF snapshot can compute each weighted norm once;
+* :class:`IdfModel` carries a mutation counter (``version``) and memoises
+  :meth:`IdfModel.idf` against it, so a query burst against an unchanged
+  corpus rebuilds the IDF dict zero times instead of once per query.
 """
 
 from __future__ import annotations
@@ -15,6 +25,8 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 _TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+_UNSET = object()
 
 
 def tokenize(text: str) -> list[str]:
@@ -45,38 +57,88 @@ class TfIdfSketch:
             counts.update(tokenize(value))
         return cls(dict(counts), sum(counts.values()))
 
+    def norm(self, idf: Mapping[str, float] | None = None) -> float:
+        """Euclidean norm of the (optionally IDF-weighted) term vector.
+
+        The unweighted norm is cached on the instance: the sketch is frozen,
+        so it is computed at most once.  Weighted norms depend on the IDF
+        snapshot and are the caller's to cache (see
+        ``DiscoveryIndex``'s version-keyed norm cache).
+        """
+        if idf is None:
+            cached = self.__dict__.get("_self_norm", _UNSET)
+            if cached is not _UNSET:
+                return cached
+            value = math.sqrt(sum(count ** 2 for count in self.term_counts.values()))
+            object.__setattr__(self, "_self_norm", value)
+            return value
+        return math.sqrt(
+            sum((count * idf.get(term, 1.0)) ** 2 for term, count in self.term_counts.items())
+        )
+
     def cosine(self, other: "TfIdfSketch", idf: Mapping[str, float] | None = None) -> float:
         """Cosine similarity between two sketches, optionally IDF-weighted."""
         if not self.term_counts or not other.term_counts:
             return 0.0
+        norm_self = self.norm(idf)
+        norm_other = other.norm(idf)
+        return self.cosine_with_norms(other, idf, norm_self, norm_other)
 
-        def weight(term: str, count: int) -> float:
-            scale = idf.get(term, 1.0) if idf is not None else 1.0
-            return count * scale
+    def cosine_with_norms(
+        self,
+        other: "TfIdfSketch",
+        idf: Mapping[str, float] | None,
+        norm_self: float,
+        norm_other: float,
+    ) -> float:
+        """Cosine similarity with both norms supplied by the caller.
 
-        dot = 0.0
-        for term, count in self.term_counts.items():
-            if term in other.term_counts:
-                dot += weight(term, count) * weight(term, other.term_counts[term])
-        norm_self = math.sqrt(sum(weight(t, c) ** 2 for t, c in self.term_counts.items()))
-        norm_other = math.sqrt(sum(weight(t, c) ** 2 for t, c in other.term_counts.items()))
+        This is the hot-path variant used by the discovery index, which
+        caches per-sketch weighted norms across candidate pairs; the float
+        arithmetic (term iteration order, weighting expression) is identical
+        to :meth:`cosine`, so the two produce bit-equal similarities.
+        """
+        if not self.term_counts or not other.term_counts:
+            return 0.0
         if norm_self == 0.0 or norm_other == 0.0:
             return 0.0
+        other_counts = other.term_counts
+        dot = 0.0
+        if idf is None:
+            for term, count in self.term_counts.items():
+                other_count = other_counts.get(term)
+                if other_count is not None:
+                    dot += (count * 1.0) * (other_count * 1.0)
+        else:
+            for term, count in self.term_counts.items():
+                other_count = other_counts.get(term)
+                if other_count is not None:
+                    dot += (count * idf.get(term, 1.0)) * (other_count * idf.get(term, 1.0))
         return dot / (norm_self * norm_other)
 
 
 @dataclass
 class IdfModel:
-    """Corpus-level inverse document frequencies over column sketches."""
+    """Corpus-level inverse document frequencies over column sketches.
+
+    ``version`` increments on every mutation; :meth:`idf` is memoised
+    against it, and downstream caches (per-sketch weighted norms in the
+    discovery index, the serving layer's shared norm cache) treat it as
+    their invalidation epoch.
+    """
 
     document_count: int = 0
     document_frequency: Counter = field(default_factory=Counter)
+    version: int = 0
+    _idf_cache: dict | None = field(default=None, repr=False, compare=False)
+    _idf_cache_version: int = field(default=-1, repr=False, compare=False)
 
     def add_document(self, sketch: TfIdfSketch) -> None:
         """Register one column sketch as a document."""
         self.document_count += 1
         for term in sketch.term_counts:
             self.document_frequency[term] += 1
+        self.version += 1
 
     def remove_document(self, sketch: TfIdfSketch) -> None:
         """Forget one previously added column sketch.
@@ -94,15 +156,32 @@ class IdfModel:
                 self.document_frequency[term] = remaining
             else:
                 del self.document_frequency[term]
+        self.version += 1
 
     def idf(self) -> dict[str, float]:
-        """Smoothed IDF weights for every known term."""
+        """Smoothed IDF weights for every known term (memoised per version).
+
+        Callers must treat the returned dict as read-only: the same object
+        is handed out until the next mutation bumps ``version``.
+        """
+        if self._idf_cache is not None and self._idf_cache_version == self.version:
+            return self._idf_cache
+        # Capture the version BEFORE building: if a concurrent mutation
+        # lands mid-build, the (possibly mixed) weights are stamped with the
+        # pre-mutation version and the post-mutation version misses the
+        # cache, instead of stale weights masquerading as current.
+        version = self.version
         if self.document_count == 0:
-            return {}
-        # Snapshot first: building the dict from a live Counter would break
-        # if a concurrent register/unregister resizes it mid-iteration.
-        frequencies = dict(self.document_frequency)
-        return {
-            term: math.log((1 + self.document_count) / (1 + frequency)) + 1.0
-            for term, frequency in frequencies.items()
-        }
+            weights: dict[str, float] = {}
+        else:
+            # Snapshot first: building the dict from a live Counter would
+            # break if a concurrent register/unregister resizes it
+            # mid-iteration.
+            frequencies = dict(self.document_frequency)
+            weights = {
+                term: math.log((1 + self.document_count) / (1 + frequency)) + 1.0
+                for term, frequency in frequencies.items()
+            }
+        self._idf_cache = weights
+        self._idf_cache_version = version
+        return weights

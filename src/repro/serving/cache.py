@@ -27,24 +27,42 @@ _MISSING = object()
 
 
 class ResultCache:
-    """A thread-safe LRU cache with hit/miss/eviction metrics."""
+    """A thread-safe LRU cache with hit/miss/eviction metrics.
+
+    ``version_source`` is the epoch plumbing: when provided, every key is
+    transparently scoped to the current value of the source (e.g.
+    ``Corpus.epoch`` or a sharded index's mutation counter), so entries
+    computed against an older corpus can never be returned — callers no
+    longer need to hand-build epoch-suffixed keys.  Stale entries age out
+    of the LRU naturally.
+    """
 
     def __init__(
         self,
         capacity: int = 256,
         metrics: MetricsRegistry | None = None,
         name: str = "result_cache",
+        version_source: Callable[[], int] | None = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity
         self.name = name
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._version_source = version_source
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
         self._lock = threading.Lock()
 
+    def _scoped(self, key: Hashable) -> Hashable:
+        if self._version_source is None:
+            return key
+        return (self._version_source(), key)
+
     def get(self, key: Hashable, default: object = None) -> object:
         """The cached value for ``key`` (recording a hit or miss)."""
+        return self._get_scoped(self._scoped(key), default)
+
+    def _get_scoped(self, key: Hashable, default: object = None) -> object:
         with self._lock:
             value = self._entries.get(key, _MISSING)
             if value is _MISSING:
@@ -56,6 +74,9 @@ class ResultCache:
 
     def put(self, key: Hashable, value: object) -> None:
         """Insert (or refresh) an entry, evicting the least recently used."""
+        self._put_scoped(self._scoped(key), value)
+
+    def _put_scoped(self, key: Hashable, value: object) -> None:
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
@@ -70,12 +91,18 @@ class ResultCache:
         may compute twice (both arrive at the same value — computations are
         deterministic), which is preferable to serialising every requester
         behind one in-flight computation.
+
+        The version scope is resolved exactly once: a result computed
+        against version V is stored under V even if the version source
+        moves while ``compute`` runs, so a stale value can never shadow the
+        new version's entry.
         """
-        value = self.get(key, _MISSING)
+        key = self._scoped(key)
+        value = self._get_scoped(key, _MISSING)
         if value is not _MISSING:
             return value
         value = compute()
-        self.put(key, value)
+        self._put_scoped(key, value)
         return value
 
     def clear(self) -> None:
@@ -86,7 +113,7 @@ class ResultCache:
         return len(self._entries)
 
     def __contains__(self, key: object) -> bool:
-        return key in self._entries
+        return self._scoped(key) in self._entries
 
     @property
     def stats(self):

@@ -24,13 +24,15 @@ from __future__ import annotations
 
 import threading
 
+from repro.discovery.engine import VersionedCache
 from repro.discovery.index import DiscoveryIndex, JoinCandidate, UnionCandidate
 from repro.discovery.minhash import MinHasher
 from repro.discovery.profiles import DatasetProfile, profile_relation
 from repro.discovery.tfidf import IdfModel
 from repro.exceptions import DiscoveryError, SketchError
 from repro.relational.relation import Relation
-from repro.serving.fingerprint import stable_hash
+from repro.serving.cache import ResultCache
+from repro.serving.fingerprint import relation_fingerprint, stable_hash
 from repro.serving.metrics import MetricsRegistry
 from repro.sketches.sketch import RelationSketch
 from repro.sketches.store import SketchStore
@@ -124,9 +126,20 @@ class ShardedSketchStore:
 class ShardedDiscoveryIndex:
     """A discovery index partitioned across N flat indices by dataset-name hash.
 
-    All shards share one :class:`MinHasher` (so profiles are comparable) and
+    All shards share one :class:`MinHasher` (so profiles are comparable),
     one :class:`IdfModel` (so union similarities are scored against the
-    corpus-level document frequencies, exactly as the flat index does).
+    corpus-level document frequencies, exactly as the flat index does), and
+    one :class:`VersionedCache` of IDF-weighted sketch norms keyed on
+    ``IdfModel.version`` — a fan-out query computes each norm once, not
+    once per shard.
+
+    Each shard runs the packed vectorized engine (``vectorized``/
+    ``use_lsh``/``lsh_bands`` are forwarded), and ``cache_capacity``
+    optionally enables a whole-query discovery cache keyed on the relation
+    fingerprint and scoped to :attr:`epoch`, the index's mutation counter —
+    a repeated query against an unchanged corpus skips profiling and
+    fan-out entirely, and any register/unregister moves the epoch so stale
+    candidate lists can never be served.
     """
 
     def __init__(
@@ -136,6 +149,10 @@ class ShardedDiscoveryIndex:
         join_threshold: float = 0.3,
         union_threshold: float = 0.55,
         metrics: MetricsRegistry | None = None,
+        vectorized: bool = True,
+        use_lsh: bool = False,
+        lsh_bands: int = 32,
+        cache_capacity: int | None = None,
     ) -> None:
         if num_shards <= 0:
             raise DiscoveryError("num_shards must be positive")
@@ -143,18 +160,39 @@ class ShardedDiscoveryIndex:
         self.minhasher = minhasher if minhasher is not None else MinHasher()
         self.idf_model = IdfModel()
         self.metrics = metrics
+        self.norm_cache = VersionedCache(lambda: self.idf_model.version)
         self.shards = [
             DiscoveryIndex(
                 minhasher=self.minhasher,
                 join_threshold=join_threshold,
                 union_threshold=union_threshold,
                 idf_model=self.idf_model,
+                vectorized=vectorized,
+                use_lsh=use_lsh,
+                lsh_bands=lsh_bands,
+                norm_cache=self.norm_cache,
             )
             for _ in range(num_shards)
         ]
+        self._epoch = 0
+        self.cache = (
+            ResultCache(
+                capacity=cache_capacity,
+                metrics=metrics,
+                name="discovery_cache",
+                version_source=lambda: self._epoch,
+            )
+            if cache_capacity is not None
+            else None
+        )
         self._sequence: dict[str, int] = {}
         self._next_sequence = 0
         self._lock = threading.Lock()
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter: bumps on every effective register/unregister."""
+        return self._epoch
 
     def _shard_for(self, dataset: str) -> DiscoveryIndex:
         return self.shards[stable_hash(dataset) % self.num_shards]
@@ -177,10 +215,13 @@ class ShardedDiscoveryIndex:
             self._sequence.pop(profile.dataset, None)
             self._sequence[profile.dataset] = self._next_sequence
             self._next_sequence += 1
+            self._epoch += 1
         self._record("discovery.registrations")
 
     def unregister(self, dataset: str) -> None:
         with self._lock:
+            if dataset in self._sequence:
+                self._epoch += 1
             self._shard_for(dataset).unregister(dataset)
             self._sequence.pop(dataset, None)
         self._record("discovery.unregistrations")
@@ -204,6 +245,15 @@ class ShardedDiscoveryIndex:
     def join_candidates(self, query: Relation, top_k: int | None = None) -> list[JoinCandidate]:
         """Profile the query once, fan out, merge in flat-scan order."""
         self._record("discovery.join_queries")
+        if self.cache is not None:
+            full = self.cache.get_or_compute(
+                ("join", relation_fingerprint(query)),
+                lambda: self._join_fanout(query),
+            )
+            return full[:top_k] if top_k is not None else list(full)
+        return self._join_fanout(query, top_k)
+
+    def _join_fanout(self, query: Relation, top_k: int | None = None) -> list[JoinCandidate]:
         query_profile = profile_relation(query, self.minhasher)
         with self._lock:
             results = [
@@ -216,13 +266,27 @@ class ShardedDiscoveryIndex:
     def union_candidates(self, query: Relation, top_k: int | None = None) -> list[UnionCandidate]:
         """Profile the query and compute corpus IDF once, fan out, merge."""
         self._record("discovery.union_queries")
+        if self.cache is not None:
+            full = self.cache.get_or_compute(
+                ("union", relation_fingerprint(query)),
+                lambda: self._union_fanout(query),
+            )
+            return full[:top_k] if top_k is not None else list(full)
+        return self._union_fanout(query, top_k)
+
+    def _union_fanout(self, query: Relation, top_k: int | None = None) -> list[UnionCandidate]:
         query_profile = profile_relation(query, self.minhasher)
         with self._lock:
+            # Corpus-level IDF weights and the query columns' weighted norms
+            # are computed once here and shared by every shard.
             idf = self.idf_model.idf()
+            query_norms = self.shards[0].query_column_norms(query_profile, idf)
             results = [
                 candidate
                 for shard in self.shards
-                for candidate in shard.union_candidates_for_profile(query_profile, idf=idf)
+                for candidate in shard.union_candidates_for_profile(
+                    query_profile, idf=idf, query_norms=query_norms
+                )
             ]
             return self._merge(results, top_k)
 

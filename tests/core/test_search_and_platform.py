@@ -204,3 +204,49 @@ def test_automl_service_fraction_validation(platform, small_corpus):
     service = MileenaAutoMLService(platform=platform, search_fraction=1.5)
     with pytest.raises(SearchError):
         service.run(make_request(small_corpus))
+
+
+def test_corpus_add_many_bulk_registration(small_corpus):
+    from repro.core import Corpus, DatasetRegistration
+
+    builder = SketchBuilder()
+    registrations = [
+        DatasetRegistration(
+            relation=relation, budget=None, sketch=builder.build(relation)
+        )
+        for relation in small_corpus.providers[:5]
+    ]
+    one_by_one = Corpus()
+    for registration in registrations:
+        one_by_one.add(registration)
+    bulk = Corpus()
+    bulk.add_many(registrations)
+    assert bulk.names() == one_by_one.names()
+    assert len(bulk.discovery) == len(one_by_one.discovery)
+    # A bulk load is one corpus transition: the epoch advances once, not N
+    # times, so epoch-keyed caches churn once per backfill.
+    assert one_by_one.epoch == 5
+    assert bulk.epoch == 1
+    bulk.add_many([])
+    assert bulk.epoch == 1
+    with pytest.raises(SearchError):
+        bulk.add_many(registrations[:1])
+
+
+def test_corpus_add_many_is_atomic_on_duplicates(small_corpus):
+    from repro.core import Corpus, DatasetRegistration
+
+    builder = SketchBuilder()
+    registrations = [
+        DatasetRegistration(
+            relation=relation, budget=None, sketch=builder.build(relation)
+        )
+        for relation in small_corpus.providers[:3]
+    ]
+    corpus = Corpus()
+    # Intra-batch duplicate: nothing may be applied, the epoch must not move.
+    with pytest.raises(SearchError):
+        corpus.add_many(registrations + [registrations[0]])
+    assert len(corpus) == 0
+    assert len(corpus.discovery) == 0
+    assert corpus.epoch == 0

@@ -78,3 +78,42 @@ def test_jaccard_estimate_is_bounded(left, right):
     hasher = MinHasher(num_hashes=64)
     estimate = hasher.sketch(left).jaccard(hasher.sketch(right))
     assert 0.0 <= estimate <= 1.0
+
+
+def test_batched_sketch_matches_per_value_reference():
+    """The batched hasher must reproduce the original per-value signatures."""
+    import hashlib
+
+    import numpy as np
+
+    from repro.discovery.minhash import _PRIME
+
+    hasher = MinHasher(num_hashes=32, seed=5)
+    values = [f"value{i}" for i in range(500)] + ["", "ü", "a b c"]
+    distinct = {str(v) for v in values}
+    reference_hashes = np.array(
+        [
+            int.from_bytes(
+                hashlib.blake2b(v.encode("utf-8"), digest_size=8).digest(), "big"
+            )
+            % _PRIME
+            for v in distinct
+        ],
+        dtype=np.int64,
+    )
+    table = (hasher._a[:, None] * reference_hashes[None, :] + hasher._b[:, None]) % _PRIME
+    expected = tuple(int(v) for v in table.min(axis=1))
+    assert hasher.sketch(values).signature == expected
+
+
+def test_batched_sketch_chunking_is_invisible():
+    hasher = MinHasher(num_hashes=16, seed=2)
+    values = [f"v{i}" for i in range(50)]
+    whole = hasher.sketch(values)
+    original_chunk = MinHasher._CHUNK
+    try:
+        MinHasher._CHUNK = 7  # force many partial blocks
+        chunked = hasher.sketch(values)
+    finally:
+        MinHasher._CHUNK = original_chunk
+    assert chunked == whole

@@ -82,3 +82,62 @@ def test_profile_uniqueness_and_helpers():
     assert [c.column for c in profile.joinable_columns()] == ["id"]
     assert [c.column for c in profile.numeric_columns()] == ["x"]
     assert profile.column_names() == ["id", "x"]
+
+
+# -- caching layers (vectorized discovery engine) ------------------------------
+def test_idf_is_memoised_until_version_changes():
+    model = IdfModel()
+    sketch = TfIdfSketch.from_column("zipcode", ["10001", "10002"])
+    model.add_document(sketch)
+    first = model.idf()
+    assert model.idf() is first  # memoised: same object until a mutation
+    model.add_document(TfIdfSketch.from_column("price", []))
+    second = model.idf()
+    assert second is not first
+    assert model.idf() is second
+
+
+def test_idf_version_counts_mutations():
+    model = IdfModel()
+    sketch = TfIdfSketch.from_column("zipcode", ["10001"])
+    assert model.version == 0
+    model.add_document(sketch)
+    assert model.version == 1
+    model.remove_document(sketch)
+    assert model.version == 2
+    model.remove_document(sketch)  # no-op on an empty model
+    assert model.version == 2
+
+
+def test_sketch_self_norm_is_cached_and_correct():
+    import math
+
+    sketch = TfIdfSketch.from_column("zip code", ["a b", "a"])
+    expected = math.sqrt(sum(count ** 2 for count in sketch.term_counts.values()))
+    assert sketch.norm() == expected
+    assert sketch.norm() == expected  # second call served from the cache
+    idf = {"zip": 2.0, "code": 0.5}
+    weighted = math.sqrt(
+        sum((c * idf.get(t, 1.0)) ** 2 for t, c in sketch.term_counts.items())
+    )
+    assert sketch.norm(idf) == weighted
+
+
+def test_cosine_with_norms_matches_cosine():
+    left = TfIdfSketch.from_column("zipcode", ["10001 center", "10002"])
+    right = TfIdfSketch.from_column("zip", ["10001", "10009 center"])
+    for idf in (None, {"10001": 3.0, "center": 0.25}):
+        expected = left.cosine(right, idf)
+        actual = left.cosine_with_norms(right, idf, left.norm(idf), right.norm(idf))
+        assert actual == expected
+
+
+def test_profile_sketch_tokens_cover_every_column():
+    relation = Relation(
+        "listings",
+        {"zip": ["10001", "10002"], "price": [1.0, 2.0]},
+        Schema.from_spec({"zip": KEY, "price": NUMERIC}),
+    )
+    profile = profile_relation(relation)
+    tokens = set(profile.sketch_tokens())
+    assert "zip" in tokens and "price" in tokens and "10001" in tokens

@@ -156,3 +156,60 @@ def test_shard_assignment_is_stable_and_spread(sketches):
     assert first_sizes == [len(shard) for shard in second.shards]
     # With 16 datasets over 4 shards the hash should not collapse onto one.
     assert sum(1 for size in first_sizes if size > 0) >= 2
+
+
+def test_sharded_index_scalar_shards_match_vectorized(corpus):
+    """The shards' vectorized engine is result-identical to scalar shards."""
+    scalar = ShardedDiscoveryIndex(num_shards=3, vectorized=False)
+    vectorized = ShardedDiscoveryIndex(num_shards=3, vectorized=True)
+    lsh = ShardedDiscoveryIndex(num_shards=3, use_lsh=True)
+    for relation in corpus.providers:
+        scalar.register(relation)
+        vectorized.register(relation)
+        lsh.register(relation)
+    assert vectorized.join_candidates(corpus.train) == scalar.join_candidates(corpus.train)
+    assert vectorized.union_candidates(corpus.train) == scalar.union_candidates(corpus.train)
+    assert lsh.union_candidates(corpus.train) == scalar.union_candidates(corpus.train)
+
+
+def test_sharded_index_epoch_counts_effective_mutations(corpus):
+    sharded = ShardedDiscoveryIndex(num_shards=2)
+    assert sharded.epoch == 0
+    sharded.register(corpus.providers[0])
+    sharded.register(corpus.providers[1])
+    assert sharded.epoch == 2
+    sharded.unregister("never_registered")  # no-op: epoch must not move
+    assert sharded.epoch == 2
+    sharded.unregister(corpus.providers[0].name)
+    assert sharded.epoch == 3
+
+
+def test_sharded_index_discovery_cache_serves_and_invalidates(corpus):
+    uncached = ShardedDiscoveryIndex(num_shards=2)
+    cached = ShardedDiscoveryIndex(num_shards=2, cache_capacity=16)
+    for relation in corpus.providers[:8]:
+        uncached.register(relation)
+        cached.register(relation)
+    first = cached.join_candidates(corpus.train)
+    assert first == uncached.join_candidates(corpus.train)
+    assert cached.join_candidates(corpus.train) == first
+    assert cached.cache.stats.hits >= 1
+    assert cached.union_candidates(corpus.train, top_k=2) == uncached.union_candidates(
+        corpus.train, top_k=2
+    )
+    # A registration moves the epoch, so the cached candidate list (which
+    # does not contain the new dataset) can never be served again.
+    uncached.register(corpus.providers[8])
+    cached.register(corpus.providers[8])
+    assert cached.join_candidates(corpus.train) == uncached.join_candidates(corpus.train)
+
+
+def test_sharded_platform_with_lsh_and_cache_serves_requests(corpus):
+    platform = Mileena.sharded(num_shards=2, use_lsh=True, discovery_cache_capacity=8)
+    for relation in corpus.providers[:6]:
+        platform.register_dataset(relation)
+    request = SearchRequest(
+        train=corpus.train, test=corpus.test, target=corpus.target, max_augmentations=2
+    )
+    result = platform.search(request)
+    assert result is not None
