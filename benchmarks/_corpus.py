@@ -1,0 +1,116 @@
+"""Shared corpus-construction fixtures for the benchmark scripts.
+
+``bench_discovery.py`` and ``bench_gateway.py`` used to carry their own
+copies of these helpers; they are hoisted here so workload construction is
+defined once.  Two families:
+
+* the **discovery micro-bench corpus**: many small relations with
+  domain-scoped keys, so a query matches ~1/num_domains of the corpus
+  (``make_relation`` / ``build_corpus``);
+* the **gateway workloads**: request lists over the synthetic open-data
+  corpus (:func:`repro.datasets.generate_corpus`) — a *popular* workload
+  whose requests repeat a small task pool (the cache/coalescing regime)
+  and a *distinct* workload of unique requester relations that defeats
+  every cache (the multi-core compute regime).
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+
+import numpy as np
+
+from repro.core import SearchRequest
+from repro.datasets import GeneratedCorpus
+from repro.relational import CATEGORICAL, KEY, NUMERIC, Relation, Schema
+
+SPEC = {"key": KEY, "tag": CATEGORICAL, "metric": NUMERIC}
+NUM_ROWS = 40
+
+
+def make_relation(name: str, rng: random.Random, domain: str) -> Relation:
+    """One small relation whose key values live in ``domain``."""
+    columns = {
+        "key": [f"{domain}_{rng.randint(0, 60)}" for _ in range(NUM_ROWS)],
+        "tag": [f"{domain}tag{rng.randint(0, 8)}" for _ in range(NUM_ROWS)],
+        "metric": [float(i) for i in range(NUM_ROWS)],
+    }
+    return Relation(name, columns, Schema.from_spec(SPEC))
+
+
+def build_corpus(num_datasets: int, seed: int) -> tuple[list[Relation], Relation]:
+    """A corpus with domain-scoped keys: queries match ~1/num_domains of it."""
+    rng = random.Random(seed)
+    num_domains = max(8, num_datasets // 25)
+    domains = [f"dom{i}" for i in range(num_domains)]
+    relations = [
+        make_relation(f"ds{i}", rng, rng.choice(domains)) for i in range(num_datasets)
+    ]
+    query = make_relation("query", rng, domains[0])
+    return relations, query
+
+
+def timed(function, repeats: int) -> float:
+    """Median wall time of ``function`` in milliseconds (one warm-up call)."""
+    function()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        samples.append((time.perf_counter() - start) * 1000.0)
+    return statistics.median(samples)
+
+
+# -- gateway workloads ---------------------------------------------------------
+def popular_requests(
+    corpus: GeneratedCorpus, count: int, distinct_tasks: int = 4
+) -> list[SearchRequest]:
+    """``count`` requests drawn round-robin from a small pool of tasks.
+
+    Popular requester relations repeat on a shared platform, so most of
+    these are answered from the gateway's cache or by coalescing.
+    """
+    return [
+        SearchRequest(
+            train=corpus.train,
+            test=corpus.test,
+            target=corpus.target,
+            max_augmentations=1 + (index % distinct_tasks),
+        )
+        for index in range(count)
+    ]
+
+
+def distinct_requests(corpus: GeneratedCorpus, count: int) -> list[SearchRequest]:
+    """``count`` requests from *unique* requester relations.
+
+    Each request perturbs one numeric training column by a per-request
+    constant, giving every submission a distinct relation fingerprint: no
+    result-cache hits, no coalescing, no shared discovery memoisation —
+    every request pays full discovery + greedy search, which is the
+    workload that separates a GIL-bound thread pool from a process pool.
+    """
+    requests = []
+    for index in range(count):
+        perturbed = np.asarray(corpus.train.column("local_a"), dtype=np.float64) + (
+            1e-9 * (index + 1)
+        )
+        train = Relation(
+            corpus.train.name,
+            {
+                name: perturbed if name == "local_a" else corpus.train.column(name)
+                for name in corpus.train.schema.names
+            },
+            corpus.train.schema,
+        )
+        requests.append(
+            SearchRequest(
+                train=train,
+                test=corpus.test,
+                target=corpus.target,
+                max_augmentations=3,
+            )
+        )
+    return requests

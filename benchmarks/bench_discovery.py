@@ -19,51 +19,14 @@ from __future__ import annotations
 
 import argparse
 import json
-import random
-import statistics
 import sys
 import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from _corpus import NUM_ROWS, build_corpus, timed  # noqa: E402
 from repro.discovery import DiscoveryIndex, profile_relation  # noqa: E402
-from repro.relational import CATEGORICAL, KEY, NUMERIC, Relation, Schema  # noqa: E402
-
-SPEC = {"key": KEY, "tag": CATEGORICAL, "metric": NUMERIC}
-NUM_ROWS = 40
-
-
-def make_relation(name: str, rng: random.Random, domain: str) -> Relation:
-    columns = {
-        "key": [f"{domain}_{rng.randint(0, 60)}" for _ in range(NUM_ROWS)],
-        "tag": [f"{domain}tag{rng.randint(0, 8)}" for _ in range(NUM_ROWS)],
-        "metric": [float(i) for i in range(NUM_ROWS)],
-    }
-    return Relation(name, columns, Schema.from_spec(SPEC))
-
-
-def build_corpus(num_datasets: int, seed: int) -> tuple[list[Relation], Relation]:
-    """A corpus with domain-scoped keys: queries match ~1/num_domains of it."""
-    rng = random.Random(seed)
-    num_domains = max(8, num_datasets // 25)
-    domains = [f"dom{i}" for i in range(num_domains)]
-    relations = [
-        make_relation(f"ds{i}", rng, rng.choice(domains)) for i in range(num_datasets)
-    ]
-    query = make_relation("query", rng, domains[0])
-    return relations, query
-
-
-def timed(function, repeats: int) -> float:
-    """Median wall time of ``function`` in milliseconds (one warm-up call)."""
-    function()
-    samples = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        function()
-        samples.append((time.perf_counter() - start) * 1000.0)
-    return statistics.median(samples)
 
 
 def bench_size(num_datasets: int, repeats: int, seed: int) -> dict:

@@ -1,109 +1,219 @@
-"""Serving-gateway throughput: concurrent + cached vs. the sequential service loop.
+"""Serving-gateway throughput across execution backends (thread/process/async).
 
-The multi-tenant workload of Figure 1: N requesters submit search-then-AutoML
-jobs drawn from a small pool of distinct tasks (popular requester relations
-repeat, as they do on any shared platform).  The baseline serves them the
-only way the pre-serving-layer repo could — a sequential
-``MileenaAutoMLService.run()`` loop, one request at a time, no caching.  The
-gateway serves the same batch through its worker pool with epoch-keyed
-result caching and request coalescing.
+Two workloads over the synthetic open-data corpus, each measured against a
+sequential no-gateway baseline and across the backend matrix:
 
-Acceptance target: gateway throughput at 16 concurrent requesters must be at
-least 2x the sequential loop's.
+* ``popular`` — requesters repeat a small pool of tasks, the regime where
+  caching and coalescing win regardless of backend (the original PR 1
+  benchmark);
+* ``distinct`` — every request carries a unique requester relation, so no
+  cache or coalescing helps and throughput is pure compute.  This is the
+  workload that separates the backends: the GIL serialises the thread and
+  async backends at ~1x, while the process backend scales with cores
+  (acceptance: ≥2x over thread on a ≥4-core runner).
+
+Every backend's responses are checked for result identity against the
+sequential baseline before timing is trusted.  Numbers land in
+``BENCH_gateway.json`` (the CI regression gate compares the dimensionless
+``speedup_vs_sequential`` ratios, not machine-dependent absolute rps).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_gateway.py              # full run
+    PYTHONPATH=src python benchmarks/bench_gateway.py --smoke      # CI config
 """
 
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
 import time
+from pathlib import Path
 
-from repro.core import Mileena, MileenaAutoMLService, SearchRequest
-from repro.datasets import CorpusSpec, generate_corpus
-from repro.serving import Gateway, GatewayConfig
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from conftest import run_once
+from _corpus import distinct_requests, popular_requests  # noqa: E402
+from repro.core import Mileena  # noqa: E402
+from repro.datasets import CorpusSpec, generate_corpus  # noqa: E402
+from repro.serving import Gateway, GatewayConfig  # noqa: E402
 
-_DISTINCT_TASKS = 4
-_SPEC = CorpusSpec(
-    num_datasets=12, requester_rows=150, provider_rows=150, rows_per_key=10, seed=5
-)
-
-
-def _make_requests(corpus, num_requesters):
-    """``num_requesters`` requests drawn round-robin from a small task pool."""
-    return [
-        SearchRequest(
-            train=corpus.train,
-            test=corpus.test,
-            target=corpus.target,
-            max_augmentations=1 + (index % _DISTINCT_TASKS),
-        )
-        for index in range(num_requesters)
-    ]
+BACKENDS = ("thread", "process", "async")
 
 
-def _fresh_platform(corpus):
-    platform = Mileena()
+def fresh_platform(corpus, num_shards: int) -> Mileena:
+    platform = Mileena.sharded(num_shards=num_shards)
     for relation in corpus.providers:
         platform.register_dataset(relation)
     return platform
 
 
-def _run_sequential(corpus, requests):
-    service = MileenaAutoMLService(platform=_fresh_platform(corpus))
+def result_signature(result):
+    """The fields a backend must reproduce exactly (timings excluded)."""
+    return (
+        tuple((c.kind, c.dataset, c.join_key) for c in result.plan.candidates),
+        result.proxy_test_r2,
+        result.final_test_r2,
+    )
+
+
+def run_sequential(corpus, requests, num_shards: int):
+    platform = fresh_platform(corpus, num_shards)
     started = time.perf_counter()
-    results = [service.run(request) for request in requests]
+    results = [platform.search(request) for request in requests]
     return results, time.perf_counter() - started
 
 
-def _run_gateway(corpus, requests, max_workers=4):
-    config = GatewayConfig(max_workers=max_workers, run_automl=True)
-    with Gateway(_fresh_platform(corpus), config) as gateway:
+def run_backend(corpus, requests, backend: str, workers: int, num_shards: int):
+    config = GatewayConfig(
+        max_workers=workers, max_pending=max(64, 2 * len(requests)), backend=backend
+    )
+    with Gateway(fresh_platform(corpus, num_shards), config) as gateway:
         started = time.perf_counter()
         responses = gateway.run_many(requests)
         elapsed = time.perf_counter() - started
-        metrics = gateway.metrics.snapshot()["counters"]
-    return responses, elapsed, metrics
+        counters = gateway.metrics.snapshot()["counters"]
+    return responses, elapsed, counters
 
 
-def _throughput_sweep():
-    corpus = generate_corpus(_SPEC)
+def bench_workload(corpus, name, requests, backends, workers, num_shards, repeats):
+    """Best-of-``repeats`` timing per configuration (noise on shared runners
+    would otherwise flap the CI regression gate); result identity against
+    the sequential baseline is asserted on every repeat, not just the best."""
+    sequential_seconds = float("inf")
+    for _ in range(repeats):
+        sequential_results, seconds = run_sequential(corpus, requests, num_shards)
+        sequential_seconds = min(sequential_seconds, seconds)
+    expected = [result_signature(result) for result in sequential_results]
     rows = []
-    for num_requesters in (1, 4, 16):
-        requests = _make_requests(corpus, num_requesters)
-        sequential_results, sequential_seconds = _run_sequential(corpus, requests)
-        responses, gateway_seconds, counters = _run_gateway(corpus, requests)
-        assert all(response.ok for response in responses)
-        # The gateway serves the same answers the sequential loop computes.
-        for expected, response in zip(sequential_results, responses):
-            got = response.result
-            assert got.search_result.proxy_test_r2 == expected.search_result.proxy_test_r2
-            assert got.automl_test_r2 == expected.automl_test_r2
+    for backend in backends:
+        seconds = float("inf")
+        for _ in range(repeats):
+            responses, sample_seconds, counters = run_backend(
+                corpus, requests, backend, workers, num_shards
+            )
+            statuses = [response.status for response in responses]
+            assert statuses == ["ok"] * len(responses), (backend, statuses)
+            got = [result_signature(response.result) for response in responses]
+            assert got == expected, f"{backend} responses diverge from sequential"
+            seconds = min(seconds, sample_seconds)
         rows.append(
             {
-                "requesters": num_requesters,
-                "sequential_rps": num_requesters / sequential_seconds,
-                "gateway_rps": num_requesters / gateway_seconds,
-                "speedup": sequential_seconds / gateway_seconds,
+                "workload": name,
+                "backend": backend,
+                "requests": len(requests),
+                "seconds": round(seconds, 4),
+                "rps": round(len(requests) / seconds, 4),
+                "speedup_vs_sequential": round(sequential_seconds / seconds, 3),
                 "cache_hits": sum(response.cache_hit for response in responses),
-                "coalesced": counters.get("gateway.coalesced", 0),
+                "coalesced": int(counters.get("gateway.coalesced", 0)),
             }
         )
-    return rows
+    by_backend = {row["backend"]: row for row in rows}
+    if "thread" in by_backend:
+        for row in rows:
+            row["speedup_vs_thread"] = round(
+                by_backend["thread"]["seconds"] / row["seconds"], 3
+            )
+    return {
+        "workload": name,
+        "sequential_seconds": round(sequential_seconds, 4),
+        "sequential_rps": round(len(requests) / sequential_seconds, 4),
+        "rows": rows,
+    }
 
 
-def test_gateway_throughput_vs_sequential(benchmark, capsys):
-    rows = run_once(benchmark, _throughput_sweep)
-    print("\nServing gateway throughput (search + AutoML per request)")
-    print(
-        f"{'requesters':>10} {'seq req/s':>10} {'gw req/s':>10} "
-        f"{'speedup':>8} {'hits':>5} {'coalesced':>9}"
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backends", nargs="+", default=list(BACKENDS), choices=BACKENDS)
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="bench a single backend (shorthand for --backends X)",
     )
-    for row in rows:
-        print(
-            f"{row['requesters']:>10} {row['sequential_rps']:>10.3f} "
-            f"{row['gateway_rps']:>10.3f} {row['speedup']:>8.2f} "
-            f"{row['cache_hits']:>5} {row['coalesced']:>9}"
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--num-shards", type=int, default=4)
+    parser.add_argument("--num-datasets", type=int, default=40)
+    parser.add_argument("--popular-requests", type=int, default=16)
+    parser.add_argument("--distinct-requests", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small CI configuration (fewer datasets and requests)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_gateway.json",
+    )
+    args = parser.parse_args(argv)
+    if args.backend is not None:
+        args.backends = [args.backend]
+    if args.smoke:
+        args.num_datasets = 30
+        args.popular_requests = 8
+        args.distinct_requests = 6
+
+    corpus = generate_corpus(
+        CorpusSpec(
+            num_datasets=args.num_datasets,
+            requester_rows=200,
+            provider_rows=200,
+            seed=args.seed,
         )
-    by_requesters = {row["requesters"]: row for row in rows}
-    # Acceptance: >= 2x the sequential service loop at 16 concurrent requesters.
-    assert by_requesters[16]["speedup"] >= 2.0
-    # Repeated tasks are answered from cache/coalescing, not recomputed.
-    assert by_requesters[16]["cache_hits"] >= 16 - _DISTINCT_TASKS
+    )
+    workloads = [
+        ("popular", popular_requests(corpus, args.popular_requests)),
+        ("distinct", distinct_requests(corpus, args.distinct_requests)),
+    ]
+    report = {
+        "benchmark": "serving_gateway",
+        "config": {
+            "cpu_count": os.cpu_count(),
+            "workers": args.workers,
+            "num_shards": args.num_shards,
+            "num_datasets": args.num_datasets,
+            "popular_requests": args.popular_requests,
+            "distinct_requests": args.distinct_requests,
+            "smoke": args.smoke,
+            "repeats": args.repeats,
+        },
+        "results": [],
+    }
+    print(
+        f"gateway backends on {os.cpu_count()} cores, {args.num_datasets} datasets, "
+        f"{args.workers} workers"
+    )
+    for name, requests in workloads:
+        entry = bench_workload(
+            corpus,
+            name,
+            requests,
+            args.backends,
+            args.workers,
+            args.num_shards,
+            args.repeats,
+        )
+        report["results"].append(entry)
+        print(f"\n{name} workload ({len(requests)} requests, "
+              f"sequential {entry['sequential_rps']:.2f} req/s)")
+        print(f"{'backend':>8} {'req/s':>8} {'vs seq':>7} {'vs thr':>7} "
+              f"{'hits':>5} {'coalesced':>9}")
+        for row in entry["rows"]:
+            print(
+                f"{row['backend']:>8} {row['rps']:>8.2f} "
+                f"{row['speedup_vs_sequential']:>7.2f} "
+                f"{row.get('speedup_vs_thread', 0.0):>7.2f} "
+                f"{row['cache_hits']:>5} {row['coalesced']:>9}"
+            )
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

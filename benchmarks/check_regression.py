@@ -1,0 +1,193 @@
+"""Benchmark-regression gate: smoke benches vs the committed baselines.
+
+The repo carries measured perf numbers (``BENCH_discovery.json``,
+``BENCH_gateway.json``) as tracked artifacts.  This script keeps them
+honest: it runs the *smoke* configuration of each benchmark and fails
+(exit 1) when a speedup ratio drops more than ``--tolerance`` (default
+30%) below the committed baseline.
+
+Only **dimensionless ratios measured within a single run** are compared —
+vectorized-vs-scalar discovery speedups, gateway-backend-vs-sequential
+throughput — never absolute req/s or milliseconds, which vary with the
+machine.  Ratios that exist only in one side (e.g. a baseline recorded
+before a new backend existed) are reported but not enforced, and the
+gateway's *distinct*-workload ratios (parallel compute, scales with
+cores) are enforced only when the baseline was recorded on a machine with
+the same cpu_count.
+
+CI wires this up after the test job and skips it when the commit message
+contains ``[bench-skip]``; the smoke JSONs are uploaded as workflow
+artifacts either way (see ``.github/workflows/ci.yml``).
+
+Run locally::
+
+    PYTHONPATH=src python benchmarks/check_regression.py --out-dir /tmp/bench_smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = Path(__file__).resolve().parent
+
+
+def run_smoke(script: str, out: Path, extra: list[str]) -> None:
+    command = [sys.executable, str(BENCH_DIR / script), "--out", str(out), *extra]
+    print(f"$ {' '.join(command)}")
+    subprocess.run(command, check=True, cwd=REPO_ROOT)
+
+
+def discovery_ratios(report: dict) -> dict[str, float]:
+    """Speedup ratios for the smallest (smoke-comparable) corpus size."""
+    results = sorted(report.get("results", []), key=lambda row: row["datasets"])
+    if not results:
+        return {}
+    smallest = results[0]
+    return {
+        f"discovery[{smallest['datasets']}].{name}": value
+        for name, value in smallest.get("speedup", {}).items()
+    }
+
+
+def gateway_ratios(report: dict) -> dict[str, float]:
+    ratios: dict[str, float] = {}
+    for entry in report.get("results", []):
+        for row in entry.get("rows", []):
+            key = f"gateway.{row['workload']}.{row['backend']}.vs_sequential"
+            ratios[key] = row["speedup_vs_sequential"]
+    return ratios
+
+
+def gateway_enforceable(baseline_report: dict, current_report: dict):
+    """Which gateway ratios are comparable between these two machines.
+
+    The *popular*-workload ratios are cache/coalescing wins and the
+    discovery ratios are single-threaded — both are core-count independent.
+    The *distinct*-workload ratios measure parallel compute and scale with
+    cores, so they are enforced only when the baseline was recorded on a
+    machine with the same cpu_count (the JSONs carry it in config).
+    """
+    base_cpus = baseline_report.get("config", {}).get("cpu_count")
+    now_cpus = current_report.get("config", {}).get("cpu_count")
+    same_cores = base_cpus is not None and base_cpus == now_cpus
+
+    def enforce(name: str) -> bool:
+        if ".distinct." in name:
+            return same_cores
+        return True
+
+    return enforce
+
+
+def compare(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    tolerance: float,
+    enforce=lambda name: True,
+) -> tuple[list[str], list[str]]:
+    """Returns (report lines, failure lines)."""
+    lines: list[str] = []
+    failures: list[str] = []
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        now = current.get(name)
+        if base is None or now is None:
+            lines.append(f"  {name:<48} baseline={base} current={now}  (not enforced)")
+            continue
+        if not enforce(name):
+            lines.append(
+                f"  {name:<48} baseline={base:>8.2f} current={now:>8.2f} "
+                f"(core-count dependent, baseline from a different machine — "
+                f"not enforced)"
+            )
+            continue
+        floor = base * (1.0 - tolerance)
+        status = "ok" if now >= floor else "REGRESSION"
+        lines.append(
+            f"  {name:<48} baseline={base:>8.2f} current={now:>8.2f} "
+            f"floor={floor:>8.2f}  {status}"
+        )
+        if now < floor:
+            failures.append(
+                f"{name}: {now:.2f} is more than {tolerance:.0%} below "
+                f"the committed {base:.2f}"
+            )
+    return lines, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    parser.add_argument("--out-dir", type=Path, default=REPO_ROOT / "bench_smoke")
+    parser.add_argument(
+        "--no-run",
+        action="store_true",
+        help="compare existing smoke JSONs in --out-dir instead of running",
+    )
+    args = parser.parse_args(argv)
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+
+    benches = [
+        (
+            "bench_discovery.py",
+            ["--sizes", "100", "--repeats", "3"],
+            REPO_ROOT / "BENCH_discovery.json",
+            args.out_dir / "bench_discovery_smoke.json",
+            discovery_ratios,
+        ),
+        # The gateway bench's default configuration is already CI-sized
+        # (~1 min) and is exactly what the committed baseline records, so
+        # the gate reruns it verbatim: the popular-workload ratio scales
+        # with the cache-hit fraction and is only comparable between runs
+        # of the *same* request mix.
+        (
+            "bench_gateway.py",
+            [],
+            REPO_ROOT / "BENCH_gateway.json",
+            args.out_dir / "bench_gateway_smoke.json",
+            gateway_ratios,
+        ),
+    ]
+
+    all_failures: list[str] = []
+    for script, extra, baseline_path, smoke_path, extract in benches:
+        if not baseline_path.exists():
+            print(f"-- {script}: no committed baseline at {baseline_path.name}, skipping")
+            continue
+        if not args.no_run:
+            run_smoke(script, smoke_path, extra)
+        if not smoke_path.exists():
+            print(f"-- {script}: smoke output {smoke_path} missing, skipping")
+            continue
+        baseline_report = json.loads(baseline_path.read_text())
+        current_report = json.loads(smoke_path.read_text())
+        baseline = extract(baseline_report)
+        current = extract(current_report)
+        enforce = (
+            gateway_enforceable(baseline_report, current_report)
+            if extract is gateway_ratios
+            else (lambda name: True)
+        )
+        print(f"\n-- {script} vs {baseline_path.name} (tolerance {args.tolerance:.0%})")
+        lines, failures = compare(baseline, current, args.tolerance, enforce)
+        print("\n".join(lines))
+        all_failures.extend(failures)
+
+    if all_failures:
+        print("\nBenchmark regression gate FAILED:")
+        for failure in all_failures:
+            print(f"  - {failure}")
+        print("(commit with [bench-skip] in the message to bypass, or refresh "
+              "the BENCH_*.json baselines with a full local run)")
+        return 1
+    print("\nBenchmark regression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

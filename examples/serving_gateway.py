@@ -2,11 +2,17 @@
 
 The multi-tenant deployment of Figure 1: provider sketches live in a
 sharded store/index, and requests flow through a gateway that schedules
-them on a worker pool, enforces per-request deadlines, coalesces duplicate
-work, and memoises results in an epoch-keyed LRU cache.
+them on a pluggable execution backend, enforces per-request deadlines,
+coalesces duplicate work, and memoises results in an epoch-keyed LRU cache.
 
-Run with:  PYTHONPATH=src python examples/serving_gateway.py
+Backends: ``thread`` (default), ``process`` (true multi-core — each worker
+process bootstraps a platform replica from pickled registrations), and
+``async`` (asyncio coalescing).  All three return identical results.
+
+Run with:  PYTHONPATH=src python examples/serving_gateway.py [backend]
 """
+
+import sys
 
 from repro.core import Mileena, SearchRequest
 from repro.datasets import CorpusSpec, generate_corpus
@@ -14,17 +20,26 @@ from repro.serving import Gateway, GatewayConfig
 
 
 def main() -> None:
+    backend = sys.argv[1] if len(sys.argv) > 1 else "process"
+
     # 1. Generate a synthetic open-data corpus and a requester task.
     corpus = generate_corpus(CorpusSpec(num_datasets=25, requester_rows=300, seed=0))
 
     # 2. Stand up a *sharded* platform: the sketch store and discovery index
     #    are partitioned across 4 shards by dataset-name hash, and return
-    #    results identical to the flat variants.
-    platform = Mileena.sharded(num_shards=4)
+    #    results identical to the flat variants.  ``backend=`` records the
+    #    preferred execution backend; the gateway picks it up.
+    platform = Mileena.sharded(num_shards=4, backend=backend)
     accepted = platform.register_corpus(corpus.providers)
-    print(f"registered {accepted} datasets across {platform.corpus.sketches.num_shards} shards")
+    print(
+        f"registered {accepted} datasets across "
+        f"{platform.corpus.sketches.num_shards} shards; backend={backend}"
+    )
 
     # 3. Put the gateway in front: 4 workers, bounded queue, result cache.
+    #    With the process backend the platform (relations + prebuilt
+    #    sketches) is pickled into every worker once at startup; requests
+    #    and results cross the process boundary as picklable envelopes.
     config = GatewayConfig(max_workers=4, max_pending=32, cache_capacity=128)
     with Gateway(platform, config) as gateway:
         # 4. Sixteen requesters submit concurrently; many share the same task

@@ -9,6 +9,7 @@ materialise augmentations — the Mileena search path never reads it.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.discovery.index import DiscoveryIndex, DiscoveryIndexLike
@@ -52,15 +53,27 @@ class Corpus:
     sketches: SketchStoreLike = field(default_factory=SketchStore)
     epoch: int = 0
 
+    def __post_init__(self) -> None:
+        # Serialises mutations with the epoch bump so observers that read
+        # (epoch, registrations) together — the process backend's mutation
+        # log, epoch-stamped caching — never see a half-applied transition.
+        self._lock = threading.Lock()
+
+    def registration_snapshot(self) -> tuple[int, dict[str, DatasetRegistration]]:
+        """An atomic (epoch, registrations-copy) pair."""
+        with self._lock:
+            return self.epoch, dict(self.registrations)
+
     def add(self, registration: DatasetRegistration) -> None:
         """Register a dataset (name must be unique across the corpus)."""
-        name = registration.name
-        if name in self.registrations:
-            raise SearchError(f"dataset {name!r} is already registered")
-        self.registrations[name] = registration
-        self.discovery.register(registration.relation)
-        self.sketches.add(registration.sketch)
-        self.epoch += 1
+        with self._lock:
+            name = registration.name
+            if name in self.registrations:
+                raise SearchError(f"dataset {name!r} is already registered")
+            self.registrations[name] = registration
+            self.discovery.register(registration.relation)
+            self.sketches.add(registration.sketch)
+            self.epoch += 1
 
     def add_many(self, registrations: list[DatasetRegistration]) -> None:
         """Bulk-register datasets with a single epoch bump at the end.
@@ -73,30 +86,33 @@ class Corpus:
         """
         if not registrations:
             return
-        # Validate the whole batch (including intra-batch duplicates) before
-        # touching any structure: a mid-batch failure would otherwise leave
-        # the corpus partially mutated at the *old* epoch, so epoch-keyed
-        # caches would keep serving results that omit the applied prefix.
-        seen: set[str] = set()
-        for registration in registrations:
-            name = registration.name
-            if name in self.registrations or name in seen:
-                raise SearchError(f"dataset {name!r} is already registered")
-            seen.add(name)
-        for registration in registrations:
-            self.registrations[registration.name] = registration
-            self.discovery.register(registration.relation)
-            self.sketches.add(registration.sketch)
-        self.epoch += 1
+        with self._lock:
+            # Validate the whole batch (including intra-batch duplicates)
+            # before touching any structure: a mid-batch failure would
+            # otherwise leave the corpus partially mutated at the *old*
+            # epoch, so epoch-keyed caches would keep serving results that
+            # omit the applied prefix.
+            seen: set[str] = set()
+            for registration in registrations:
+                name = registration.name
+                if name in self.registrations or name in seen:
+                    raise SearchError(f"dataset {name!r} is already registered")
+                seen.add(name)
+            for registration in registrations:
+                self.registrations[registration.name] = registration
+                self.discovery.register(registration.relation)
+                self.sketches.add(registration.sketch)
+            self.epoch += 1
 
     def remove(self, name: str) -> None:
         """Withdraw a dataset from the corpus."""
-        if name not in self.registrations:
-            return
-        self.registrations.pop(name, None)
-        self.discovery.unregister(name)
-        self.sketches.remove(name)
-        self.epoch += 1
+        with self._lock:
+            if name not in self.registrations:
+                return
+            self.registrations.pop(name, None)
+            self.discovery.unregister(name)
+            self.sketches.remove(name)
+            self.epoch += 1
 
     def get(self, name: str) -> DatasetRegistration:
         """Registration for ``name``; raises when unknown."""

@@ -58,6 +58,9 @@ class Mileena:
     epoch-keyed ``repro.serving.cache.ResultCache`` and a
     ``repro.serving.metrics.MetricsRegistry``); the gateway wires them in,
     and a bare platform works exactly as before without them.
+    ``serving_backend`` is a platform-level default execution backend name
+    (``"thread"``/``"process"``/``"async"``) the gateway honours when its
+    own config does not name one.
     """
 
     corpus: Corpus = field(default_factory=Corpus)
@@ -67,6 +70,7 @@ class Mileena:
     discovery_top_k: int = 50
     cache: object | None = None
     metrics: object | None = None
+    serving_backend: str | None = None
 
     @classmethod
     def sharded(
@@ -74,13 +78,17 @@ class Mileena:
         num_shards: int = 4,
         use_lsh: bool = False,
         discovery_cache_capacity: int | None = None,
+        backend: str | None = None,
         **kwargs,
     ) -> "Mileena":
         """A platform whose sketch store and discovery index are sharded.
 
         ``use_lsh`` turns on LSH-banded candidate pruning in every shard
         (sublinear, approximate); ``discovery_cache_capacity`` enables the
-        index-level epoch-scoped discovery cache.
+        index-level epoch-scoped discovery cache.  ``backend`` names the
+        execution backend a gateway in front of this platform should use
+        (``"process"`` for true multi-core parallelism — see
+        ``repro.serving.backends``).
         """
         from repro.serving.sharded import ShardedDiscoveryIndex, ShardedSketchStore
 
@@ -92,7 +100,7 @@ class Mileena:
             ),
             sketches=ShardedSketchStore(num_shards=num_shards),
         )
-        return cls(corpus=corpus, **kwargs)
+        return cls(corpus=corpus, serving_backend=backend, **kwargs)
 
     # -- provider side ------------------------------------------------------------
     def register_dataset(

@@ -51,6 +51,10 @@ class AdmissionError(GatewayError):
     """A request was refused because the gateway's pending queue is full."""
 
 
+class BackendError(GatewayError):
+    """An execution backend was misconfigured or could not be built."""
+
+
 class CausalError(ReproError):
     """A causal-inference routine received an invalid model or data."""
 

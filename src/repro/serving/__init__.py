@@ -9,7 +9,15 @@ _EXPORTS = {
     "Gateway": ("repro.serving.gateway", "Gateway"),
     "GatewayConfig": ("repro.serving.gateway", "GatewayConfig"),
     "GatewayResponse": ("repro.serving.gateway", "GatewayResponse"),
+    "ComputeOutcome": ("repro.serving.gateway", "ComputeOutcome"),
+    "ExecutionBackend": ("repro.serving.backends", "ExecutionBackend"),
+    "ThreadBackend": ("repro.serving.backends", "ThreadBackend"),
+    "ProcessPoolBackend": ("repro.serving.backends", "ProcessPoolBackend"),
+    "AsyncBackend": ("repro.serving.backends", "AsyncBackend"),
+    "BACKENDS": ("repro.serving.backends", "BACKENDS"),
+    "resolve_backend": ("repro.serving.backends", "resolve_backend"),
     "ResultCache": ("repro.serving.cache", "ResultCache"),
+    "SingleFlight": ("repro.serving.cache", "SingleFlight"),
     "CachingProxy": ("repro.serving.cache", "CachingProxy"),
     "MetricsRegistry": ("repro.serving.metrics", "MetricsRegistry"),
     "CacheStats": ("repro.serving.metrics", "CacheStats"),

@@ -1,0 +1,671 @@
+"""Pluggable execution backends for the serving gateway.
+
+The gateway's serve pipeline (admission, cache lookup, coalescing,
+epoch-stamped caching) lives in :class:`repro.serving.gateway.Gateway`;
+a backend decides *where* requests run and *how* waiting happens:
+
+``thread``
+    The original bounded ``ThreadPoolExecutor``.  Cheapest to start, but
+    CPU-bound search work is GIL-serialised — its wins come from caching
+    and coalescing, not parallel compute.
+
+``process``
+    A ``ProcessPoolExecutor`` of *platform replicas* for true multi-core
+    speedup.  Each worker process bootstraps its own copy of the platform
+    from a picklable :class:`PlatformSpec` (raw relations **and** the
+    prebuilt sketches ride along, because a DP-privatised sketch is
+    randomised at registration time — rebuilding it in the worker would
+    break result identity with the parent).  Requests travel as picklable
+    :class:`RequestEnvelope`\\ s carrying the post-bootstrap corpus
+    mutation log, so replicas replay register/unregister churn before
+    computing; every outcome is epoch-stamped and a replica that cannot
+    reach the envelope's expected epoch reports ``stale`` and the parent
+    recomputes locally instead of serving (or caching) a wrong-corpus
+    result.  Orchestration (cache, coalescing, deadlines) stays in parent
+    threads, so all backends share one cache and one coalescing table.
+
+``async``
+    An asyncio event loop on a dedicated thread.  Admission, deadlines,
+    and coalescing are handled as coroutines (followers await the leader's
+    future without occupying a thread); the CPU-bound platform computation
+    itself runs on a bounded thread executor, preserving the thread
+    backend's compute semantics.
+
+All three backends are result identical under concurrent
+register/unregister churn — ``tests/serving/test_backend_parity.py`` is
+the contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Protocol, runtime_checkable
+
+from repro.core.clock import BudgetTimer
+from repro.core.request import SearchRequest
+from repro.exceptions import BackendError
+from repro.serving.gateway import (
+    EXPIRED,
+    OK,
+    ComputeOutcome,
+    GatewayConfig,
+    GatewayResponse,
+)
+
+THREAD = "thread"
+PROCESS = "process"
+ASYNC = "async"
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Where gateway requests run and how waiting happens.
+
+    ``start(gateway)`` binds the backend to its gateway and builds pools;
+    ``submit`` schedules one admitted request and returns a
+    :class:`concurrent.futures.Future` resolving to a
+    :class:`~repro.serving.gateway.GatewayResponse`; ``shutdown`` releases
+    every pool.  Implementations must be result identical: the parity
+    suite drives all of them through the same workloads.
+    """
+
+    name: str
+
+    def start(self, gateway) -> None: ...
+
+    def submit(
+        self, request_id: int, request: SearchRequest, timer: BudgetTimer
+    ) -> Future: ...
+
+    def shutdown(self, wait: bool = True) -> None: ...
+
+
+# -- thread backend ------------------------------------------------------------
+class ThreadBackend:
+    """The gateway's original worker pool: one thread serves one request."""
+
+    name = THREAD
+
+    def __init__(self, config: GatewayConfig) -> None:
+        self.config = config
+        self._gateway = None
+        self._pool: ThreadPoolExecutor | None = None
+
+    def start(self, gateway) -> None:
+        self._gateway = gateway
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.max_workers, thread_name_prefix="gateway-worker"
+        )
+
+    def submit(
+        self, request_id: int, request: SearchRequest, timer: BudgetTimer
+    ) -> Future:
+        submitted_at = self._gateway.clock.now()
+        self._gateway.metrics.adjust_gauge(f"gateway.backend.{self.name}.queue_depth", 1)
+        return self._pool.submit(self._run, request_id, request, timer, submitted_at)
+
+    def _run(
+        self,
+        request_id: int,
+        request: SearchRequest,
+        timer: BudgetTimer,
+        submitted_at: float,
+    ) -> GatewayResponse:
+        gateway = self._gateway
+        gateway.metrics.observe(
+            f"gateway.backend.{self.name}.dispatch_seconds",
+            gateway.clock.now() - submitted_at,
+        )
+        try:
+            return gateway._serve(request_id, request, timer, self._compute)
+        finally:
+            gateway.metrics.adjust_gauge(f"gateway.backend.{self.name}.queue_depth", -1)
+
+    def _compute(self, request: SearchRequest, remaining: float | None) -> ComputeOutcome:
+        return self._gateway._compute_local(request, remaining)
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+
+
+# -- process backend -----------------------------------------------------------
+@dataclass
+class PlatformSpec:
+    """Everything a worker process needs to rebuild the platform.
+
+    Every field must pickle.  ``registrations`` are the parent's
+    :class:`~repro.core.catalog.DatasetRegistration` objects (raw relation
+    + privacy budget + *prebuilt* sketch): discovery profiles are
+    re-derived deterministically from the relations, while sketches are
+    reused verbatim so privatised (randomised) sketches stay identical
+    across replicas.  ``base_epoch`` is the parent corpus epoch the
+    snapshot corresponds to; the mutation log in each envelope continues
+    from there.
+    """
+
+    kind: str
+    num_shards: int
+    vectorized: bool
+    use_lsh: bool
+    lsh_bands: int
+    join_threshold: float
+    union_threshold: float
+    discovery_cache_capacity: int | None
+    discovery_top_k: int
+    search_fraction: float
+    automl_splits: int
+    base_epoch: int
+    registrations: tuple = ()
+    warm_start: bool = True
+    # Non-default platform components (proxy model, sketch builder, shared
+    # MinHasher) must replicate too, or a customised platform would return
+    # different results from worker processes than from the parent.  The
+    # proxy is the *unwrapped* model — each replica gets its own
+    # CachingProxy (an inherited one would carry an unpicklable lock and a
+    # cache that must not be shared across processes anyway).
+    proxy: object | None = None
+    builder: object | None = None
+    minhasher: object | None = None
+    cache_proxy_scores: bool = True
+
+
+@dataclass
+class RequestEnvelope:
+    """A picklable unit of work shipped to a worker process.
+
+    ``ops`` is the full post-bootstrap mutation log ``(epoch_after, op,
+    payload)``; a replica replays only the suffix it has not applied yet.
+    ``expected_epoch`` is the parent corpus epoch the request was admitted
+    against — the replica's result is only valid if it computes at exactly
+    that epoch.
+    """
+
+    mode: str
+    request: SearchRequest
+    budget_seconds: float | None
+    expected_epoch: int
+    ops: tuple = ()
+
+
+class PlatformReplica:
+    """A per-worker-process copy of the platform, rebuilt from a spec."""
+
+    def __init__(self, spec: PlatformSpec) -> None:
+        from repro.core.catalog import Corpus
+        from repro.core.platform import Mileena
+        from repro.core.service import MileenaAutoMLService
+        from repro.discovery.index import DiscoveryIndex
+        from repro.discovery.minhash import MinHasher
+        from repro.serving.cache import CachingProxy
+
+        minhasher = spec.minhasher if spec.minhasher is not None else MinHasher()
+        if spec.kind == "sharded":
+            from repro.serving.sharded import ShardedDiscoveryIndex, ShardedSketchStore
+
+            corpus = Corpus(
+                discovery=ShardedDiscoveryIndex(
+                    num_shards=spec.num_shards,
+                    minhasher=minhasher,
+                    join_threshold=spec.join_threshold,
+                    union_threshold=spec.union_threshold,
+                    vectorized=spec.vectorized,
+                    use_lsh=spec.use_lsh,
+                    lsh_bands=spec.lsh_bands,
+                    cache_capacity=spec.discovery_cache_capacity,
+                ),
+                sketches=ShardedSketchStore(num_shards=spec.num_shards),
+            )
+        else:
+            corpus = Corpus(
+                discovery=DiscoveryIndex(
+                    minhasher=minhasher,
+                    join_threshold=spec.join_threshold,
+                    union_threshold=spec.union_threshold,
+                    vectorized=spec.vectorized,
+                    use_lsh=spec.use_lsh,
+                    lsh_bands=spec.lsh_bands,
+                )
+            )
+        kwargs = {}
+        if spec.proxy is not None:
+            kwargs["proxy"] = (
+                CachingProxy(spec.proxy) if spec.cache_proxy_scores else spec.proxy
+            )
+        if spec.builder is not None:
+            kwargs["builder"] = spec.builder
+        self.platform = Mileena(
+            corpus=corpus, discovery_top_k=spec.discovery_top_k, **kwargs
+        )
+        for registration in spec.registrations:
+            corpus.add(registration)
+        self.service = MileenaAutoMLService(
+            platform=self.platform,
+            search_fraction=spec.search_fraction,
+            automl_splits=spec.automl_splits,
+        )
+        # How many parent mutation-log entries this replica has replayed,
+        # and the parent epoch its corpus state corresponds to.
+        self.applied = 0
+        self.parent_epoch = spec.base_epoch
+        if spec.warm_start and spec.registrations:
+            self._warm_up(spec.registrations[0].relation)
+
+    def _warm_up(self, relation) -> None:
+        """Prime the lazily built engine structures (packed signature
+        matrices, corpus IDF, weighted norms) so the first real request
+        does not pay their construction cost."""
+        discovery = self.platform.corpus.discovery
+        try:
+            discovery.join_candidates(relation, top_k=1)
+            discovery.union_candidates(relation, top_k=1)
+        except Exception:  # noqa: BLE001 - warm-up must never fail bootstrap
+            pass
+
+    def execute(self, envelope: RequestEnvelope) -> ComputeOutcome:
+        corpus = self.platform.corpus
+        for parent_epoch, op, payload in envelope.ops[self.applied :]:
+            if op == "add":
+                corpus.add(payload)
+            else:
+                corpus.remove(payload)
+            self.applied += 1
+            self.parent_epoch = parent_epoch
+        if self.parent_epoch != envelope.expected_epoch:
+            # This replica ran ahead (a newer envelope's log was replayed
+            # first) or the envelope predates the snapshot; either way its
+            # corpus no longer matches the epoch this request was admitted
+            # against, and the parent must recompute.
+            return ComputeOutcome(result=None, epoch=self.parent_epoch, stale=True)
+        if envelope.mode == "automl":
+            result = self.service.run(
+                envelope.request, time_budget_seconds=envelope.budget_seconds
+            )
+        else:
+            result = self.platform.search(envelope.request)
+        return ComputeOutcome(result=result, epoch=self.parent_epoch)
+
+
+_REPLICA: PlatformReplica | None = None
+
+
+def _bootstrap_replica(spec: PlatformSpec) -> None:
+    global _REPLICA
+    _REPLICA = PlatformReplica(spec)
+
+
+def _replica_ready(_: int) -> bool:
+    return _REPLICA is not None
+
+
+def _execute_envelope(envelope: RequestEnvelope) -> ComputeOutcome:
+    if _REPLICA is None:  # pragma: no cover - initializer always runs first
+        raise BackendError("worker process has no platform replica")
+    return _REPLICA.execute(envelope)
+
+
+def platform_spec(gateway) -> PlatformSpec:
+    """Snapshot the gateway's platform into a picklable worker spec.
+
+    Everything captured here must pickle (the ``spawn`` start method pickles
+    the spec outright; ``fork`` inherits it, but envelopes and results are
+    always pickled).  Custom clocks and monkeypatched platform stubs are
+    deliberately not captured — use the thread backend for those.
+    """
+    from repro.serving.cache import CachingProxy
+    from repro.serving.sharded import ShardedDiscoveryIndex
+
+    platform = gateway.platform
+    discovery = platform.corpus.discovery
+    kind = "sharded" if isinstance(discovery, ShardedDiscoveryIndex) else "flat"
+    proxy = platform.proxy
+    if isinstance(proxy, CachingProxy):
+        proxy = proxy.inner
+    base_epoch, registrations = platform.corpus.registration_snapshot()
+    return PlatformSpec(
+        kind=kind,
+        num_shards=getattr(discovery, "num_shards", 1),
+        vectorized=getattr(discovery, "vectorized", True),
+        use_lsh=getattr(discovery, "use_lsh", False),
+        lsh_bands=getattr(discovery, "lsh_bands", 32),
+        join_threshold=getattr(discovery, "join_threshold", 0.3),
+        union_threshold=getattr(discovery, "union_threshold", 0.55),
+        discovery_cache_capacity=getattr(discovery, "cache_capacity", None),
+        discovery_top_k=platform.discovery_top_k,
+        search_fraction=gateway.service.search_fraction,
+        automl_splits=gateway.service.automl_splits,
+        base_epoch=base_epoch,
+        registrations=tuple(registrations.values()),
+        warm_start=gateway.config.warm_start,
+        proxy=proxy,
+        builder=platform.builder,
+        minhasher=getattr(discovery, "minhasher", None),
+        cache_proxy_scores=gateway.config.cache_proxy_scores,
+    )
+
+
+class ProcessPoolBackend:
+    """Multi-core execution: platform replicas in worker processes.
+
+    Parent threads keep running the shared serve pipeline (admission,
+    cache, coalescing, deadlines); only the platform computation crosses
+    the process boundary.  The parent mirrors the corpus registrations and
+    appends an op to the mutation log whenever the epoch moves, so every
+    envelope tells the replica exactly which corpus state to compute at.
+    """
+
+    name = PROCESS
+
+    def __init__(self, config: GatewayConfig) -> None:
+        self.config = config
+        self._gateway = None
+        self._pool: ProcessPoolExecutor | None = None
+        self._orchestrator: ThreadPoolExecutor | None = None
+        self._mirror: dict[str, object] = {}
+        self._log: list[tuple[int, str, object]] = []
+        self._synced_epoch = 0
+        self._log_lock = threading.Lock()
+
+    def start(self, gateway) -> None:
+        self._gateway = gateway
+        spec = platform_spec(gateway)
+        # The mirror starts from the same atomic snapshot the spec shipped,
+        # so the mutation log continues exactly where the bootstrap ended.
+        self._mirror = {
+            registration.name: registration for registration in spec.registrations
+        }
+        self._synced_epoch = spec.base_epoch
+        workers = self.config.process_workers or self.config.max_workers
+        context = (
+            multiprocessing.get_context(self.config.process_start_method)
+            if self.config.process_start_method
+            else None
+        )
+        # The process pool is created (and warmed) before any orchestration
+        # thread exists, so fork-started workers never inherit a mid-request
+        # parent thread.
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_bootstrap_replica,
+            initargs=(spec,),
+        )
+        if self.config.warm_start:
+            if not all(self._pool.map(_replica_ready, range(workers))):
+                raise BackendError("process backend failed to bootstrap its replicas")
+        self._orchestrator = ThreadPoolExecutor(
+            max_workers=self.config.max_workers,
+            thread_name_prefix="gateway-orchestrator",
+        )
+
+    def submit(
+        self, request_id: int, request: SearchRequest, timer: BudgetTimer
+    ) -> Future:
+        submitted_at = self._gateway.clock.now()
+        self._gateway.metrics.adjust_gauge(f"gateway.backend.{self.name}.queue_depth", 1)
+        return self._orchestrator.submit(
+            self._run, request_id, request, timer, submitted_at
+        )
+
+    def _run(
+        self,
+        request_id: int,
+        request: SearchRequest,
+        timer: BudgetTimer,
+        submitted_at: float,
+    ) -> GatewayResponse:
+        gateway = self._gateway
+        gateway.metrics.observe(
+            f"gateway.backend.{self.name}.dispatch_seconds",
+            gateway.clock.now() - submitted_at,
+        )
+        try:
+            return gateway._serve(request_id, request, timer, self._compute)
+        finally:
+            gateway.metrics.adjust_gauge(f"gateway.backend.{self.name}.queue_depth", -1)
+
+    def _sync_ops(self) -> tuple[tuple, int]:
+        """Refresh the mutation log against the live corpus; return (log, epoch).
+
+        Registrations are diffed by name and object identity (the corpus
+        never mutates a registration in place).  If identity diffing cannot
+        reproduce the parent's registration *order* — which candidate
+        tie-breaking depends on — the log falls back to a full resync of
+        the replicas.
+        """
+        corpus = self._gateway.platform.corpus
+        with self._log_lock:
+            # Atomic (epoch, registrations) read: Corpus serialises mutations
+            # with the epoch bump, so the log can never stamp a registration
+            # with an epoch that does not include it.
+            epoch, current = corpus.registration_snapshot()
+            if epoch != self._synced_epoch:
+                previous = self._mirror
+                ops: list[tuple[str, object]] = []
+                for name, registration in previous.items():
+                    if current.get(name) is not registration:
+                        ops.append(("remove", name))
+                added = [
+                    name
+                    for name, registration in current.items()
+                    if previous.get(name) is not registration
+                ]
+                ops.extend(("add", current[name]) for name in added)
+                survivors = [
+                    name
+                    for name in previous
+                    if current.get(name) is previous[name]
+                ]
+                if survivors + added != list(current):
+                    ops = [("remove", name) for name in previous]
+                    ops.extend(("add", registration) for registration in current.values())
+                self._log.extend((epoch, op, payload) for op, payload in ops)
+                self._mirror = current
+                self._synced_epoch = epoch
+            return tuple(self._log), self._synced_epoch
+
+    def _compute(self, request: SearchRequest, remaining: float | None) -> ComputeOutcome:
+        gateway = self._gateway
+        ops, expected_epoch = self._sync_ops()
+        envelope = RequestEnvelope(
+            mode=gateway.mode,
+            request=replace(request, time_budget_seconds=remaining),
+            budget_seconds=remaining,
+            expected_epoch=expected_epoch,
+            ops=ops,
+        )
+        gateway.metrics.adjust_gauge(f"gateway.backend.{self.name}.inflight_computes", 1)
+        started = gateway.clock.now()
+        try:
+            outcome = self._pool.submit(_execute_envelope, envelope).result()
+        finally:
+            gateway.metrics.adjust_gauge(
+                f"gateway.backend.{self.name}.inflight_computes", -1
+            )
+            gateway.metrics.observe(
+                f"gateway.backend.{self.name}.compute_seconds",
+                gateway.clock.now() - started,
+            )
+        if outcome.stale:
+            # The replica could not reach this envelope's epoch; recompute
+            # in-process so the caller still gets a correct answer.
+            gateway.metrics.increment(f"gateway.backend.{self.name}.stale_replicas")
+            return gateway._compute_local(request, remaining)
+        return outcome
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._orchestrator is not None:
+            self._orchestrator.shutdown(wait=wait)
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+
+
+# -- async backend -------------------------------------------------------------
+class AsyncBackend:
+    """Asyncio orchestration: coroutines wait, a bounded executor computes.
+
+    Mirrors the synchronous serve pipeline stage for stage with the same
+    gateway helpers, so admission control, ``BudgetTimer`` deadlines, cache
+    keys, epoch stamping, and coalescing semantics are identical; only the
+    waiting primitive differs (``await`` instead of a blocked thread).
+    Coalesced followers cost no thread at all while they wait.
+    """
+
+    name = ASYNC
+
+    def __init__(self, config: GatewayConfig) -> None:
+        self.config = config
+        self._gateway = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._compute_pool: ThreadPoolExecutor | None = None
+
+    def start(self, gateway) -> None:
+        self._gateway = gateway
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="gateway-async-loop", daemon=True
+        )
+        self._thread.start()
+        self._compute_pool = ThreadPoolExecutor(
+            max_workers=self.config.max_workers,
+            thread_name_prefix="gateway-async-compute",
+        )
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def submit(
+        self, request_id: int, request: SearchRequest, timer: BudgetTimer
+    ) -> Future:
+        submitted_at = self._gateway.clock.now()
+        self._gateway.metrics.adjust_gauge(f"gateway.backend.{self.name}.queue_depth", 1)
+        return asyncio.run_coroutine_threadsafe(
+            self._serve(request_id, request, timer, submitted_at), self._loop
+        )
+
+    async def _serve(
+        self,
+        request_id: int,
+        request: SearchRequest,
+        timer: BudgetTimer,
+        submitted_at: float,
+    ) -> GatewayResponse:
+        gateway = self._gateway
+        gateway.metrics.observe(
+            f"gateway.backend.{self.name}.dispatch_seconds",
+            gateway.clock.now() - submitted_at,
+        )
+        try:
+            try:
+                waited, early = gateway._begin(request_id, timer)
+                if early is not None:
+                    return early
+                key = gateway._cache_key(timer, request)
+                flight = None
+                leading = False
+                if key is not None:
+                    hit = gateway._lookup(key, request_id, waited)
+                    if hit is not None:
+                        return hit
+                    flight, leading = gateway._flights.begin(key)
+                    if not leading:
+                        return await self._join_flight(flight, request_id, timer, waited)
+                remaining = (
+                    timer.remaining() if timer.budget_seconds is not None else None
+                )
+                started = gateway.clock.now()
+                try:
+                    outcome = await self._loop.run_in_executor(
+                        self._compute_pool, gateway._compute_local, request, remaining
+                    )
+                except BaseException as error:
+                    gateway._abort_flight(key, flight, leading, error)
+                    raise
+                return gateway._complete(
+                    request_id,
+                    key,
+                    timer,
+                    waited,
+                    outcome,
+                    flight,
+                    leading,
+                    gateway.clock.now() - started,
+                )
+            except Exception as error:  # noqa: BLE001
+                return gateway._failed(request_id, error)
+        finally:
+            gateway.metrics.adjust_gauge(f"gateway.backend.{self.name}.queue_depth", -1)
+            gateway._request_done()
+
+    async def _join_flight(
+        self, flight: Future, request_id: int, timer: BudgetTimer, waited: float
+    ) -> GatewayResponse:
+        gateway = self._gateway
+        gateway.metrics.increment("gateway.coalesced")
+        budgeted = timer.budget_seconds is not None
+        try:
+            # shield(): a follower's deadline must cancel only its own wait,
+            # never the leader's shared flight — an unshielded wait_for
+            # propagates cancellation into the underlying future and the
+            # leader's set_result would raise InvalidStateError.
+            result = await asyncio.wait_for(
+                asyncio.shield(asyncio.wrap_future(flight)),
+                timeout=timer.remaining() if budgeted else None,
+            )
+        except asyncio.TimeoutError:
+            gateway.metrics.increment("gateway.expired")
+            return GatewayResponse(
+                request_id,
+                EXPIRED,
+                error="deadline expired waiting on a coalesced request",
+                waited_seconds=waited,
+            )
+        gateway.metrics.increment("gateway.ok")
+        return GatewayResponse(
+            request_id, OK, result=result, cache_hit=True, waited_seconds=waited
+        )
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._compute_pool is not None:
+            self._compute_pool.shutdown(wait=wait)
+        if self._loop is not None:
+            if wait and self._gateway is not None:
+                # Drain in-flight coroutines before stopping the loop.  Real
+                # time, not the gateway clock: a simulated clock never
+                # advances on its own and would spin forever.
+                deadline = time.monotonic() + 30.0
+                while self._gateway.pending and time.monotonic() < deadline:
+                    time.sleep(0.01)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            if self._thread is not None and wait:
+                self._thread.join(timeout=5.0)
+            if not self._loop.is_running():
+                self._loop.close()
+
+
+BACKENDS = {
+    THREAD: ThreadBackend,
+    PROCESS: ProcessPoolBackend,
+    ASYNC: AsyncBackend,
+}
+
+
+def resolve_backend(choice, config: GatewayConfig):
+    """An :class:`ExecutionBackend` instance from a name or an instance."""
+    if isinstance(choice, str):
+        try:
+            factory = BACKENDS[choice]
+        except KeyError:
+            raise BackendError(
+                f"unknown execution backend {choice!r}; "
+                f"expected one of {sorted(BACKENDS)}"
+            ) from None
+        return factory(config)
+    return choice

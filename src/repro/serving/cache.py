@@ -12,12 +12,19 @@ and memoises proxy-score evaluations by the fingerprints of the train/test
 covariance elements.  During the greedy search the same (state, candidate)
 pairs are re-evaluated across requests that share a requester relation;
 memoisation turns those repeats into dictionary lookups.
+
+:class:`SingleFlight` is the in-flight companion to the cache: keyed leader
+election so that concurrent identical requests are *coalesced* — the first
+arrival computes, the rest wait on its future.  The gateway's thread and
+process backends block on the future directly; the async backend wraps it
+in an awaitable, so every execution backend shares one coalescing table.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from concurrent.futures import Future
 from typing import Callable, Hashable
 
 from repro.serving.fingerprint import element_fingerprint
@@ -119,6 +126,54 @@ class ResultCache:
     def stats(self):
         """Hit/miss/eviction totals recorded so far."""
         return self.metrics.cache_stats(self.name)
+
+
+class SingleFlight:
+    """Keyed leader election for request coalescing.
+
+    ``begin(key)`` returns ``(future, leading)``: the first caller for a key
+    becomes the leader (``leading=True``) and must eventually call
+    ``finish`` or ``fail`` with the same future; every other caller gets the
+    leader's future to wait on.  The future is a
+    :class:`concurrent.futures.Future`, so thread-pool followers block on
+    ``result(timeout)`` and asyncio followers await ``asyncio.wrap_future``
+    of it — one table serves every execution backend.
+    """
+
+    def __init__(self) -> None:
+        self._flights: dict[Hashable, Future] = {}
+        self._lock = threading.Lock()
+
+    def begin(self, key: Hashable) -> tuple[Future, bool]:
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                return flight, False
+            flight = Future()
+            self._flights[key] = flight
+            return flight, True
+
+    def finish(self, key: Hashable, flight: Future, result: object) -> None:
+        """Leader hand-off: publish the result and retire the flight.
+
+        Tolerates a flight some waiter managed to cancel (e.g. cancellation
+        propagated through an asyncio wrapper): the leader's own response is
+        already in hand and must not be destroyed by a follower's deadline.
+        """
+        with self._lock:
+            self._flights.pop(key, None)
+        if not flight.cancelled():
+            flight.set_result(result)
+
+    def fail(self, key: Hashable, flight: Future, error: BaseException) -> None:
+        """Leader hand-off on error: propagate to followers, retire the flight."""
+        with self._lock:
+            self._flights.pop(key, None)
+        if not flight.cancelled():
+            flight.set_exception(error)
+
+    def __len__(self) -> int:
+        return len(self._flights)
 
 
 class CachingProxy:

@@ -4,24 +4,37 @@ The paper's platform is inherently multi-tenant: many requesters submit
 search-then-AutoML jobs against one central store of privatised sketches.
 The :class:`Gateway` is the hub-and-spoke broker in front of the platform:
 
-* requests enter a bounded worker pool (``concurrent.futures``); admission
-  control rejects work beyond ``max_pending`` instead of queueing unboundedly;
+* requests enter a pluggable :class:`~repro.serving.backends.ExecutionBackend`
+  (GIL-bound threads, a true multi-core process pool, or an asyncio event
+  loop); admission control rejects work beyond ``max_pending`` instead of
+  queueing unboundedly;
 * every request carries a deadline derived from :class:`BudgetTimer` — queue
   wait consumes the budget, and whatever remains is handed to the search
   (and AutoML) phases exactly as the single-tenant service does;
 * results are memoised in an epoch-keyed :class:`ResultCache`, so repeated
   requests against an unchanged corpus are served without recomputation,
-  and concurrent duplicates are *coalesced*: the first worker to pick up a
-  given (request, epoch) computes while the rest piggyback on its result
-  instead of stampeding the platform;
-* counters and latency histograms for every stage land in a shared
+  and concurrent duplicates are *coalesced* through a shared
+  :class:`SingleFlight` table: the first worker to pick up a given
+  (request, epoch) computes while the rest piggyback on its result instead
+  of stampeding the platform;
+* every computation is *epoch-stamped*: the backend reports the corpus
+  epoch the result was actually computed at, and the gateway refuses to
+  cache a result whose stamp no longer matches the epoch in its cache key
+  (a register/unregister racing the computation, or a stale process-pool
+  worker, can therefore never poison the cache);
+* counters, gauges, and latency histograms for every stage land in a shared
   :class:`MetricsRegistry`.
+
+Backend selection: ``Gateway(platform, backend="process")`` or
+``GatewayConfig(backend=...)``; ``Mileena.sharded(backend=...)`` records a
+platform-level default the gateway picks up.  All backends are result
+identical — see ``tests/serving/test_backend_parity.py``.
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, replace
 
@@ -30,7 +43,7 @@ from repro.core.platform import Mileena, SearchResult
 from repro.core.request import SearchRequest
 from repro.core.service import AutoMLServiceResult, MileenaAutoMLService
 from repro.exceptions import AdmissionError
-from repro.serving.cache import CachingProxy, ResultCache
+from repro.serving.cache import CachingProxy, ResultCache, SingleFlight
 from repro.serving.fingerprint import request_fingerprint
 from repro.serving.metrics import MetricsRegistry
 
@@ -49,7 +62,9 @@ class GatewayConfig:
     Parameters
     ----------
     max_workers:
-        Size of the worker pool serving requests concurrently.
+        Concurrency of the serving pipeline: worker threads for the
+        ``thread`` backend, orchestration threads for the ``process``
+        backend, and compute-executor threads for the ``async`` backend.
     max_pending:
         Admission-control bound on submitted-but-unfinished requests;
         submissions beyond it raise :class:`AdmissionError`.
@@ -67,6 +82,21 @@ class GatewayConfig:
     run_automl:
         Serve the full search-then-AutoML pipeline
         (:class:`MileenaAutoMLService`) instead of search only.
+    backend:
+        Execution backend name (``"thread"``, ``"process"``, ``"async"``).
+        ``None`` defers to the platform's ``serving_backend`` hint and
+        finally to ``"thread"``.
+    process_workers:
+        Worker *processes* for the ``process`` backend (defaults to
+        ``max_workers``).
+    process_start_method:
+        ``multiprocessing`` start method for the process backend (``None``
+        = platform default, i.e. ``fork`` on Linux; ``"spawn"`` is slower
+        to boot but exercises the full pickling path).
+    warm_start:
+        Bootstrap and warm every process-pool worker at gateway
+        construction (platform replica build + first-query engine
+        structures) instead of on first request.
     """
 
     max_workers: int = 4
@@ -76,6 +106,26 @@ class GatewayConfig:
     cache_results: bool = True
     cache_proxy_scores: bool = True
     run_automl: bool = False
+    backend: str | None = None
+    process_workers: int | None = None
+    process_start_method: str | None = None
+    warm_start: bool = True
+
+
+@dataclass
+class ComputeOutcome:
+    """A computed result plus the corpus epoch it was computed at.
+
+    ``epoch`` is the stamp the gateway compares against its cache key:
+    mismatched stamps (a mutation raced the computation, or a process-pool
+    replica ran ahead of this envelope's mutation log) are served to the
+    caller but never cached.  ``stale=True`` marks a process-pool replica
+    that could not compute at the expected epoch at all.
+    """
+
+    result: SearchResult | AutoMLServiceResult | None
+    epoch: int
+    stale: bool = False
 
 
 @dataclass
@@ -105,6 +155,7 @@ class Gateway:
         metrics: MetricsRegistry | None = None,
         clock: object | None = None,
         service: MileenaAutoMLService | None = None,
+        backend: object | None = None,
     ) -> None:
         self.platform = platform
         self.config = config if config is not None else GatewayConfig()
@@ -128,19 +179,33 @@ class Gateway:
         self.service = service if service is not None else MileenaAutoMLService(
             platform=platform, clock=self.clock
         )
-        self._executor = ThreadPoolExecutor(max_workers=self.config.max_workers)
         self._pending = 0
         self._next_request_id = 0
         self._lock = threading.Lock()
-        # In-flight coalescing: cache key → Future set by the leading worker.
-        self._inflight: dict[object, Future] = {}
-        self._inflight_lock = threading.Lock()
+        # In-flight coalescing, shared by every execution backend.
+        self._flights = SingleFlight()
+        from repro.serving.backends import resolve_backend
+
+        choice = backend
+        if choice is None:
+            choice = self.config.backend
+        if choice is None:
+            choice = getattr(platform, "serving_backend", None)
+        if choice is None:
+            choice = "thread"
+        self.backend = resolve_backend(choice, self.config)
+        self.backend.start(self)
+
+    @property
+    def mode(self) -> str:
+        """What one request computes: ``"search"`` or ``"automl"``."""
+        return "automl" if self.config.run_automl else "search"
 
     # -- submission ------------------------------------------------------------
     def submit(
         self, request: SearchRequest, time_budget_seconds: float | None = None
     ) -> Future:
-        """Admit a request into the worker pool; resolves to a GatewayResponse.
+        """Admit a request into the execution backend; resolves to a GatewayResponse.
 
         Raises :class:`AdmissionError` when ``max_pending`` requests are
         already in flight.
@@ -158,11 +223,12 @@ class Gateway:
                     f"max_pending={self.config.max_pending})"
                 )
             self._pending += 1
+            self.metrics.set_gauge("gateway.pending", self._pending)
             request_id = self._next_request_id
             self._next_request_id += 1
         # The deadline starts at admission: queue wait consumes the budget.
         timer = BudgetTimer(self.clock, budget)
-        return self._executor.submit(self._serve, request_id, request, timer)
+        return self.backend.submit(request_id, request, timer)
 
     def run_many(
         self,
@@ -193,7 +259,7 @@ class Gateway:
 
     # -- lifecycle -------------------------------------------------------------
     def shutdown(self, wait: bool = True) -> None:
-        self._executor.shutdown(wait=wait)
+        self.backend.shutdown(wait=wait)
 
     def __enter__(self) -> "Gateway":
         return self
@@ -206,114 +272,206 @@ class Gateway:
         """Requests submitted but not yet finished."""
         return self._pending
 
-    # -- worker ----------------------------------------------------------------
-    def _serve(
-        self, request_id: int, request: SearchRequest, timer: BudgetTimer
+    # -- serve pipeline --------------------------------------------------------
+    # The pipeline is split into small stages so the synchronous backends
+    # (thread, process) and the asyncio backend can share every piece of
+    # the admission / cache / coalescing / stamping logic and differ only
+    # in how they wait.
+
+    def _begin(self, request_id: int, timer: BudgetTimer):
+        """Record arrival; return (queue wait, early EXPIRED response or None)."""
+        waited = timer.elapsed()
+        self.metrics.increment("gateway.requests")
+        self.metrics.observe("gateway.queue_wait_seconds", waited)
+        if timer.expired():
+            self.metrics.increment("gateway.expired")
+            return waited, GatewayResponse(
+                request_id,
+                EXPIRED,
+                error="deadline expired while queued",
+                waited_seconds=waited,
+            )
+        return waited, None
+
+    def _cache_key(self, timer: BudgetTimer, request: SearchRequest):
+        """The (mode, fingerprint, budget, epoch) cache key, or None when uncached.
+
+        The submitted budget is part of the key: a result computed under a
+        tight deadline may be truncated, and must never be served to a
+        request with a looser (or no) deadline.  The corpus epoch is the
+        last element; ``_store`` compares it against the outcome's stamp.
+        """
+        if self.cache is None:
+            return None
+        return (
+            self.mode,
+            request_fingerprint(request),
+            timer.budget_seconds,
+            self.platform.corpus.epoch,
+        )
+
+    def _lookup(self, key, request_id: int, waited: float) -> GatewayResponse | None:
+        """A cached response for ``key``, or None on a miss."""
+        cached = self.cache.get(key, _MISS)
+        if cached is _MISS:
+            return None
+        self.metrics.increment("gateway.ok")
+        return GatewayResponse(
+            request_id,
+            OK,
+            result=cached,
+            cache_hit=True,
+            waited_seconds=waited,
+        )
+
+    def _compute_local(
+        self, request: SearchRequest, remaining: float | None
+    ) -> ComputeOutcome:
+        """Run the request in this process and stamp the resulting epoch.
+
+        The request is copied so concurrent workers never share a mutable
+        budget field, and so the caller's object stays untouched.  The
+        stamp is read *after* the computation: if a register/unregister
+        raced it, the stamp no longer matches the cache key's epoch and the
+        result is served but not cached.
+        """
+        scoped = replace(request, time_budget_seconds=remaining)
+        if self.config.run_automl:
+            result = self.service.run(scoped, time_budget_seconds=remaining)
+        else:
+            result = self.platform.search(scoped)
+        return ComputeOutcome(result=result, epoch=self.platform.corpus.epoch)
+
+    def _store(self, key, timer: BudgetTimer, outcome: ComputeOutcome) -> None:
+        """Cache a computed result, unless truncated or epoch-mismatched.
+
+        Never cache a result whose deadline ran out mid-computation: the
+        search may have been truncated by the budget, and queue wait (which
+        varies per submission) determines how much budget the computation
+        actually saw.  Never cache a result stamped with a different epoch
+        than the key was built for: the corpus mutated underneath it.
+        """
+        if key is None or self.cache is None:
+            return
+        if timer.expired():
+            return
+        if outcome.epoch != key[-1]:
+            self.metrics.increment("gateway.stale_results")
+            return
+        self.cache.put(key, outcome.result)
+
+    def _join_flight(
+        self, key, flight: Future, request_id: int, timer: BudgetTimer, waited: float
     ) -> GatewayResponse:
+        """Follower path: wait on the leading worker's in-flight result.
+
+        The leader occupies a worker slot, so waiting cannot deadlock the
+        pool.  A leader failure propagates its exception to every follower
+        (raised out of ``flight.result`` and converted to FAILED upstream).
+        """
+        self.metrics.increment("gateway.coalesced")
+        budgeted = timer.budget_seconds is not None
         try:
-            waited = timer.elapsed()
-            self.metrics.increment("gateway.requests")
-            self.metrics.observe("gateway.queue_wait_seconds", waited)
-            if timer.expired():
-                self.metrics.increment("gateway.expired")
-                return GatewayResponse(
-                    request_id,
-                    EXPIRED,
-                    error="deadline expired while queued",
-                    waited_seconds=waited,
-                )
-            mode = "automl" if self.config.run_automl else "search"
-            key = None
-            inflight: Future | None = None
-            leading = False
-            if self.cache is not None:
-                # The submitted budget is part of the key: a result computed
-                # under a tight deadline may be truncated, and must never be
-                # served to a request with a looser (or no) deadline.
-                key = (
-                    mode,
-                    request_fingerprint(request),
-                    timer.budget_seconds,
-                    self.platform.corpus.epoch,
-                )
-                cached = self.cache.get(key, _MISS)
-                if cached is not _MISS:
-                    self.metrics.increment("gateway.ok")
-                    return GatewayResponse(
-                        request_id,
-                        OK,
-                        result=cached,
-                        cache_hit=True,
-                        waited_seconds=waited,
-                    )
-                with self._inflight_lock:
-                    inflight = self._inflight.get(key)
-                    if inflight is None:
-                        inflight = Future()
-                        self._inflight[key] = inflight
-                        leading = True
-            if inflight is not None and not leading:
-                # Another worker is already computing this exact request
-                # against the same corpus epoch — piggyback on its result.
-                # The leader occupies a worker slot, so waiting cannot
-                # deadlock the pool.
-                self.metrics.increment("gateway.coalesced")
-                budgeted = timer.budget_seconds is not None
-                try:
-                    result = inflight.result(
-                        timeout=timer.remaining() if budgeted else None
-                    )
-                except FutureTimeoutError:
-                    self.metrics.increment("gateway.expired")
-                    return GatewayResponse(
-                        request_id,
-                        EXPIRED,
-                        error="deadline expired waiting on a coalesced request",
-                        waited_seconds=waited,
-                    )
-                self.metrics.increment("gateway.ok")
-                return GatewayResponse(
-                    request_id, OK, result=result, cache_hit=True, waited_seconds=waited
-                )
-            remaining = timer.remaining() if timer.budget_seconds is not None else None
-            # Copy the request so concurrent workers never share a mutable
-            # budget field, and so the caller's object stays untouched.
-            scoped = replace(request, time_budget_seconds=remaining)
-            started = self.clock.now()
-            try:
-                if self.config.run_automl:
-                    result = self.service.run(scoped, time_budget_seconds=remaining)
-                else:
-                    result = self.platform.search(scoped)
-            except BaseException as error:
-                if leading:
-                    with self._inflight_lock:
-                        self._inflight.pop(key, None)
-                    inflight.set_exception(error)
-                raise
-            service_seconds = self.clock.now() - started
-            self.metrics.observe("gateway.service_seconds", service_seconds)
-            # Never cache a result whose deadline ran out mid-computation:
-            # the search may have been truncated by the budget, and queue
-            # wait (which varies per submission) determines how much budget
-            # the computation actually saw.
-            if self.cache is not None and not timer.expired():
-                self.cache.put(key, result)
-            if leading:
-                with self._inflight_lock:
-                    self._inflight.pop(key, None)
-                inflight.set_result(result)
-            self.metrics.increment("gateway.ok")
+            result = flight.result(timeout=timer.remaining() if budgeted else None)
+        except FutureTimeoutError:
+            self.metrics.increment("gateway.expired")
             return GatewayResponse(
                 request_id,
-                OK,
-                result=result,
+                EXPIRED,
+                error="deadline expired waiting on a coalesced request",
                 waited_seconds=waited,
-                service_seconds=service_seconds,
             )
-        except Exception as error:  # noqa: BLE001 - one request must not kill the pool
-            self.metrics.increment("gateway.failed")
-            return GatewayResponse(request_id, FAILED, error=repr(error))
+        self.metrics.increment("gateway.ok")
+        return GatewayResponse(
+            request_id, OK, result=result, cache_hit=True, waited_seconds=waited
+        )
+
+    def _complete(
+        self,
+        request_id: int,
+        key,
+        timer: BudgetTimer,
+        waited: float,
+        outcome: ComputeOutcome,
+        flight: Future | None,
+        leading: bool,
+        service_seconds: float,
+    ) -> GatewayResponse:
+        """Shared post-compute tail: record, cache (stamp-checked), hand off."""
+        self.metrics.observe("gateway.service_seconds", service_seconds)
+        self._store(key, timer, outcome)
+        if leading:
+            self._flights.finish(key, flight, outcome.result)
+        self.metrics.increment("gateway.ok")
+        return GatewayResponse(
+            request_id,
+            OK,
+            result=outcome.result,
+            waited_seconds=waited,
+            service_seconds=service_seconds,
+        )
+
+    def _abort_flight(self, key, flight: Future | None, leading: bool, error) -> None:
+        """Shared compute-failure hand-off: propagate to any followers."""
+        if leading:
+            self._flights.fail(key, flight, error)
+
+    def _failed(self, request_id: int, error: Exception) -> GatewayResponse:
+        """Shared failure response (one request must not kill the pool)."""
+        self.metrics.increment("gateway.failed")
+        return GatewayResponse(request_id, FAILED, error=repr(error))
+
+    def _request_done(self) -> None:
+        with self._lock:
+            self._pending -= 1
+            self.metrics.set_gauge("gateway.pending", self._pending)
+
+    # -- synchronous worker (thread + process backends) ------------------------
+    def _serve(
+        self,
+        request_id: int,
+        request: SearchRequest,
+        timer: BudgetTimer,
+        compute,
+    ) -> GatewayResponse:
+        """Serve one request end to end on the calling thread.
+
+        ``compute(request, remaining_budget) -> ComputeOutcome`` is supplied
+        by the execution backend: the thread backend computes in this
+        process, the process backend ships an envelope to a worker process.
+        """
+        try:
+            waited, early = self._begin(request_id, timer)
+            if early is not None:
+                return early
+            key = self._cache_key(timer, request)
+            flight = None
+            leading = False
+            if key is not None:
+                hit = self._lookup(key, request_id, waited)
+                if hit is not None:
+                    return hit
+                flight, leading = self._flights.begin(key)
+                if not leading:
+                    return self._join_flight(key, flight, request_id, timer, waited)
+            remaining = timer.remaining() if timer.budget_seconds is not None else None
+            started = self.clock.now()
+            try:
+                outcome = compute(request, remaining)
+            except BaseException as error:
+                self._abort_flight(key, flight, leading, error)
+                raise
+            return self._complete(
+                request_id,
+                key,
+                timer,
+                waited,
+                outcome,
+                flight,
+                leading,
+                self.clock.now() - started,
+            )
+        except Exception as error:  # noqa: BLE001
+            return self._failed(request_id, error)
         finally:
-            with self._lock:
-                self._pending -= 1
+            self._request_done()

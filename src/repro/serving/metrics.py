@@ -1,7 +1,8 @@
 """A small thread-safe metrics registry for the serving layer.
 
-Counters, latency histograms, and cache hit rates, threaded through the
-gateway, the sharded stores, and the result cache.  The registry is
+Counters, gauges, latency histograms, and cache hit rates, threaded through
+the gateway, its execution backends, the sharded stores, and the result
+cache.  The registry is
 deliberately dependency-free (no prometheus client in this environment);
 ``snapshot()`` returns plain dictionaries and ``render()`` a stable text
 exposition, so benchmarks and operators can read it directly.
@@ -31,6 +32,29 @@ class Counter:
 
     @property
     def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, in-flight counts)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def adjust(self, delta: float) -> float:
+        """Move the gauge by ``delta`` and return the new value."""
+        with self._lock:
+            self._value += delta
+            return self._value
+
+    @property
+    def value(self) -> float:
         return self._value
 
 
@@ -103,6 +127,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._gauges: dict[str, Gauge] = {}
         self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
@@ -110,6 +135,12 @@ class MetricsRegistry:
             if name not in self._counters:
                 self._counters[name] = Counter(name)
             return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name)
+            return self._gauges[name]
 
     def histogram(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
         with self._lock:
@@ -125,6 +156,14 @@ class MetricsRegistry:
         """Shorthand: record one histogram observation by name."""
         self.histogram(name).observe(value)
 
+    def set_gauge(self, name: str, value: float) -> None:
+        """Shorthand: set a gauge by name."""
+        self.gauge(name).set(value)
+
+    def adjust_gauge(self, name: str, delta: float) -> float:
+        """Shorthand: move a gauge by ``delta`` (returns the new value)."""
+        return self.gauge(name).adjust(delta)
+
     def cache_stats(self, prefix: str) -> CacheStats:
         """Hit/miss/eviction stats for a cache that reports under ``prefix``."""
         return CacheStats(
@@ -138,8 +177,10 @@ class MetricsRegistry:
         with self._lock:
             counters = dict(self._counters)
             histograms = dict(self._histograms)
+            gauges = dict(self._gauges)
         return {
             "counters": {name: counter.value for name, counter in counters.items()},
+            "gauges": {name: gauge.value for name, gauge in gauges.items()},
             "histograms": {name: histogram.summary() for name, histogram in histograms.items()},
         }
 
@@ -149,6 +190,8 @@ class MetricsRegistry:
         lines = [
             f"{name} {value}" for name, value in sorted(snapshot["counters"].items())
         ]
+        for name, value in sorted(snapshot["gauges"].items()):
+            lines.append(f"{name} {value:g}")
         for name, summary in sorted(snapshot["histograms"].items()):
             lines.append(
                 f"{name} count={summary['count']} mean={summary['mean']:.6f} "

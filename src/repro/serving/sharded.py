@@ -160,6 +160,15 @@ class ShardedDiscoveryIndex:
         self.minhasher = minhasher if minhasher is not None else MinHasher()
         self.idf_model = IdfModel()
         self.metrics = metrics
+        # Constructor knobs are kept as attributes so the serving layer's
+        # process backend can rebuild an identically configured replica in
+        # a worker process (see repro.serving.backends.platform_spec).
+        self.join_threshold = join_threshold
+        self.union_threshold = union_threshold
+        self.vectorized = vectorized
+        self.use_lsh = use_lsh
+        self.lsh_bands = lsh_bands
+        self.cache_capacity = cache_capacity
         self.norm_cache = VersionedCache(lambda: self.idf_model.version)
         self.shards = [
             DiscoveryIndex(
