@@ -1,0 +1,123 @@
+"""Discovery tuning walkthrough: exact vs LSH vs adaptive multi-probe LSH.
+
+Builds a synthetic corpus whose join overlaps span the full similarity
+range, then compares four engine configurations on the same queries:
+
+* **exact** — the vectorized scan (bit-identical to the scalar oracle);
+* **fixed LSH** — hand-picked ``lsh_bands=32``;
+* **adaptive LSH** — band count derived from ``target_recall`` at the
+  join threshold via the banding S-curve;
+* **adaptive + multi-probe** — near-miss band buckets probed too, so
+  the same target is met with fewer candidates lost at low similarity.
+
+For each it reports median query latency, measured dataset-level recall
+against the exact results, and the resolved band count — the same
+trade-offs ``docs/TUNING.md`` describes and ``BENCH_discovery.json``
+records for the committed corpus sizes.
+
+Run with:  PYTHONPATH=src python examples/discovery_tuning.py
+"""
+
+import random
+import statistics
+import time
+
+from repro.discovery import DiscoveryIndex, lsh_recall, profile_relation
+from repro.relational import CATEGORICAL, KEY, NUMERIC, Relation, Schema
+
+NUM_DATASETS = 400
+NUM_QUERIES = 16
+JOIN_THRESHOLD = 0.15
+TARGET_RECALL = 0.9
+SPEC = {"key": KEY, "tag": CATEGORICAL, "metric": NUMERIC}
+
+
+def make_relation(name: str, rng: random.Random, domain: str, key_span: int) -> Relation:
+    """Wider ``key_span`` → weaker overlaps → lower pair similarity.
+
+    Tags are dataset-local on purpose: joinability is decided by the
+    ``key`` column's overlap alone, so pair similarities land just above
+    the join threshold — the regime where banding actually misses.
+    """
+    columns = {
+        "key": [f"{domain}_{rng.randint(0, key_span)}" for _ in range(40)],
+        "tag": [f"{name}tag{rng.randint(0, 8)}" for _ in range(40)],
+        "metric": [float(i) for i in range(40)],
+    }
+    return Relation(name, columns, Schema.from_spec(SPEC))
+
+
+def main() -> None:
+    rng = random.Random(23)
+    # Key spans of 120 over 40-row columns put same-domain pair
+    # similarities around 0.15–0.3: close enough to the threshold that
+    # the banding configurations measurably diverge.
+    relations = [
+        make_relation(f"ds{i}", rng, f"dom{rng.randint(0, 5)}", 120)
+        for i in range(NUM_DATASETS)
+    ]
+    configs = {
+        "exact": DiscoveryIndex(join_threshold=JOIN_THRESHOLD),
+        "lsh[32 bands]": DiscoveryIndex(use_lsh=True, join_threshold=JOIN_THRESHOLD),
+        "adaptive": DiscoveryIndex(
+            use_lsh=True, target_recall=TARGET_RECALL, join_threshold=JOIN_THRESHOLD
+        ),
+        "adaptive+probe": DiscoveryIndex(
+            use_lsh=True,
+            target_recall=TARGET_RECALL,
+            multi_probe=True,
+            join_threshold=JOIN_THRESHOLD,
+        ),
+    }
+    for index in configs.values():
+        for relation in relations:
+            index.register(relation)
+
+    queries = [
+        make_relation(f"q{i}", rng, f"dom{i % 6}", 120) for i in range(NUM_QUERIES)
+    ]
+    profiles = {
+        name: [profile_relation(query, index.minhasher) for query in queries]
+        for name, index in configs.items()
+    }
+    truth = [
+        {c.dataset for c in configs["exact"].join_candidates_for_profile(profile)}
+        for profile in profiles["exact"]
+    ]
+    total_truth = sum(len(t) for t in truth)
+
+    print(
+        f"{NUM_DATASETS} datasets, {NUM_QUERIES} queries, join threshold "
+        f"{JOIN_THRESHOLD}, target recall {TARGET_RECALL} "
+        f"({total_truth} true (query, dataset) join hits)\n"
+    )
+    print(f"{'config':<16} {'bands':>5} {'rows':>4} {'latency':>9} {'recall':>7}  S-curve@threshold")
+    for name, index in configs.items():
+        samples, found = [], 0
+        for profile, expected in zip(profiles[name], truth):
+            start = time.perf_counter()
+            candidates = index.join_candidates_for_profile(profile)
+            samples.append((time.perf_counter() - start) * 1000.0)
+            found += len(expected & {c.dataset for c in candidates})
+        recall = found / total_truth if total_truth else 1.0
+        if index.use_lsh:
+            bands = index.lsh_bands
+            rows = index.minhasher.num_hashes // bands
+            curve = lsh_recall(JOIN_THRESHOLD, bands, rows, index.multi_probe)
+            shape = f"{bands:>5} {rows:>4}"
+            promise = f"{curve:.3f}"
+        else:
+            shape, promise = f"{'-':>5} {'-':>4}", "exact"
+        print(
+            f"{name:<16} {shape} {statistics.median(samples):>7.3f}ms "
+            f"{recall:>7.3f}  {promise}"
+        )
+    print(
+        "\nexact mode is the parity oracle (recall 1 by construction); the\n"
+        "S-curve column is the *per-pair* recall promise at the threshold —\n"
+        "measured recall is higher because most true pairs sit above it."
+    )
+
+
+if __name__ == "__main__":
+    main()

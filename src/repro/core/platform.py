@@ -77,6 +77,8 @@ class Mileena:
         cls,
         num_shards: int = 4,
         use_lsh: bool = False,
+        target_recall: float | None = None,
+        multi_probe: bool = False,
         discovery_cache_capacity: int | None = None,
         backend: str | None = None,
         **kwargs,
@@ -84,10 +86,14 @@ class Mileena:
         """A platform whose sketch store and discovery index are sharded.
 
         ``use_lsh`` turns on LSH-banded candidate pruning in every shard
-        (sublinear, approximate); ``discovery_cache_capacity`` enables the
-        index-level epoch-scoped discovery cache.  ``backend`` names the
-        execution backend a gateway in front of this platform should use
-        (``"process"`` for true multi-core parallelism — see
+        (sublinear, approximate); ``target_recall`` makes the banding
+        *adaptive* — the band count is derived so a join pair at the
+        threshold is recalled with at least that probability — and
+        ``multi_probe`` additionally probes near-miss band buckets
+        (see ``docs/TUNING.md``).  ``discovery_cache_capacity`` enables
+        the index-level epoch-scoped discovery cache.  ``backend`` names
+        the execution backend a gateway in front of this platform should
+        use (``"process"`` for true multi-core parallelism — see
         ``repro.serving.backends``).
         """
         from repro.serving.sharded import ShardedDiscoveryIndex, ShardedSketchStore
@@ -96,6 +102,8 @@ class Mileena:
             discovery=ShardedDiscoveryIndex(
                 num_shards=num_shards,
                 use_lsh=use_lsh,
+                target_recall=target_recall,
+                multi_probe=multi_probe,
                 cache_capacity=discovery_cache_capacity,
             ),
             sketches=ShardedSketchStore(num_shards=num_shards),

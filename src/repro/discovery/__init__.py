@@ -1,6 +1,34 @@
-"""Aurum-style data discovery: column profiles, MinHash/TF-IDF sketches, index."""
+"""Aurum-style data discovery: column profiles, MinHash/TF-IDF sketches, index.
 
-from repro.discovery.engine import PackedSignatureMatrix, TokenIndex, VersionedCache
+Public surface, layer by layer:
+
+* **Profiles** (:mod:`repro.discovery.profiles`): per-column metadata plus
+  the MinHash and TF-IDF sketches discovery runs on (never raw rows).
+* **Sketches**: :class:`MinHasher`/:class:`MinHashSketch` estimate join-key
+  Jaccard overlap; :class:`TfIdfSketch`/:class:`IdfModel` score schema
+  unionability by IDF-weighted cosine.
+* **Engine** (:mod:`repro.discovery.engine`): the packed/sparse structures
+  behind the vectorized hot path — :class:`PackedSignatureMatrix` (joins,
+  optional LSH banding with :func:`adaptive_lsh_bands`-derived band counts
+  and multi-probe near-miss lookups) and :class:`SparseTermMatrix`
+  (unions as one sparse term-matrix product).
+* **Index** (:class:`DiscoveryIndex`): ``Discover(R, augType)`` over the
+  registered corpus; the scalar reference implementation is retained as
+  the parity oracle for the vectorized paths.
+
+See ``docs/ARCHITECTURE.md`` for how this package sits between the
+relational layer and the serving gateway, and ``docs/TUNING.md`` for the
+engine-knob trade-offs.
+"""
+
+from repro.discovery.engine import (
+    PackedSignatureMatrix,
+    SparseTermMatrix,
+    TokenIndex,
+    VersionedCache,
+    adaptive_lsh_bands,
+    lsh_recall,
+)
 from repro.discovery.index import (
     JOIN,
     UNION,
@@ -30,6 +58,9 @@ __all__ = [
     "IdfModel",
     "tokenize",
     "PackedSignatureMatrix",
+    "SparseTermMatrix",
     "TokenIndex",
     "VersionedCache",
+    "adaptive_lsh_bands",
+    "lsh_recall",
 ]

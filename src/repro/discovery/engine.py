@@ -9,11 +9,23 @@ loops.  This module holds the structures that replace those loops:
   query's Jaccard estimates against the *whole corpus* are one broadcast
   ``==`` / ``sum`` instead of a Python loop per pair.  Optional LSH banding
   over the same rows prunes the candidate set sublinearly before exact
-  scoring.
+  scoring; *multi-probe* banding additionally probes the buckets that
+  agree on all-but-one row of a band, cutting the miss rate at low
+  similarity for the same band count.
+* :func:`lsh_recall` / :func:`adaptive_lsh_bands` — the banding S-curve
+  and the band-count solver behind *adaptive* LSH: instead of hand-picking
+  ``lsh_bands``, callers name a target recall at the join threshold and
+  the index derives the cheapest ``(bands, rows)`` split that meets it.
+* :class:`SparseTermMatrix` — the corpus's TF-IDF sketches as one sparse
+  term matrix (term-major CSR: one posting of ``(row, count)`` pairs per
+  term), so a union query's cosine numerators against *every* registered
+  column are a handful of vectorized posting updates instead of a Python
+  dict walk per column pair.  Weighted postings (``count × idf``) are
+  cached per IDF snapshot, version-keyed like the norm cache.
 * :class:`TokenIndex` — an inverted token → dataset index over TF-IDF
-  sketches, so union scoring only visits datasets sharing at least one
-  token with the query (a dataset with no shared token scores exactly 0.0
-  in the scalar path and can never survive the threshold).
+  sketches.  Superseded as the union pruning structure by
+  :class:`SparseTermMatrix` (which prunes *and* scores), but kept as a
+  standalone utility.
 * :class:`VersionedCache` — a memo whose entries are valid for exactly one
   version of an upstream structure (e.g. weighted norms keyed on
   ``IdfModel.version``); the serving layer shares one across shards.
@@ -25,13 +37,88 @@ matrix rows are recycled through a free list.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Hashable, Iterable
+from typing import Callable, Hashable, Iterable, Mapping
 
 import numpy as np
 
 from repro.exceptions import DiscoveryError
 
 _UNSET = object()
+
+#: dtype-compatibility codes for :meth:`SparseTermMatrix.compatible_rows`.
+_DTYPE_CODES = {"numeric": 0, "key": 1, "categorical": 2}
+
+
+def lsh_recall(
+    similarity: float, bands: int, rows: int, multi_probe: bool = False
+) -> float:
+    """Collision probability of a pair at ``similarity`` under LSH banding.
+
+    The standard S-curve: a band of ``rows`` MinHash rows collides with
+    probability ``s**rows``, and a pair is a candidate when *any* of the
+    ``bands`` bands collides.  With ``multi_probe`` the near-miss buckets
+    that agree on all but one row of a band are probed too, so a band
+    "hits" whenever at least ``rows - 1`` of its rows agree.
+
+    >>> round(lsh_recall(0.3, bands=16, rows=4), 4)
+    0.122
+    >>> round(lsh_recall(0.3, bands=16, rows=4, multi_probe=True), 4)
+    0.7531
+    >>> lsh_recall(1.0, bands=1, rows=8)
+    1.0
+    """
+    if bands <= 0 or rows <= 0:
+        raise DiscoveryError("bands and rows must be positive")
+    similarity = min(max(similarity, 0.0), 1.0)
+    p_band = similarity**rows
+    if multi_probe and rows > 1:
+        # Agreement on exactly rows-1 of the band's rows: any one row may
+        # disagree, each with probability s**(rows-1) * (1 - s).
+        p_band += rows * similarity ** (rows - 1) * (1.0 - similarity)
+    return 1.0 - (1.0 - p_band) ** bands
+
+
+def adaptive_lsh_bands(
+    num_hashes: int,
+    threshold: float,
+    target_recall: float,
+    multi_probe: bool = False,
+) -> int:
+    """Fewest bands whose S-curve recall at ``threshold`` meets ``target_recall``.
+
+    Band counts are restricted to divisors of ``num_hashes`` so every band
+    covers ``num_hashes // bands`` signature rows exactly.  Recall rises
+    monotonically with the band count (more, shorter bands = more chances
+    to collide), while cost and false-positive rate rise too — so the
+    *smallest* qualifying count is the cheapest configuration that still
+    guarantees the target at the threshold (pairs above the threshold are
+    always recalled at a higher rate; the S-curve is increasing in ``s``).
+
+    Falls back to ``num_hashes`` single-row bands — the highest-recall
+    split expressible — when no divisor reaches the target.
+
+    >>> adaptive_lsh_bands(64, threshold=0.3, target_recall=0.9)
+    32
+    >>> adaptive_lsh_bands(64, threshold=0.3, target_recall=0.99)
+    64
+    >>> adaptive_lsh_bands(64, threshold=0.3, target_recall=0.99, multi_probe=True)
+    32
+    >>> adaptive_lsh_bands(64, threshold=0.8, target_recall=0.9)
+    16
+    """
+    if num_hashes <= 0:
+        raise DiscoveryError("num_hashes must be positive")
+    if not 0.0 < target_recall <= 1.0:
+        raise DiscoveryError(
+            f"target_recall must be in (0, 1], got {target_recall}"
+        )
+    for bands in range(1, num_hashes + 1):
+        if num_hashes % bands != 0:
+            continue
+        rows = num_hashes // bands
+        if lsh_recall(threshold, bands, rows, multi_probe) >= target_recall:
+            return bands
+    return num_hashes
 
 
 class VersionedCache:
@@ -82,9 +169,22 @@ class PackedSignatureMatrix:
     ``lsh_bands`` hash tables over ``num_hashes // lsh_bands``-wide slices
     of its signature; :meth:`candidate_rows` unions the buckets the query
     signatures fall into, which prunes the exact scan sublinearly.
+
+    When ``multi_probe`` is also set (and bands are wider than one row),
+    every row is *additionally* keyed into one near-miss table per
+    (band, dropped position): the band slice with that position removed.
+    A query then probes those tables too, so a pair colliding on all but
+    one row of any band still becomes a candidate — per-band hit
+    probability rises from ``s**r`` to ``s**r + r·s**(r-1)·(1-s)``, which
+    is what cuts the miss rate at low similarity (see :func:`lsh_recall`).
     """
 
-    def __init__(self, num_hashes: int, lsh_bands: int | None = None) -> None:
+    def __init__(
+        self,
+        num_hashes: int,
+        lsh_bands: int | None = None,
+        multi_probe: bool = False,
+    ) -> None:
         if num_hashes <= 0:
             raise DiscoveryError("num_hashes must be positive")
         if lsh_bands is not None:
@@ -96,6 +196,9 @@ class PackedSignatureMatrix:
         self.num_hashes = num_hashes
         self.lsh_bands = lsh_bands
         self._rows_per_band = num_hashes // lsh_bands if lsh_bands else 0
+        # Near-miss probing needs at least two rows per band: with one-row
+        # bands there is no "all but one position" bucket to probe.
+        self.multi_probe = bool(multi_probe and lsh_bands and self._rows_per_band > 1)
         self._matrix = np.empty((0, num_hashes), dtype=np.int64)
         self._num_values = np.empty((0,), dtype=np.int64)
         self._row_column: list[str | None] = []
@@ -109,6 +212,11 @@ class PackedSignatureMatrix:
         self._band_tables: list[dict[bytes, set[int]]] = [
             {} for _ in range(lsh_bands or 0)
         ]
+        # One near-miss table per (band, dropped position), flat-indexed as
+        # band * rows_per_band + position.
+        self._probe_tables: list[dict[bytes, set[int]]] = [
+            {} for _ in range((lsh_bands or 0) * self._rows_per_band)
+        ] if self.multi_probe else []
         #: Bumped on every add/remove; callers key derived layouts on it.
         self.mutations = 0
         # One atomically-swapped tuple holding the per-dataset segment
@@ -137,6 +245,22 @@ class PackedSignatureMatrix:
             for band in range(self.lsh_bands or 0)
         ]
 
+    def _probe_keys(self, band_keys: list[bytes]) -> list[bytes]:
+        """Near-miss keys, flat-indexed to match ``_probe_tables``.
+
+        For each band the full-slice key is an ``int64`` byte string; the
+        (band, position) near-miss key is that string with position's 8
+        bytes cut out.  Which position was dropped is encoded by the table
+        index, so two different drops can never alias each other.
+        """
+        keys: list[bytes] = []
+        for band_key in band_keys:
+            for position in range(self._rows_per_band):
+                keys.append(
+                    band_key[: 8 * position] + band_key[8 * (position + 1) :]
+                )
+        return keys
+
     def add(self, dataset: str, column: str, signature: np.ndarray, num_values: int) -> None:
         """Pack one column signature (a ``(num_hashes,)`` int64 row)."""
         if signature.shape != (self.num_hashes,):
@@ -161,8 +285,12 @@ class PackedSignatureMatrix:
             self._next_seq += 1
         self._dataset_rows.setdefault(dataset, []).append(row)
         if self.lsh_bands:
-            for table, key in zip(self._band_tables, self._band_keys(signature)):
+            band_keys = self._band_keys(signature)
+            for table, key in zip(self._band_tables, band_keys):
                 table.setdefault(key, set()).add(row)
+            if self.multi_probe:
+                for table, key in zip(self._probe_tables, self._probe_keys(band_keys)):
+                    table.setdefault(key, set()).add(row)
         self.mutations += 1
         self._layout_cache = None
 
@@ -173,7 +301,13 @@ class PackedSignatureMatrix:
             return
         for row in rows:
             if self.lsh_bands:
-                for table, key in zip(self._band_tables, self._band_keys(self._matrix[row])):
+                band_keys = self._band_keys(self._matrix[row])
+                tables_and_keys = list(zip(self._band_tables, band_keys))
+                if self.multi_probe:
+                    tables_and_keys += list(
+                        zip(self._probe_tables, self._probe_keys(band_keys))
+                    )
+                for table, key in tables_and_keys:
                     bucket = table.get(key)
                     if bucket is not None:
                         bucket.discard(row)
@@ -208,6 +342,9 @@ class PackedSignatureMatrix:
         """
         datasets = {self._row_dataset[row] for row in rows}
         datasets.discard(None)
+        # A racing unregister may clear a dataset's sequence entry between
+        # the row read above and this sort; drop it (the rows are gone).
+        datasets &= self._dataset_seq.keys()
         segments: list[tuple[str, list[int], list[str]]] = []
         for dataset in sorted(datasets, key=self._dataset_seq.__getitem__):
             selected = [row for row in self._dataset_rows[dataset] if row in rows]
@@ -268,15 +405,25 @@ class PackedSignatureMatrix:
 
     # -- querying --------------------------------------------------------------
     def candidate_rows(self, query_signatures: np.ndarray) -> set[int]:
-        """LSH-pruned candidate rows: share ≥1 band bucket with any query row."""
+        """LSH-pruned candidate rows: share ≥1 band bucket with any query row.
+
+        With ``multi_probe`` the near-miss tables are probed too, so rows
+        agreeing on all but one position of any band also qualify.
+        """
         if not self.lsh_bands:
             raise DiscoveryError("candidate_rows requires LSH banding to be enabled")
         candidates: set[int] = set()
         for signature in query_signatures:
-            for table, key in zip(self._band_tables, self._band_keys(signature)):
+            band_keys = self._band_keys(signature)
+            for table, key in zip(self._band_tables, band_keys):
                 bucket = table.get(key)
                 if bucket:
                     candidates |= bucket
+            if self.multi_probe:
+                for table, key in zip(self._probe_tables, self._probe_keys(band_keys)):
+                    bucket = table.get(key)
+                    if bucket:
+                        candidates |= bucket
         return candidates
 
     def similarities(self, query_signatures: np.ndarray, row_ids: np.ndarray) -> np.ndarray:
@@ -302,12 +449,254 @@ class PackedSignatureMatrix:
         return sims
 
 
+class SparseTermMatrix:
+    """The corpus's TF-IDF sketches as one sparse term matrix (term-major CSR).
+
+    Rows are (dataset, column) sketch vectors; storage is term-major — one
+    posting per term holding the ``(row, count)`` pairs of every column
+    containing it — which is the CSR of the transposed term matrix.  A
+    union query's cosine numerators against the *whole corpus* are then
+    one posting update per query term (:meth:`weighted_dot`) instead of a
+    Python dict intersection per column pair.
+
+    Postings are updated incrementally on register/unregister (rows are
+    recycled through a free list, and only the touched terms' packed
+    arrays are invalidated); the IDF-*weighted* posting values
+    (``count × idf(term)``) are cached per IDF snapshot and rebuilt only
+    when the corpus-level :class:`~repro.discovery.tfidf.IdfModel` hands
+    out a new weights dict — the same version-keyed discipline as the
+    norm cache.
+
+    Bit-parity contract: :meth:`weighted_dot` accumulates its dense output
+    **term by term in the query sketch's iteration order**, each step a
+    single ``+=`` per posting row.  That reproduces the scalar oracle's
+    ``dot += (q_count·idf) · (c_count·idf)`` loop exactly (absent terms
+    contribute no addition at all), so the sparse path's similarities are
+    bit-equal to :meth:`repro.discovery.tfidf.TfIdfSketch.cosine`.
+    """
+
+    def __init__(self) -> None:
+        self._postings: dict[str, dict[int, int]] = {}
+        self._row_dataset: list[str | None] = []
+        self._row_column: list[str | None] = []
+        self._row_dtype: list[str | None] = []
+        self._row_sketch: list[object | None] = []
+        self._dtype_codes = np.empty((0,), dtype=np.int8)
+        self._free: list[int] = []
+        self._dataset_rows: dict[str, list[int]] = {}
+        self._dataset_seq: dict[str, int] = {}
+        self._next_seq = 0
+        #: Bumped on every add/remove; callers key derived layouts on it.
+        self.mutations = 0
+        # term → (rows int64[], counts int64[]) packed posting arrays,
+        # rebuilt lazily per term after a mutation touches the term.
+        self._packed: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        # term → counts × idf(term), valid only for the exact idf dict in
+        # ``_weighted_for`` (IdfModel.idf() memoises per version, so a new
+        # corpus version hands out a new dict and empties this cache).
+        self._weighted: dict[str, np.ndarray] = {}
+        self._weighted_for: Mapping[str, float] | None = None
+        # Guards _postings/_packed/_weighted/_weighted_for: like the
+        # VersionedCache, query-side memos must stay coherent when the
+        # gateway's thread backend races queries against register/
+        # unregister on a flat (unsharded) index.  Entries are only served
+        # to callers whose idf dict is identical to _weighted_for, so a
+        # straggler holding a pre-mutation snapshot can thrash the cache
+        # but never hand mixed-snapshot weights to anyone.
+        self._lock = threading.Lock()
+
+    # -- registration ----------------------------------------------------------
+    def add(
+        self, dataset: str, column: str, dtype: str, sketch
+    ) -> None:
+        """Add one column's TF-IDF sketch as a matrix row."""
+        if self._free:
+            row = self._free.pop()
+        else:
+            row = len(self._row_column)
+            self._row_column.append(None)
+            self._row_dataset.append(None)
+            self._row_dtype.append(None)
+            self._row_sketch.append(None)
+            if row >= self._dtype_codes.shape[0]:
+                grown = np.full(max(16, 2 * (row + 1)), -1, dtype=np.int8)
+                grown[: self._dtype_codes.shape[0]] = self._dtype_codes
+                self._dtype_codes = grown
+        self._row_column[row] = column
+        self._row_dataset[row] = dataset
+        self._row_dtype[row] = dtype
+        self._row_sketch[row] = sketch
+        self._dtype_codes[row] = _DTYPE_CODES.get(dtype, -1)
+        if dataset not in self._dataset_seq:
+            self._dataset_seq[dataset] = self._next_seq
+            self._next_seq += 1
+        self._dataset_rows.setdefault(dataset, []).append(row)
+        with self._lock:
+            for term, count in sketch.term_counts.items():
+                self._postings.setdefault(term, {})[row] = count
+                self._packed.pop(term, None)
+                self._weighted.pop(term, None)
+        self.mutations += 1
+
+    def remove_dataset(self, dataset: str) -> None:
+        """Free every row belonging to ``dataset``."""
+        rows = self._dataset_rows.pop(dataset, None)
+        if not rows:
+            self._dataset_seq.pop(dataset, None)
+            return
+        for row in rows:
+            sketch = self._row_sketch[row]
+            with self._lock:
+                for term in sketch.term_counts:
+                    posting = self._postings.get(term)
+                    if posting is None:
+                        continue
+                    posting.pop(row, None)
+                    if not posting:
+                        del self._postings[term]
+                    self._packed.pop(term, None)
+                    self._weighted.pop(term, None)
+            self._row_column[row] = None
+            self._row_dataset[row] = None
+            self._row_dtype[row] = None
+            self._row_sketch[row] = None
+            self._dtype_codes[row] = -1
+            self._free.append(row)
+        self._dataset_seq.pop(dataset, None)
+        self.mutations += 1
+
+    # -- introspection ---------------------------------------------------------
+    def __contains__(self, dataset: object) -> bool:
+        return dataset in self._dataset_rows
+
+    def __len__(self) -> int:
+        return len(self._row_column) - len(self._free)
+
+    @property
+    def capacity(self) -> int:
+        """Allocated row slots (live + free); dense outputs use this length."""
+        return len(self._row_column)
+
+    def rows_for(self, dataset: str) -> list[int]:
+        """Row ids of a dataset's columns, in registration (column) order."""
+        return self._dataset_rows.get(dataset, [])
+
+    def column_of(self, row: int) -> str | None:
+        return self._row_column[row]
+
+    def dtype_of(self, row: int) -> str | None:
+        return self._row_dtype[row]
+
+    def iter_rows(self):
+        """Yield ``(row, dataset, column, sketch)`` for every live row."""
+        for row, dataset in enumerate(self._row_dataset):
+            if dataset is not None:
+                yield row, dataset, self._row_column[row], self._row_sketch[row]
+
+    def datasets_of_rows(self, rows: Iterable[int]) -> list[str]:
+        """The datasets owning ``rows``, in registration order.
+
+        Registration order here matches the index's insertion-ordered
+        ``profiles`` dict (both are mutated in lockstep), which is the
+        candidate visit order of the scalar oracle.
+        """
+        names = {self._row_dataset[int(row)] for row in rows}
+        names.discard(None)
+        # A racing unregister may clear a dataset's sequence entry between
+        # the row read above and this sort; drop it (the rows are gone).
+        names &= self._dataset_seq.keys()
+        return sorted(names, key=self._dataset_seq.__getitem__)
+
+    def compatible_rows(self, dtype: str, size: int | None = None) -> np.ndarray:
+        """Superset mask of rows whose dtype *may* union with ``dtype``.
+
+        Mirrors the scalar pairing rule — numeric only unions with
+        numeric, key and categorical union with each other — but errs on
+        the side of inclusion for dtypes outside the standard three
+        (code -1): the caller re-applies the exact rule per surviving
+        pair, so this mask only has to be a superset for the pruning
+        bound to stay sound.  (Free rows also carry code -1, but their
+        similarities are identically zero.)
+        """
+        codes = self._dtype_codes[: self.capacity if size is None else size]
+        query_code = _DTYPE_CODES.get(dtype, -1)
+        if query_code == 0:
+            return (codes == 0) | (codes == -1)
+        if query_code == -1:
+            return np.ones(codes.shape, dtype=bool)
+        return codes != 0
+
+    # -- querying --------------------------------------------------------------
+    def _weighted_posting(
+        self, term: str, idf: Mapping[str, float]
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        with self._lock:
+            if idf is not self._weighted_for:
+                self._weighted = {}
+                self._weighted_for = idf
+            cached = self._weighted.get(term)
+            if cached is not None:
+                return cached
+            posting = self._postings.get(term)
+            if not posting:
+                return None
+            packed = self._packed.get(term)
+            if packed is None:
+                rows = np.fromiter(posting.keys(), dtype=np.int64, count=len(posting))
+                counts = np.fromiter(posting.values(), dtype=np.int64, count=len(posting))
+                order = np.argsort(rows)
+                packed = (rows[order], counts[order])
+                self._packed[term] = packed
+            rows, counts = packed
+            # count × idf: the identical float multiply the scalar oracle
+            # does (int→float64 conversion is exact for realistic counts).
+            weighted = (rows, counts * idf.get(term, 1.0))
+            self._weighted[term] = weighted
+            return weighted
+
+    def weighted_dot(
+        self,
+        term_counts: Mapping[str, int],
+        idf: Mapping[str, float],
+        size: int | None = None,
+    ) -> np.ndarray:
+        """IDF-weighted dot of a query sketch against every matrix row.
+
+        Returns a dense ``(size,)`` vector (``size`` defaults to the
+        current :attr:`capacity`; callers issuing several dots per query
+        pass their snapshot so all outputs align): entry *r* is bit-equal
+        to the scalar ``Σ (q_count·idf)·(c_count·idf)`` over shared terms,
+        because terms are accumulated in the query sketch's iteration
+        order and each posting row receives exactly one addition per
+        shared term (absent terms add nothing, exactly like the scalar
+        ``dict.get`` miss).
+        """
+        if size is None:
+            size = self.capacity
+        dot = np.zeros(size, dtype=np.float64)
+        for term, count in term_counts.items():
+            posting = self._weighted_posting(term, idf)
+            if posting is None:
+                continue
+            rows, weighted = posting
+            if rows.size and int(rows[-1]) >= size:
+                # A registration raced this query past the snapshot the
+                # caller sized against; drop the unseen rows.
+                keep = rows < size
+                rows, weighted = rows[keep], weighted[keep]
+            dot[rows] += (count * idf.get(term, 1.0)) * weighted
+        return dot
+
+
 class TokenIndex:
     """Inverted token → dataset index over TF-IDF sketches (refcounted).
 
     Multiple columns of one dataset can share a token, so entries are
     refcounts; a dataset leaves a token's posting only when its last column
     carrying that token is removed.
+
+    Superseded in the union hot path by :class:`SparseTermMatrix` (which
+    both prunes and scores in one pass) but kept as a standalone utility.
     """
 
     def __init__(self) -> None:

@@ -12,12 +12,16 @@ the only artefacts uploaded to the central platform.
 Discovery is the serving hot path, so the index keeps two implementations:
 
 * the **vectorized engine** (default): joinable-column signatures live in a
-  packed ``int64`` matrix (:class:`PackedSignatureMatrix`), so one query is
-  a single broadcast comparison over the whole corpus plus a segmented
-  max-reduction — optionally preceded by LSH banding (``use_lsh``) that
-  prunes the candidate rows sublinearly before exact scoring; union
-  queries consult an inverted token index and score only datasets sharing
-  at least one token, with per-sketch IDF-weighted norms memoised against
+  packed ``int64`` matrix (:class:`PackedSignatureMatrix`), so one join
+  query is a single broadcast comparison over the whole corpus plus a
+  segmented max-reduction — optionally preceded by LSH banding
+  (``use_lsh``) that prunes the candidate rows sublinearly before exact
+  scoring, with the band count either hand-picked (``lsh_bands``) or
+  derived from a ``target_recall`` at the join threshold (adaptive
+  banding, optionally with near-miss ``multi_probe`` lookups); union
+  queries are a sparse term-matrix product (:class:`SparseTermMatrix`):
+  one vectorized dot per query column scores the *whole corpus* at once,
+  with per-sketch IDF-weighted norms memoised against
   ``IdfModel.version``;
 * the **scalar reference** (``vectorized=False`` or the ``*_scalar``
   methods): the original nested-loop implementation, kept as the parity
@@ -32,7 +36,12 @@ from typing import Mapping, Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.discovery.engine import PackedSignatureMatrix, TokenIndex, VersionedCache
+from repro.discovery.engine import (
+    PackedSignatureMatrix,
+    SparseTermMatrix,
+    VersionedCache,
+    adaptive_lsh_bands,
+)
 from repro.discovery.minhash import MinHasher
 from repro.discovery.profiles import DatasetProfile, profile_relation
 from repro.discovery.tfidf import IdfModel
@@ -92,14 +101,34 @@ class DiscoveryIndexLike(Protocol):
 class DiscoveryIndex:
     """Profiles of every registered dataset plus corpus-level IDF statistics.
 
-    ``vectorized`` selects the packed-matrix engine (the default);
-    ``use_lsh`` additionally prunes join scans with LSH banding
-    (``lsh_bands`` bands over ``num_hashes // lsh_bands`` rows each) — an
-    approximation that can miss low-similarity candidates, so it is off by
-    default and the exact vectorized scan stays result-identical to the
-    scalar reference.  ``norm_cache`` memoises per-sketch IDF-weighted
-    norms against ``idf_model.version``; the sharded index passes one
-    shared cache to every shard.
+    Engine knobs (see ``docs/TUNING.md`` for trade-off guidance):
+
+    ===================  =========  ==================================================
+    knob                 default    effect
+    ===================  =========  ==================================================
+    ``vectorized``       ``True``   packed-matrix join scan + sparse union scoring;
+                                    ``False`` restores the scalar reference loops
+    ``use_lsh``          ``False``  LSH-banded candidate pruning before exact join
+                                    scoring — sublinear but approximate (may miss
+                                    low-similarity candidates)
+    ``lsh_bands``        ``32``     bands over ``num_hashes // lsh_bands``-row slices;
+                                    more bands = higher recall, more candidates
+    ``target_recall``    ``None``   *adaptive banding*: derive ``lsh_bands`` from the
+                                    S-curve so a pair at ``join_threshold`` is
+                                    recalled with at least this probability
+                                    (overrides ``lsh_bands``; see
+                                    :func:`repro.discovery.engine.adaptive_lsh_bands`)
+    ``multi_probe``      ``False``  probe the near-miss band buckets too (all-but-one
+                                    row agreement), cutting misses at low similarity
+                                    for the same band count
+    ===================  =========  ==================================================
+
+    The exact vectorized paths stay result-identical to the scalar
+    reference — joins via the packed signature matrix, unions via the
+    sparse term matrix whose accumulation order reproduces the scalar
+    float arithmetic bit for bit.  ``norm_cache`` memoises per-sketch
+    IDF-weighted norms against ``idf_model.version``; the sharded index
+    passes one shared cache to every shard.
     """
 
     minhasher: MinHasher = field(default_factory=MinHasher)
@@ -110,15 +139,36 @@ class DiscoveryIndex:
     vectorized: bool = True
     use_lsh: bool = False
     lsh_bands: int = 32
+    target_recall: float | None = None
+    multi_probe: bool = False
     norm_cache: VersionedCache | None = None
 
     def __post_init__(self) -> None:
+        if not self.use_lsh and (self.target_recall is not None or self.multi_probe):
+            # Refuse rather than silently serve exact scans: a caller who
+            # asked for a recall target or probing expects banding on.
+            raise DiscoveryError(
+                "target_recall and multi_probe configure LSH banding; "
+                "pass use_lsh=True to enable it"
+            )
+        if self.use_lsh and self.target_recall is not None:
+            # Adaptive banding: solve the S-curve for the cheapest band
+            # count meeting the target recall at the join threshold
+            # (validates target_recall ∈ (0, 1]).
+            self.lsh_bands = adaptive_lsh_bands(
+                self.minhasher.num_hashes,
+                self.join_threshold,
+                self.target_recall,
+                self.multi_probe,
+            )
         bands = self.lsh_bands if self.use_lsh else None
         # Band validation (positive, evenly divides the signature width)
         # happens in PackedSignatureMatrix so the error is raised in one
         # place with one message.
-        self._signatures = PackedSignatureMatrix(self.minhasher.num_hashes, bands)
-        self._tokens = TokenIndex()
+        self._signatures = PackedSignatureMatrix(
+            self.minhasher.num_hashes, bands, multi_probe=self.multi_probe
+        )
+        self._terms = SparseTermMatrix()
         if self.norm_cache is None:
             self.norm_cache = VersionedCache(lambda: self.idf_model.version)
         # Datasets whose sketches do not fit the packed matrix (e.g. a
@@ -180,11 +230,18 @@ class DiscoveryIndex:
                 sketch.signature_array(),
                 sketch.num_values,
             )
-        self._tokens.add(profile.dataset, profile.sketch_tokens())
+        for column_profile in profile.columns.values():
+            if column_profile.tfidf is not None:
+                self._terms.add(
+                    profile.dataset,
+                    column_profile.column,
+                    column_profile.dtype,
+                    column_profile.tfidf,
+                )
 
     def _deindex_profile(self, profile: DatasetProfile) -> None:
         self._signatures.remove_dataset(profile.dataset)
-        self._tokens.remove(profile.dataset, profile.sketch_tokens())
+        self._terms.remove_dataset(profile.dataset)
         self._unpacked.discard(profile.dataset)
 
     def __contains__(self, dataset: object) -> bool:
@@ -241,23 +298,7 @@ class DiscoveryIndex:
             idf = self.idf_model.idf()
         if query_norms is None:
             query_norms = self.query_column_norms(query_profile, idf)
-        candidates = self._tokens.datasets_sharing(
-            term
-            for column in query_profile.columns.values()
-            if column.tfidf is not None
-            for term in column.tfidf.term_counts
-        )
-        results: list[UnionCandidate] = []
-        for dataset, profile in list(self.profiles.items()):
-            if dataset == query_profile.dataset or dataset not in candidates:
-                continue
-            mapping, score = self._best_column_mapping_fast(
-                query_profile, profile, idf, query_norms
-            )
-            if mapping and score >= self.union_threshold:
-                results.append(UnionCandidate(dataset, tuple(mapping), score))
-        results.sort(key=lambda candidate: -candidate.similarity)
-        return results[:top_k] if top_k is not None else results
+        return self._union_candidates_sparse(query_profile, top_k, idf, query_norms)
 
     def query_column_norms(
         self, query_profile: DatasetProfile, idf: Mapping[str, float]
@@ -372,40 +413,138 @@ class DiscoveryIndex:
             segments,
         )
 
-    def _best_column_mapping_fast(
+    # -- sparse union engine ---------------------------------------------------
+    def _union_candidates_sparse(
         self,
         query_profile: DatasetProfile,
-        candidate_profile: DatasetProfile,
+        top_k: int | None,
         idf: dict[str, float],
         query_norms: dict[str, float],
-    ) -> tuple[list[tuple[str, str]], float]:
-        """The scalar greedy mapping with all norms served from caches.
+    ) -> list[UnionCandidate]:
+        """Union scoring as a sparse term-matrix product.
 
-        Float arithmetic is identical to :meth:`_best_column_mapping`
-        (same dot-product iteration order, same weighting expression), so
-        the two return bit-equal scores.
+        One :meth:`SparseTermMatrix.weighted_dot` per query column yields
+        cosine numerators against the *whole corpus* at once; dividing by
+        the cached per-row norms gives every pair similarity in a handful
+        of vectorized ops.  Datasets are pruned by a vectorized bound
+        before any Python work: a dataset's greedy score is an average of
+        pair similarities times a ≤1 coverage factor, so it can never
+        exceed its best compatible pair — rows whose best similarity is
+        below the threshold are skipped wholesale.  Surviving datasets run
+        the same greedy mapping as the scalar oracle over the precomputed
+        (bit-equal) similarities, so results are identical.
         """
-        norm_cache = self.norm_cache
-        dataset = candidate_profile.dataset
+        terms = self._terms
+        results: list[UnionCandidate] = []
+        size = terms.capacity
+        if size and len(terms):
+            row_norms = self._row_norms(idf, size)
+            scored: list[tuple[object, np.ndarray]] = []
+            best = np.zeros(size, dtype=np.float64)
+            for query_column in query_profile.columns.values():
+                sketch = query_column.tfidf
+                if sketch is None or not sketch.term_counts:
+                    continue
+                query_norm = query_norms.get(query_column.column, 0.0)
+                if query_norm == 0.0:
+                    continue
+                dot = terms.weighted_dot(sketch.term_counts, idf, size)
+                # dot / (query_norm · row_norm): the same two float ops,
+                # in the same order, as the scalar cosine's final division.
+                denominator = query_norm * row_norms
+                similarities = np.divide(
+                    dot,
+                    denominator,
+                    out=np.zeros(size, dtype=np.float64),
+                    where=denominator != 0.0,
+                )
+                scored.append((query_column, similarities))
+                np.maximum(
+                    best,
+                    np.where(
+                        terms.compatible_rows(query_column.dtype, size),
+                        similarities,
+                        0.0,
+                    ),
+                    out=best,
+                )
+            if scored:
+                hits = best >= self.union_threshold
+                hits &= best > 0.0
+                for dataset in terms.datasets_of_rows(np.flatnonzero(hits)):
+                    if dataset == query_profile.dataset or dataset not in self.profiles:
+                        continue
+                    candidate = self._map_union_candidate(
+                        dataset, query_profile, scored, size
+                    )
+                    if candidate is not None:
+                        results.append(candidate)
+        results.sort(key=lambda candidate: -candidate.similarity)
+        return results[:top_k] if top_k is not None else results
+
+    def _map_union_candidate(
+        self,
+        dataset: str,
+        query_profile: DatasetProfile,
+        scored: list[tuple[object, np.ndarray]],
+        size: int,
+    ) -> UnionCandidate | None:
+        """Greedy column mapping from precomputed pair similarities.
+
+        Only positive-similarity compatible pairs are assembled: the
+        greedy mapper sorts descending and stops at the first
+        non-positive pair, so dropping them up front changes nothing.
+        Rows at or past ``size`` were registered after this query's
+        snapshot and are skipped, like the other engine read paths.
+        """
+        terms = self._terms
+        columns = [
+            (row, terms.column_of(row), terms.dtype_of(row))
+            for row in terms.rows_for(dataset)
+            if row < size
+        ]
         pairs: list[tuple[float, str, str]] = []
-        for query_column in query_profile.columns.values():
-            query_norm = query_norms.get(query_column.column, 0.0)
-            for candidate_column in candidate_profile.columns.values():
-                if query_column.dtype != candidate_column.dtype and not (
-                    query_column.dtype in ("key", "categorical")
-                    and candidate_column.dtype in ("key", "categorical")
+        for query_column, similarities in scored:
+            query_dtype = query_column.dtype
+            key_like = query_dtype in ("key", "categorical")
+            for row, column_name, dtype in columns:
+                if query_dtype != dtype and not (
+                    key_like and dtype in ("key", "categorical")
                 ):
                     continue
-                candidate_sketch = candidate_column.tfidf
-                candidate_norm = norm_cache.get_or_compute(
-                    (dataset, candidate_column.column),
-                    lambda sketch=candidate_sketch: sketch.norm(idf),
+                similarity = similarities[row]
+                if similarity > 0.0:
+                    pairs.append((float(similarity), query_column.column, column_name))
+        mapping, score = self._greedy_mapping(pairs, query_profile)
+        if mapping and score >= self.union_threshold:
+            return UnionCandidate(dataset, tuple(mapping), score)
+        return None
+
+    def _row_norms(self, idf: dict[str, float], size: int) -> np.ndarray:
+        """Dense IDF-weighted norms of every term-matrix row.
+
+        Individual norms come from the shared version-keyed ``norm_cache``
+        under the same ``(dataset, column)`` keys the scalar fast path
+        used, so shards (and repeated queries) compute each norm once per
+        IDF version; the assembled array is itself cached per corpus
+        mutation.
+        """
+        terms = self._terms
+        norm_cache = self.norm_cache
+
+        def build() -> np.ndarray:
+            norms = np.zeros(size, dtype=np.float64)
+            for row, dataset, column, sketch in terms.iter_rows():
+                if row >= size:
+                    continue
+                norms[row] = norm_cache.get_or_compute(
+                    (dataset, column), lambda sketch=sketch: sketch.norm(idf)
                 )
-                similarity = query_column.tfidf.cosine_with_norms(
-                    candidate_sketch, idf, query_norm, candidate_norm
-                )
-                pairs.append((similarity, query_column.column, candidate_column.column))
-        return self._greedy_mapping(pairs, query_profile)
+            return norms
+
+        return norm_cache.get_or_compute(
+            ("__row_norms__", id(terms), terms.mutations, size), build
+        )
 
     # -- scalar reference (parity oracle) ---------------------------------------
     def join_candidates_scalar(

@@ -30,7 +30,13 @@ _UNSET = object()
 
 
 def tokenize(text: str) -> list[str]:
-    """Lower-case alphanumeric tokens of a string."""
+    """Lower-case alphanumeric tokens of a string.
+
+    >>> tokenize("ZIP_Code-2024")
+    ['zip', 'code', '2024']
+    >>> tokenize(3.5)
+    ['3', '5']
+    """
     return _TOKEN_PATTERN.findall(str(text).lower())
 
 
@@ -43,7 +49,12 @@ class TfIdfSketch:
 
     @classmethod
     def from_column(cls, column_name: str, values: Iterable, sample_size: int = 200) -> "TfIdfSketch":
-        """Build a sketch from a column name and (a sample of) its values."""
+        """Build a sketch from a column name and (a sample of) its values.
+
+        >>> sketch = TfIdfSketch.from_column("zip", ["zip 10001", None])
+        >>> sorted(sketch.term_counts.items())
+        [('10001', 1), ('zip', 4)]
+        """
         counts: Counter[str] = Counter()
         # The column name tokens are weighted up: schema-level evidence is
         # usually more reliable than value-level evidence for unionability.

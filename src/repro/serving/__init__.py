@@ -1,5 +1,35 @@
 """Mileena serving layer: concurrent gateway, sharded stores, cache, metrics.
 
+The serving stack, outside in: a :class:`Gateway` (admission control,
+deadlines, result cache, request coalescing) dispatches onto a pluggable
+execution backend (``thread``/``process``/``async``), which drives a
+platform whose corpus is a :class:`ShardedSketchStore` +
+:class:`ShardedDiscoveryIndex`.  ``docs/ARCHITECTURE.md`` draws the full
+picture; ``docs/TUNING.md`` covers knob selection.  The knobs reachable
+from this layer, with defaults:
+
+=====================  ==================  =======================================
+knob                   default             trade-off
+=====================  ==================  =======================================
+``backend``            ``"thread"``        ``process`` buys multi-core compute at
+                                           ~1s boot + pickling overhead; ``async``
+                                           buys cheap coalescing for bursty
+                                           duplicate traffic
+``cache_capacity``     ``256`` (gateway)   bigger = more memoised results, more
+                                           memory; entries are epoch-scoped so
+                                           churn evicts naturally
+``num_shards``         ``4``               more shards shrink per-shard scans but
+                                           add fan-out/merge overhead
+``use_lsh``            ``False``           sublinear join pruning, approximate
+``lsh_bands``          ``32``              more bands = higher recall, more
+                                           candidates to score
+``target_recall``      ``None``            derive ``lsh_bands`` from a recall
+                                           floor at the join threshold instead of
+                                           hand-picking
+``multi_probe``        ``False``           probe near-miss buckets: higher recall
+                                           at low similarity for the same bands
+=====================  ==================  =======================================
+
 Lazy imports keep ``import repro.serving`` free of the core-platform import
 chain (and of circular imports: ``repro.core.platform`` uses the
 fingerprint helpers from this package).

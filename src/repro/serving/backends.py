@@ -163,6 +163,10 @@ class PlatformSpec:
     base_epoch: int
     registrations: tuple = ()
     warm_start: bool = True
+    # Adaptive/multi-probe LSH knobs: replicas must re-derive the same
+    # band layout as the parent or process-backend results would diverge.
+    target_recall: float | None = None
+    multi_probe: bool = False
     # Non-default platform components (proxy model, sketch builder, shared
     # MinHasher) must replicate too, or a customised platform would return
     # different results from worker processes than from the parent.  The
@@ -217,6 +221,8 @@ class PlatformReplica:
                     vectorized=spec.vectorized,
                     use_lsh=spec.use_lsh,
                     lsh_bands=spec.lsh_bands,
+                    target_recall=spec.target_recall,
+                    multi_probe=spec.multi_probe,
                     cache_capacity=spec.discovery_cache_capacity,
                 ),
                 sketches=ShardedSketchStore(num_shards=spec.num_shards),
@@ -230,6 +236,8 @@ class PlatformReplica:
                     vectorized=spec.vectorized,
                     use_lsh=spec.use_lsh,
                     lsh_bands=spec.lsh_bands,
+                    target_recall=spec.target_recall,
+                    multi_probe=spec.multi_probe,
                 )
             )
         kwargs = {}
@@ -333,6 +341,8 @@ def platform_spec(gateway) -> PlatformSpec:
         vectorized=getattr(discovery, "vectorized", True),
         use_lsh=getattr(discovery, "use_lsh", False),
         lsh_bands=getattr(discovery, "lsh_bands", 32),
+        target_recall=getattr(discovery, "target_recall", None),
+        multi_probe=getattr(discovery, "multi_probe", False),
         join_threshold=getattr(discovery, "join_threshold", 0.3),
         union_threshold=getattr(discovery, "union_threshold", 0.55),
         discovery_cache_capacity=getattr(discovery, "cache_capacity", None),

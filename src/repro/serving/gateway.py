@@ -97,6 +97,14 @@ class GatewayConfig:
         Bootstrap and warm every process-pool worker at gateway
         construction (platform replica build + first-query engine
         structures) instead of on first request.
+
+    Discovery-side knobs (``use_lsh``, ``lsh_bands``, ``target_recall``,
+    ``multi_probe``, the index-level ``cache_capacity``) live on the
+    platform's discovery index — set them via ``Mileena.sharded(...)`` or
+    the index constructors; the gateway's process backend snapshots them
+    into its :class:`~repro.serving.backends.PlatformSpec` so worker
+    replicas stay result-identical.  ``docs/TUNING.md`` has the combined
+    knobs table and trade-offs.
     """
 
     max_workers: int = 4

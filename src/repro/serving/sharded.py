@@ -134,12 +134,15 @@ class ShardedDiscoveryIndex:
     once per shard.
 
     Each shard runs the packed vectorized engine (``vectorized``/
-    ``use_lsh``/``lsh_bands`` are forwarded), and ``cache_capacity``
-    optionally enables a whole-query discovery cache keyed on the relation
-    fingerprint and scoped to :attr:`epoch`, the index's mutation counter —
-    a repeated query against an unchanged corpus skips profiling and
-    fan-out entirely, and any register/unregister moves the epoch so stale
-    candidate lists can never be served.
+    ``use_lsh``/``lsh_bands``/``target_recall``/``multi_probe`` are
+    forwarded; when ``target_recall`` is set the band count is derived
+    adaptively and :attr:`lsh_bands` reflects the resolved value), and
+    ``cache_capacity`` optionally enables a whole-query discovery cache
+    keyed on the relation fingerprint and scoped to :attr:`epoch`, the
+    index's mutation counter — a repeated query against an unchanged
+    corpus skips profiling and fan-out entirely, and any
+    register/unregister moves the epoch so stale candidate lists can never
+    be served.
     """
 
     def __init__(
@@ -152,6 +155,8 @@ class ShardedDiscoveryIndex:
         vectorized: bool = True,
         use_lsh: bool = False,
         lsh_bands: int = 32,
+        target_recall: float | None = None,
+        multi_probe: bool = False,
         cache_capacity: int | None = None,
     ) -> None:
         if num_shards <= 0:
@@ -167,7 +172,8 @@ class ShardedDiscoveryIndex:
         self.union_threshold = union_threshold
         self.vectorized = vectorized
         self.use_lsh = use_lsh
-        self.lsh_bands = lsh_bands
+        self.target_recall = target_recall
+        self.multi_probe = multi_probe
         self.cache_capacity = cache_capacity
         self.norm_cache = VersionedCache(lambda: self.idf_model.version)
         self.shards = [
@@ -179,10 +185,15 @@ class ShardedDiscoveryIndex:
                 vectorized=vectorized,
                 use_lsh=use_lsh,
                 lsh_bands=lsh_bands,
+                target_recall=target_recall,
+                multi_probe=multi_probe,
                 norm_cache=self.norm_cache,
             )
             for _ in range(num_shards)
         ]
+        # Every shard derives the same band count; expose the resolved
+        # value (== lsh_bands unless target_recall triggered adaptation).
+        self.lsh_bands = self.shards[0].lsh_bands if self.shards else lsh_bands
         self._epoch = 0
         self.cache = (
             ResultCache(

@@ -1,0 +1,67 @@
+"""Docs link check: every relative markdown link must resolve.
+
+Scans ``README.md`` and everything under ``docs/`` for markdown links and
+fails (exit 1) when a relative link points at a file that does not exist
+or an anchor that no heading in the target produces.  External links
+(http/https/mailto) are deliberately not fetched — CI must not depend on
+the network — so keep load-bearing references relative.
+
+Run locally::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINK_PATTERN = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's markdown anchor slug: lowercase, drop punctuation, dash spaces."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    return {github_slug(match) for match in HEADING_PATTERN.findall(path.read_text())}
+
+
+def check_file(path: Path) -> list[str]:
+    problems: list[str] = []
+    for target in LINK_PATTERN.findall(path.read_text()):
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        reference, _, anchor = target.partition("#")
+        resolved = (path.parent / reference).resolve() if reference else path
+        if not resolved.exists():
+            problems.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+            continue
+        if anchor and resolved.suffix == ".md" and github_slug(anchor) not in anchors_of(resolved):
+            problems.append(f"{path.relative_to(REPO_ROOT)}: missing anchor -> {target}")
+    return problems
+
+
+def main() -> int:
+    documents = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("**/*.md"))]
+    problems: list[str] = []
+    for document in documents:
+        if document.exists():
+            problems.extend(check_file(document))
+    if problems:
+        print("Docs link check FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"Docs link check passed ({len(documents)} files).")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
