@@ -1,0 +1,193 @@
+"""Durable-state costs: snapshot size, save/load/replay throughput.
+
+For corpora of 100 / 1000 / 5000 datasets this measures what the
+persistence subsystem buys and costs:
+
+* ``rebuild_ms`` — registering every relation into a fresh platform
+  (sketch building + profiling), the cold-start path a warm start avoids;
+* ``save_ms`` / ``snapshot_bytes`` — writing the checksummed snapshot;
+* ``load_ms`` — ``Mileena.load``: the warm start (sketches verbatim,
+  profiles replayed without re-profiling);
+* ``wal_append_ms`` / ``replay_ms`` — journaling a churn burst and
+  replaying it on top of a restored snapshot (the crash-recovery path).
+
+The enforced ratio is ``load_vs_rebuild`` (how much faster a warm start is
+than recomputation) — dimensionless and within-run, so it is comparable
+across machines; absolute ms, bytes, and records/s are recorded for the
+trajectory but not gated.  Parity (the loaded platform returning identical
+discovery results) is asserted on every run.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_persist.py              # full run
+    PYTHONPATH=src python benchmarks/bench_persist.py --sizes 100 --repeats 3
+
+The CI smoke run uses the small size only; the committed
+``BENCH_persist.json`` comes from a full local run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from _corpus import SPEC, timed  # noqa: E402
+from repro.core import Mileena  # noqa: E402
+from repro.persist import MutationWAL, SnapshotManager, apply_records  # noqa: E402
+from repro.relational import Relation, Schema  # noqa: E402
+
+CHURN_RECORDS = 64
+#: Rows per provider relation.  Larger than the discovery micro-bench's 40
+#: on purpose: rebuild cost (sketch building + profiling) scales with rows
+#: while a snapshot load does not, and realistic provider tables are not
+#: 40 rows — this is the regime the warm start exists for.
+PERSIST_ROWS = 320
+
+
+def build_relations(num_datasets: int, seed: int) -> tuple[list[Relation], Relation]:
+    """Domain-scoped corpus like `_corpus.build_corpus`, at PERSIST_ROWS."""
+    import random
+
+    rng = random.Random(seed)
+    num_domains = max(8, num_datasets // 25)
+    domains = [f"dom{i}" for i in range(num_domains)]
+
+    def relation(name: str, domain: str) -> Relation:
+        columns = {
+            "key": [f"{domain}_{rng.randint(0, 60)}" for _ in range(PERSIST_ROWS)],
+            "tag": [f"{domain}tag{rng.randint(0, 8)}" for _ in range(PERSIST_ROWS)],
+            "metric": [float(i) for i in range(PERSIST_ROWS)],
+        }
+        return Relation(name, columns, Schema.from_spec(SPEC))
+
+    relations = [
+        relation(f"ds{i}", rng.choice(domains)) for i in range(num_datasets)
+    ]
+    return relations, relation("query", domains[0])
+
+
+def build_platform(relations) -> tuple[Mileena, float]:
+    platform = Mileena()
+    start = time.perf_counter()
+    for relation in relations:
+        platform.register_dataset(relation)
+    return platform, (time.perf_counter() - start) * 1000.0
+
+
+def bench_size(num_datasets: int, repeats: int, seed: int, workdir: Path) -> dict:
+    relations, query = build_relations(num_datasets, seed)
+    platform, rebuild_ms = build_platform(relations)
+    snapshot_path = workdir / f"snapshot_{num_datasets}.bin"
+
+    save_ms = timed(lambda: platform.save(snapshot_path), repeats)
+    snapshot_bytes = snapshot_path.stat().st_size
+    load_ms = timed(lambda: Mileena.load(snapshot_path), repeats)
+
+    # Parity: the warm start serves identical discovery results.
+    loaded = Mileena.load(snapshot_path)
+    parity = (
+        loaded.corpus.discovery.join_candidates(query)
+        == platform.corpus.discovery.join_candidates(query)
+        and loaded.corpus.discovery.union_candidates(query)
+        == platform.corpus.discovery.union_candidates(query)
+        and loaded.corpus.epoch == platform.corpus.epoch
+    )
+
+    # Churn burst: journal CHURN_RECORDS unregister/re-register mutations
+    # after a snapshot, then time replaying them onto a fresh restore
+    # (replay re-registers, so it is the per-record cost of catching up,
+    # not of reading the log).  Each repeat replays onto its own restored
+    # base; only apply_records is inside the timer.
+    churn_dir = workdir / f"state_{num_datasets}"
+    manager = SnapshotManager(platform, churn_dir, every_mutations=None)
+    manager.attach()
+    victims = [relation.name for relation in relations[: CHURN_RECORDS // 2]]
+    start = time.perf_counter()
+    for name in victims:
+        registration = platform.corpus.get(name)
+        platform.corpus.remove(name)
+        platform.corpus.add(registration)
+    wal_append_ms = (time.perf_counter() - start) * 1000.0
+    manager.detach()
+    wal = MutationWAL(churn_dir / "wal.bin")
+    tail = wal.replay()
+    wal.close()
+    records = len(tail)
+    replay_samples = []
+    for _ in range(repeats):
+        base = Mileena.load(churn_dir / "snapshot.bin")
+        start = time.perf_counter()
+        applied = apply_records(base.corpus, tail)
+        replay_samples.append((time.perf_counter() - start) * 1000.0)
+        assert applied == records
+    replay_ms = sorted(replay_samples)[len(replay_samples) // 2]
+
+    return {
+        "datasets": num_datasets,
+        "rebuild_ms": round(rebuild_ms, 2),
+        "save_ms": round(save_ms, 3),
+        "load_ms": round(load_ms, 3),
+        "snapshot_bytes": snapshot_bytes,
+        "bytes_per_dataset": round(snapshot_bytes / num_datasets, 1),
+        "save_datasets_per_s": round(num_datasets / (save_ms / 1000.0), 1),
+        "load_datasets_per_s": round(num_datasets / (load_ms / 1000.0), 1),
+        "wal": {
+            "records": records,
+            "append_ms": round(wal_append_ms, 3),
+            "replay_ms": round(replay_ms, 3),
+            "replay_records_per_s": round(records / (replay_ms / 1000.0), 1),
+        },
+        "speedup": {
+            "load_vs_rebuild": round(rebuild_ms / load_ms, 2),
+        },
+        "parity": parity,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+", default=[100, 1000, 5000])
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--out", type=Path, default=Path(__file__).resolve().parent.parent / "BENCH_persist.json"
+    )
+    args = parser.parse_args(argv)
+    report = {
+        "benchmark": "persist",
+        "config": {
+            "rows_per_dataset": PERSIST_ROWS,
+            "churn_records": CHURN_RECORDS,
+            "repeats": args.repeats,
+        },
+        "results": [],
+    }
+    ok = True
+    with tempfile.TemporaryDirectory() as tmp:
+        for size in args.sizes:
+            result = bench_size(size, args.repeats, args.seed, Path(tmp))
+            report["results"].append(result)
+            ok = ok and result["parity"]
+            print(
+                f"{size:>6} datasets | rebuild {result['rebuild_ms']:9.1f}ms"
+                f"  save {result['save_ms']:8.2f}ms"
+                f"  load {result['load_ms']:8.2f}ms"
+                f" ({result['speedup']['load_vs_rebuild']:6.1f}x vs rebuild)"
+                f" | snapshot {result['snapshot_bytes'] / 1024.0:8.1f}KiB"
+                f" | replay {result['wal']['records']} records"
+                f" {result['wal']['replay_ms']:8.2f}ms"
+                f" | parity={'ok' if result['parity'] else 'FAIL'}"
+            )
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

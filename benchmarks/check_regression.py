@@ -88,6 +88,18 @@ def discovery_recall_failures(report: dict) -> tuple[list[str], list[str]]:
     return lines, failures
 
 
+def persist_ratios(report: dict) -> dict[str, float]:
+    """Warm-start speedups for the smallest (smoke-comparable) corpus size."""
+    results = sorted(report.get("results", []), key=lambda row: row["datasets"])
+    if not results:
+        return {}
+    smallest = results[0]
+    return {
+        f"persist[{smallest['datasets']}].{name}": value
+        for name, value in smallest.get("speedup", {}).items()
+    }
+
+
 def gateway_ratios(report: dict) -> dict[str, float]:
     ratios: dict[str, float] = {}
     for entry in report.get("results", []):
@@ -188,6 +200,16 @@ def main(argv: list[str] | None = None) -> int:
             REPO_ROOT / "BENCH_gateway.json",
             args.out_dir / "bench_gateway_smoke.json",
             gateway_ratios,
+        ),
+        # Warm-start vs rebuild is single-threaded and dimensionless, so
+        # the smoke size compares across machines like the discovery
+        # ratios do.
+        (
+            "bench_persist.py",
+            ["--sizes", "100", "--repeats", "10"],
+            REPO_ROOT / "BENCH_persist.json",
+            args.out_dir / "bench_persist_smoke.json",
+            persist_ratios,
         ),
     ]
 

@@ -9,6 +9,7 @@ materialise augmentations — the Mileena search path never reads it.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 from dataclasses import dataclass, field
 
@@ -57,12 +58,57 @@ class Corpus:
         # Serialises mutations with the epoch bump so observers that read
         # (epoch, registrations) together — the process backend's mutation
         # log, epoch-stamped caching — never see a half-applied transition.
-        self._lock = threading.Lock()
+        # Re-entrant so a mutation observer (which runs with the lock held)
+        # can call read helpers like ``frozen`` without deadlocking.
+        self._lock = threading.RLock()
+        # Mutation observers: ``fn(epoch, op, payload)`` called *inside* the
+        # lock immediately after every effective mutation, in subscription
+        # order.  ``op`` is ``"add"`` (payload: DatasetRegistration),
+        # ``"add_many"`` (payload: tuple of registrations) or ``"remove"``
+        # (payload: dataset name).  This is the corpus's journal feed — the
+        # persistence WAL and the process backend's replica mutation log
+        # both hang off it.  Observers must be fast, must not raise, and
+        # must not call corpus mutators.
+        self._observers: list = []
 
     def registration_snapshot(self) -> tuple[int, dict[str, DatasetRegistration]]:
         """An atomic (epoch, registrations-copy) pair."""
         with self._lock:
             return self.epoch, dict(self.registrations)
+
+    # -- mutation journal --------------------------------------------------------
+    def subscribe(self, observer) -> int:
+        """Start journaling mutations to ``observer``; returns the current epoch.
+
+        The returned epoch is the state the observer's log starts *after*:
+        every later mutation is delivered exactly once, with no gap between
+        the returned epoch and the first notification.
+        """
+        with self._lock:
+            self._observers.append(observer)
+            return self.epoch
+
+    def unsubscribe(self, observer) -> None:
+        """Stop journaling mutations to ``observer`` (no-op when unknown)."""
+        with self._lock:
+            if observer in self._observers:
+                self._observers.remove(observer)
+
+    def _notify(self, op: str, payload: object) -> None:
+        for observer in list(self._observers):
+            observer(self.epoch, op, payload)
+
+    @contextlib.contextmanager
+    def frozen(self):
+        """Hold the mutation lock: no register/unregister can run inside.
+
+        Consistent-snapshot helper for the persistence layer: everything
+        read under ``frozen()`` — registrations, discovery profiles, the
+        epoch — belongs to one corpus state.  Re-entrant, so a mutation
+        observer may use it too.
+        """
+        with self._lock:
+            yield
 
     def add(self, registration: DatasetRegistration) -> None:
         """Register a dataset (name must be unique across the corpus)."""
@@ -74,6 +120,7 @@ class Corpus:
             self.discovery.register(registration.relation)
             self.sketches.add(registration.sketch)
             self.epoch += 1
+            self._notify("add", registration)
 
     def add_many(self, registrations: list[DatasetRegistration]) -> None:
         """Bulk-register datasets with a single epoch bump at the end.
@@ -103,6 +150,7 @@ class Corpus:
                 self.discovery.register(registration.relation)
                 self.sketches.add(registration.sketch)
             self.epoch += 1
+            self._notify("add_many", tuple(registrations))
 
     def remove(self, name: str) -> None:
         """Withdraw a dataset from the corpus."""
@@ -113,6 +161,7 @@ class Corpus:
             self.discovery.unregister(name)
             self.sketches.remove(name)
             self.epoch += 1
+            self._notify("remove", name)
 
     def get(self, name: str) -> DatasetRegistration:
         """Registration for ``name``; raises when unknown."""

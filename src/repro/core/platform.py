@@ -71,6 +71,7 @@ class Mileena:
     cache: object | None = None
     metrics: object | None = None
     serving_backend: str | None = None
+    snapshots: object | None = field(default=None, repr=False)
 
     @classmethod
     def sharded(
@@ -81,6 +82,9 @@ class Mileena:
         multi_probe: bool = False,
         discovery_cache_capacity: int | None = None,
         backend: str | None = None,
+        snapshot_dir: str | None = None,
+        snapshot_every_mutations: int | None = 64,
+        snapshot_every_seconds: float | None = None,
         **kwargs,
     ) -> "Mileena":
         """A platform whose sketch store and discovery index are sharded.
@@ -94,7 +98,11 @@ class Mileena:
         the index-level epoch-scoped discovery cache.  ``backend`` names
         the execution backend a gateway in front of this platform should
         use (``"process"`` for true multi-core parallelism — see
-        ``repro.serving.backends``).
+        ``repro.serving.backends``).  ``snapshot_dir`` makes the platform
+        durable: a :class:`~repro.persist.SnapshotManager` journals every
+        registration change to a WAL and re-snapshots on the given
+        cadence, so a restart is ``Mileena.load(snapshot_dir)`` instead of
+        a full rebuild.
         """
         from repro.serving.sharded import ShardedDiscoveryIndex, ShardedSketchStore
 
@@ -108,7 +116,116 @@ class Mileena:
             ),
             sketches=ShardedSketchStore(num_shards=num_shards),
         )
-        return cls(corpus=corpus, serving_backend=backend, **kwargs)
+        platform = cls(corpus=corpus, serving_backend=backend, **kwargs)
+        if snapshot_dir is not None:
+            platform.attach_snapshots(
+                snapshot_dir,
+                every_mutations=snapshot_every_mutations,
+                every_seconds=snapshot_every_seconds,
+            )
+        return platform
+
+    # -- durable state ------------------------------------------------------------
+    def save(self, path) -> "Path":
+        """Write a consistent snapshot of the platform to ``path``.
+
+        ``path`` names the snapshot file directly, or a directory (the
+        snapshot lands in ``<path>/snapshot.bin`` — the layout
+        ``Mileena.load`` and :class:`~repro.persist.SnapshotManager`
+        share).  The corpus is frozen while the image is captured, so a
+        save racing register/unregister churn still produces one coherent
+        state; the write itself is atomic (temp file + rename).  Saving
+        into the managed layout supersedes any sibling ``wal.bin``: with
+        a :class:`~repro.persist.SnapshotManager` attached to that
+        directory the save is delegated to it (snapshot + WAL truncation,
+        atomically); a leftover WAL from some *other* history is
+        truncated, so a later ``Mileena.load(directory)`` can never
+        replay foreign records on top of this snapshot.  Returns the
+        snapshot file path.
+        """
+        from pathlib import Path
+
+        from repro.persist import (
+            SNAPSHOT_FILE,
+            WAL_FILE,
+            MutationWAL,
+            snapshot_platform,
+            write_snapshot,
+        )
+
+        path = Path(path)
+        if path.is_dir():
+            path = path / SNAPSHOT_FILE
+        if self.snapshots is not None and Path(self.snapshots.snapshot_path) == path:
+            return self.snapshots.snapshot()
+        with self.corpus.frozen():
+            sections = snapshot_platform(self)
+        write_snapshot(path, sections)
+        if path.name == SNAPSHOT_FILE:
+            wal_path = path.with_name(WAL_FILE)
+            if wal_path.exists():
+                from repro.exceptions import PersistError
+
+                try:
+                    stale = MutationWAL(wal_path)
+                    stale.truncate()
+                    stale.close()
+                except PersistError:
+                    # Not even a WAL (foreign format): remove it outright.
+                    wal_path.unlink(missing_ok=True)
+        return path
+
+    @classmethod
+    def load(cls, path) -> "Mileena":
+        """Warm-start a platform (flat or sharded, per the saved config).
+
+        ``path`` is a snapshot file, or a durable-state directory — in
+        which case the WAL tail is replayed on top of the snapshot, which
+        is how a crashed service recovers everything after its last
+        cadence snapshot.  The restored platform is bit-identical to the
+        saved one: DP-randomised sketches are reloaded verbatim and the
+        discovery engine's packed structures are rebuilt from the saved
+        profiles in registration order.
+        """
+        from pathlib import Path
+
+        from repro.persist import SnapshotManager, read_snapshot, restore_platform
+
+        path = Path(path)
+        if path.is_dir():
+            return SnapshotManager.load(path)
+        return restore_platform(read_snapshot(path))
+
+    def attach_snapshots(
+        self,
+        directory,
+        every_mutations: int | None = 64,
+        every_seconds: float | None = None,
+        clock: object | None = None,
+        fsync: bool = False,
+        metrics: object | None = None,
+    ) -> object:
+        """Keep this platform's state durable under ``directory``.
+
+        Creates (and attaches) a :class:`~repro.persist.SnapshotManager`:
+        every corpus mutation is journaled to the WAL, and the cadence
+        policy re-snapshots and truncates it.  Idempotent — a manager
+        already attached is returned as is.
+        """
+        from repro.persist import SnapshotManager
+
+        if self.snapshots is not None:
+            return self.snapshots
+        self.snapshots = SnapshotManager(
+            self,
+            directory,
+            every_mutations=every_mutations,
+            every_seconds=every_seconds,
+            clock=clock,
+            fsync=fsync,
+            metrics=metrics if metrics is not None else self.metrics,
+        ).attach()
+        return self.snapshots
 
     # -- provider side ------------------------------------------------------------
     def register_dataset(

@@ -250,6 +250,18 @@ class DiscoveryIndex:
     def __len__(self) -> int:
         return len(self.profiles)
 
+    def profiles_in_order(self) -> list[DatasetProfile]:
+        """Every registered profile, in global registration order.
+
+        ``profiles`` is insertion-ordered and re-registration moves a
+        dataset to the end, so iterating it *is* the registration order —
+        replaying these profiles through :meth:`register_profile` on a
+        fresh index rebuilds identical packed structures, IDF document
+        frequencies, and candidate tie-breaking.  The persistence layer's
+        snapshots serialise exactly this list.
+        """
+        return list(self.profiles.values())
+
     # -- discovery ---------------------------------------------------------------
     def discover(self, query: Relation, augmentation_type: str, top_k: int | None = None):
         """``Discover(R, augType)``: join or union candidates for a query relation."""

@@ -55,6 +55,10 @@ class BackendError(GatewayError):
     """An execution backend was misconfigured or could not be built."""
 
 
+class PersistError(ReproError):
+    """A snapshot or write-ahead log could not be written, read, or replayed."""
+
+
 class CausalError(ReproError):
     """A causal-inference routine received an invalid model or data."""
 

@@ -1,0 +1,235 @@
+"""Snapshot cadence management: re-snapshot, truncate, warm-start.
+
+:class:`SnapshotManager` owns one durable-state directory::
+
+    <directory>/snapshot.bin   the latest full snapshot (atomic replace)
+    <directory>/wal.bin        mutations since that snapshot
+
+It subscribes to the corpus's mutation journal: every register /
+bulk-register / unregister is appended to the WAL *inside the corpus
+lock* (so the log can never miss or reorder a mutation), and when the
+cadence policy fires — every ``every_mutations`` mutations and/or every
+``every_seconds`` seconds, evaluated at mutation time — the manager
+writes a fresh snapshot and truncates the WAL.  Restart is
+``SnapshotManager.load(directory)`` (or ``Mileena.load``): restore the
+snapshot, replay the WAL tail, continue.
+
+Listeners (the process backend) are notified after each snapshot with
+``(path, epoch)`` so replica bootstrap state and envelope mutation logs
+can be re-based onto the new snapshot; see
+``repro.serving.backends.ProcessPoolBackend``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.clock import WallClock
+from repro.exceptions import PersistError
+from repro.persist.snapshot import read_snapshot, snapshot_platform, write_snapshot
+from repro.persist.wal import MutationWAL, apply_records
+
+SNAPSHOT_FILE = "snapshot.bin"
+WAL_FILE = "wal.bin"
+
+
+class SnapshotManager:
+    """Keeps one platform's durable state current under a cadence policy.
+
+    Parameters
+    ----------
+    platform:
+        The :class:`~repro.core.platform.Mileena` whose corpus to journal.
+    directory:
+        Durable-state directory (created if missing).
+    every_mutations:
+        Re-snapshot after this many journaled mutations (``None`` = never
+        by count).  This is also the bound on the WAL length — and, once
+        the process backend is wired in, on its envelope mutation logs.
+    every_seconds:
+        Re-snapshot when this much wall time has passed since the last
+        snapshot, checked when a mutation arrives (``None`` = never by
+        time; an idle corpus is never re-snapshotted — its snapshot is
+        already current).
+    clock:
+        Time source for ``every_seconds`` (defaults to the platform's
+        clock, falling back to :class:`~repro.core.clock.WallClock`).
+    fsync:
+        Fsync WAL appends and snapshot writes (power-cut durability)
+        instead of flush-only (process-crash durability, the default).
+    metrics:
+        Optional :class:`~repro.serving.metrics.MetricsRegistry`:
+        ``persist.wal_records``, ``persist.snapshots``, and the
+        ``persist.wal_length`` gauge land here.
+    """
+
+    def __init__(
+        self,
+        platform,
+        directory: str | Path,
+        every_mutations: int | None = 64,
+        every_seconds: float | None = None,
+        clock: object | None = None,
+        fsync: bool = False,
+        metrics: object | None = None,
+    ) -> None:
+        if every_mutations is not None and every_mutations <= 0:
+            raise PersistError("every_mutations must be positive (or None)")
+        if every_seconds is not None and every_seconds <= 0:
+            raise PersistError("every_seconds must be positive (or None)")
+        self.platform = platform
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.every_mutations = every_mutations
+        self.every_seconds = every_seconds
+        self.fsync = fsync
+        self.metrics = metrics
+        self.clock = clock or getattr(platform, "clock", None) or WallClock()
+        self.wal = MutationWAL(self.wal_path, fsync=fsync)
+        self.snapshot_epoch: int | None = None
+        self._listeners: list = []
+        self._mutations_since = 0
+        self._last_snapshot_time = self.clock.now()
+        self._attached = False
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self.directory / SNAPSHOT_FILE
+
+    @property
+    def wal_path(self) -> Path:
+        return self.directory / WAL_FILE
+
+    # -- lifecycle ---------------------------------------------------------------
+    def attach(self) -> "SnapshotManager":
+        """Subscribe to the corpus journal; baseline the directory.
+
+        A directory with no usable snapshot gets one immediately —
+        otherwise a crash before the first cadence snapshot would lose
+        every pre-attach registration.  A directory that already restores
+        to the platform's exact epoch (the ``Mileena.load`` resume path)
+        is left untouched and the WAL simply continues.  Any *other*
+        epoch means the directory holds some different platform's history:
+        attaching would silently overwrite durable state, so it refuses —
+        resume with ``Mileena.load(directory)``, or point the manager at a
+        fresh directory.
+        """
+        if self._attached:
+            return self
+        with self.platform.corpus.frozen():
+            on_disk = self._on_disk_epoch()
+            if on_disk is not None and on_disk != self.platform.corpus.epoch:
+                raise PersistError(
+                    f"{self.directory} already holds durable state restoring to "
+                    f"epoch {on_disk}, but this platform is at epoch "
+                    f"{self.platform.corpus.epoch}; resume it with "
+                    f"Mileena.load({str(self.directory)!r}) or use a fresh "
+                    f"directory"
+                )
+            self.platform.corpus.subscribe(self._observe)
+            self._attached = True
+            if on_disk is None:
+                self.snapshot()
+        return self
+
+    def detach(self) -> None:
+        """Stop journaling and release the WAL file handle."""
+        if self._attached:
+            self.platform.corpus.unsubscribe(self._observe)
+            self._attached = False
+        self.wal.close()
+
+    def _on_disk_epoch(self) -> int | None:
+        """Epoch the directory currently restores to, or None when unusable."""
+        if not self.snapshot_path.exists():
+            return None
+        try:
+            epoch = read_snapshot(self.snapshot_path)["epoch"]
+        except PersistError:
+            return None
+        self.snapshot_epoch = epoch
+        last = self.wal.last_epoch
+        return last if last is not None and last > epoch else epoch
+
+    def add_listener(self, listener) -> None:
+        """``listener(path, epoch)`` fires after every snapshot write."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    # -- journaling --------------------------------------------------------------
+    def _observe(self, epoch: int, op: str, payload: object) -> None:
+        # Runs inside the corpus lock: the WAL sees every mutation exactly
+        # once, in commit order, and a cadence snapshot taken here is a
+        # consistent image of the post-mutation corpus.
+        self.wal.append(epoch, op, payload)
+        self._mutations_since += 1
+        if self.metrics is not None:
+            self.metrics.increment("persist.wal_records")
+            self.metrics.set_gauge("persist.wal_length", self.wal.record_count)
+        if self._cadence_due():
+            self.snapshot()
+
+    def _cadence_due(self) -> bool:
+        if self.every_mutations is not None and self._mutations_since >= self.every_mutations:
+            return True
+        if (
+            self.every_seconds is not None
+            and self.clock.now() - self._last_snapshot_time >= self.every_seconds
+        ):
+            return True
+        return False
+
+    # -- snapshotting ------------------------------------------------------------
+    def snapshot(self) -> Path:
+        """Write a fresh snapshot now and truncate the WAL behind it.
+
+        Safe both from the journal observer (corpus lock already held —
+        ``frozen`` is re-entrant) and from any other thread: the whole
+        capture → write → truncate sequence runs under the corpus lock,
+        which is what makes concurrent snapshot calls and racing
+        mutations impossible to interleave with the file/WAL pair.  The
+        cost is that *mutations* stall for the write's duration
+        (``BENCH_persist.json``'s ``save_ms`` per corpus size — queries
+        never take this lock); moving the write off the lock is a
+        ROADMAP item, not worth the snapshot/WAL coherence risk here.
+        """
+        corpus = self.platform.corpus
+        with corpus.frozen():
+            sections = snapshot_platform(self.platform)
+            write_snapshot(self.snapshot_path, sections, fsync=self.fsync)
+            self.wal.truncate()
+            self.snapshot_epoch = sections["epoch"]
+            self._mutations_since = 0
+            self._last_snapshot_time = self.clock.now()
+            if self.metrics is not None:
+                self.metrics.increment("persist.snapshots")
+                self.metrics.set_gauge("persist.wal_length", 0)
+            for listener in list(self._listeners):
+                listener(self.snapshot_path, self.snapshot_epoch)
+        return self.snapshot_path
+
+    # -- restart -----------------------------------------------------------------
+    @classmethod
+    def load(cls, directory: str | Path):
+        """Restore a platform from ``directory``: snapshot + WAL tail replay.
+
+        Returns the warm platform.  A torn WAL tail (crash mid-append) is
+        dropped; records at or below the snapshot epoch (crash between
+        snapshot write and WAL truncation) are skipped by the epoch guard
+        in :func:`repro.persist.wal.apply_records`.
+        """
+        from repro.persist.snapshot import restore_platform
+
+        directory = Path(directory)
+        platform = restore_platform(read_snapshot(directory / SNAPSHOT_FILE))
+        wal_path = directory / WAL_FILE
+        if wal_path.exists():
+            wal = MutationWAL(wal_path)
+            try:
+                apply_records(platform.corpus, wal.replay())
+            finally:
+                wal.close()
+        return platform

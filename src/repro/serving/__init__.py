@@ -28,6 +28,13 @@ knob                   default             trade-off
                                            hand-picking
 ``multi_probe``        ``False``           probe near-miss buckets: higher recall
                                            at low similarity for the same bands
+``snapshot_dir``       ``None``            durable state: snapshot + mutation WAL
+                                           under this directory; restart is
+                                           ``Mileena.load(dir)`` instead of a
+                                           rebuild
+``snapshot_every_-     ``64``              re-snapshot cadence; bounds the WAL
+mutations``                                and the process backend's envelope
+                                           mutation logs
 =====================  ==================  =======================================
 
 Lazy imports keep ``import repro.serving`` free of the core-platform import
@@ -47,6 +54,7 @@ _EXPORTS = {
     "BACKENDS": ("repro.serving.backends", "BACKENDS"),
     "resolve_backend": ("repro.serving.backends", "resolve_backend"),
     "ResultCache": ("repro.serving.cache", "ResultCache"),
+    "CacheView": ("repro.serving.cache", "CacheView"),
     "SingleFlight": ("repro.serving.cache", "SingleFlight"),
     "CachingProxy": ("repro.serving.cache", "CachingProxy"),
     "MetricsRegistry": ("repro.serving.metrics", "MetricsRegistry"),

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import asyncio
 import multiprocessing
+import os
 import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
@@ -147,26 +148,29 @@ class PlatformSpec:
     across replicas.  ``base_epoch`` is the parent corpus epoch the
     snapshot corresponds to; the mutation log in each envelope continues
     from there.
+
+    When the gateway has durable state (``GatewayConfig.snapshot_dir``),
+    ``snapshot`` is ``(path, epoch)`` of the on-disk snapshot file and
+    ``registrations`` stays empty: workers warm-start via
+    ``Mileena.load`` — profiles are restored without re-profiling a
+    single relation, and nothing heavyweight crosses the pickle boundary.
     """
 
-    kind: str
-    num_shards: int
-    vectorized: bool
-    use_lsh: bool
-    lsh_bands: int
-    join_threshold: float
-    union_threshold: float
-    discovery_cache_capacity: int | None
+    #: Full discovery-index configuration (kind, shard count, every engine
+    #: knob incl. the adaptive/multi-probe LSH ones — replicas must
+    #: re-derive the same band layout as the parent or process-backend
+    #: results would diverge).  Captured with
+    #: :func:`repro.persist.snapshot.capture_engine_config` and rebuilt
+    #: with :func:`repro.persist.snapshot.build_corpus_stores` — the same
+    #: pair the snapshot format uses, so the two replication paths can
+    #: never drift apart knob by knob.
+    index: dict
     discovery_top_k: int
     search_fraction: float
     automl_splits: int
     base_epoch: int
     registrations: tuple = ()
     warm_start: bool = True
-    # Adaptive/multi-probe LSH knobs: replicas must re-derive the same
-    # band layout as the parent or process-backend results would diverge.
-    target_recall: float | None = None
-    multi_probe: bool = False
     # Non-default platform components (proxy model, sketch builder, shared
     # MinHasher) must replicate too, or a customised platform would return
     # different results from worker processes than from the parent.  The
@@ -177,17 +181,24 @@ class PlatformSpec:
     builder: object | None = None
     minhasher: object | None = None
     cache_proxy_scores: bool = True
+    snapshot: tuple | None = None
 
 
 @dataclass
 class RequestEnvelope:
     """A picklable unit of work shipped to a worker process.
 
-    ``ops`` is the full post-bootstrap mutation log ``(epoch_after, op,
-    payload)``; a replica replays only the suffix it has not applied yet.
-    ``expected_epoch`` is the parent corpus epoch the request was admitted
-    against — the replica's result is only valid if it computes at exactly
-    that epoch.
+    ``ops`` is the *bounded* post-bootstrap mutation log: ``(epoch_after,
+    op, payload)`` records journaled straight off the corpus (``op`` is
+    ``"add"``/``"add_many"``/``"remove"``, one record per epoch bump), with
+    everything every replica is known to have applied — or that the latest
+    on-disk snapshot covers — already dropped by the parent.  A replica
+    replays the records newer than its own epoch; if it finds a gap (the
+    parent pruned records it never saw), it re-bootstraps from
+    ``snapshot`` (``(path, epoch)`` of the newest snapshot file) and
+    replays the rest.  ``expected_epoch`` is the parent corpus epoch the
+    request was admitted against — the replica's result is only valid if
+    it computes at exactly that epoch.
     """
 
     mode: str
@@ -195,74 +206,72 @@ class RequestEnvelope:
     budget_seconds: float | None
     expected_epoch: int
     ops: tuple = ()
+    snapshot: tuple | None = None
 
 
 class PlatformReplica:
     """A per-worker-process copy of the platform, rebuilt from a spec."""
 
     def __init__(self, spec: PlatformSpec) -> None:
+        self.spec = spec
+        self.reloads = 0
+        if spec.snapshot is not None:
+            self._install_snapshot(spec.snapshot[0])
+        else:
+            self._install(self._build_platform(spec), spec.base_epoch)
+        if spec.warm_start:
+            registrations = self.platform.corpus.registrations
+            if registrations:
+                self._warm_up(next(iter(registrations.values())).relation)
+
+    def _build_platform(self, spec: PlatformSpec):
         from repro.core.catalog import Corpus
         from repro.core.platform import Mileena
-        from repro.core.service import MileenaAutoMLService
-        from repro.discovery.index import DiscoveryIndex
         from repro.discovery.minhash import MinHasher
-        from repro.serving.cache import CachingProxy
+        from repro.persist.snapshot import build_corpus_stores
 
         minhasher = spec.minhasher if spec.minhasher is not None else MinHasher()
-        if spec.kind == "sharded":
-            from repro.serving.sharded import ShardedDiscoveryIndex, ShardedSketchStore
-
-            corpus = Corpus(
-                discovery=ShardedDiscoveryIndex(
-                    num_shards=spec.num_shards,
-                    minhasher=minhasher,
-                    join_threshold=spec.join_threshold,
-                    union_threshold=spec.union_threshold,
-                    vectorized=spec.vectorized,
-                    use_lsh=spec.use_lsh,
-                    lsh_bands=spec.lsh_bands,
-                    target_recall=spec.target_recall,
-                    multi_probe=spec.multi_probe,
-                    cache_capacity=spec.discovery_cache_capacity,
-                ),
-                sketches=ShardedSketchStore(num_shards=spec.num_shards),
-            )
-        else:
-            corpus = Corpus(
-                discovery=DiscoveryIndex(
-                    minhasher=minhasher,
-                    join_threshold=spec.join_threshold,
-                    union_threshold=spec.union_threshold,
-                    vectorized=spec.vectorized,
-                    use_lsh=spec.use_lsh,
-                    lsh_bands=spec.lsh_bands,
-                    target_recall=spec.target_recall,
-                    multi_probe=spec.multi_probe,
-                )
-            )
+        discovery, sketches = build_corpus_stores(spec.index, minhasher)
+        corpus = Corpus(discovery=discovery, sketches=sketches)
         kwargs = {}
         if spec.proxy is not None:
-            kwargs["proxy"] = (
-                CachingProxy(spec.proxy) if spec.cache_proxy_scores else spec.proxy
-            )
+            kwargs["proxy"] = spec.proxy
         if spec.builder is not None:
             kwargs["builder"] = spec.builder
-        self.platform = Mileena(
-            corpus=corpus, discovery_top_k=spec.discovery_top_k, **kwargs
-        )
+        platform = Mileena(corpus=corpus, discovery_top_k=spec.discovery_top_k, **kwargs)
         for registration in spec.registrations:
             corpus.add(registration)
+        return platform
+
+    def _install(self, platform, parent_epoch: int) -> None:
+        """Adopt ``platform`` as this replica's state (bootstrap or reload)."""
+        from repro.core.service import MileenaAutoMLService
+        from repro.serving.cache import CachingProxy
+
+        if self.spec.cache_proxy_scores and not isinstance(platform.proxy, CachingProxy):
+            platform.proxy = CachingProxy(platform.proxy)
+        self.platform = platform
         self.service = MileenaAutoMLService(
-            platform=self.platform,
-            search_fraction=spec.search_fraction,
-            automl_splits=spec.automl_splits,
+            platform=platform,
+            search_fraction=self.spec.search_fraction,
+            automl_splits=self.spec.automl_splits,
         )
-        # How many parent mutation-log entries this replica has replayed,
-        # and the parent epoch its corpus state corresponds to.
-        self.applied = 0
-        self.parent_epoch = spec.base_epoch
-        if spec.warm_start and spec.registrations:
-            self._warm_up(spec.registrations[0].relation)
+        #: The parent corpus epoch this replica's state corresponds to.
+        self.parent_epoch = parent_epoch
+
+    def _install_snapshot(self, path: str) -> None:
+        """(Re)build the platform from the on-disk snapshot file.
+
+        A restored corpus carries the parent's epoch counter, so
+        ``parent_epoch`` continues from whatever the file holds — which
+        may be newer than the ref that pointed here (snapshot files are
+        atomically replaced); replay simply skips the already-covered
+        records.
+        """
+        from repro.core.platform import Mileena
+
+        platform = Mileena.load(path)
+        self._install(platform, platform.corpus.epoch)
 
     def _warm_up(self, relation) -> None:
         """Prime the lazily built engine structures (packed signature
@@ -275,28 +284,63 @@ class PlatformReplica:
         except Exception:  # noqa: BLE001 - warm-up must never fail bootstrap
             pass
 
-    def execute(self, envelope: RequestEnvelope) -> ComputeOutcome:
+    def _replay(self, envelope: RequestEnvelope) -> bool:
+        """Apply the envelope's log records newer than this replica's state.
+
+        Records are 1:1 with parent epoch bumps, so each applied record
+        must continue ``parent_epoch`` exactly; returns False on a gap —
+        the parent pruned records this replica never applied (it was
+        bootstrapped before they were dropped), which is the signal to
+        re-bootstrap from the newest snapshot.
+        """
         corpus = self.platform.corpus
-        for parent_epoch, op, payload in envelope.ops[self.applied :]:
+        for epoch, op, payload in envelope.ops:
+            if epoch <= self.parent_epoch:
+                continue
+            if epoch != self.parent_epoch + 1:
+                return False
             if op == "add":
                 corpus.add(payload)
+            elif op == "add_many":
+                corpus.add_many(list(payload))
             else:
                 corpus.remove(payload)
-            self.applied += 1
-            self.parent_epoch = parent_epoch
+            self.parent_epoch = epoch
+        return self.parent_epoch >= envelope.expected_epoch
+
+    def execute(self, envelope: RequestEnvelope) -> ComputeOutcome:
+        pid = os.getpid()
+        reloaded = False
+        if not self._replay(envelope):
+            snapshot = envelope.snapshot
+            if snapshot is not None and snapshot[1] > self.parent_epoch:
+                # The missing records are covered by a newer on-disk
+                # snapshot: warm-start from it and replay the rest.
+                self._install_snapshot(snapshot[0])
+                self.reloads += 1
+                reloaded = True
+                self._replay(envelope)
         if self.parent_epoch != envelope.expected_epoch:
             # This replica ran ahead (a newer envelope's log was replayed
-            # first) or the envelope predates the snapshot; either way its
-            # corpus no longer matches the epoch this request was admitted
-            # against, and the parent must recompute.
-            return ComputeOutcome(result=None, epoch=self.parent_epoch, stale=True)
+            # first) or is unrecoverably behind the pruned log; either way
+            # its corpus no longer matches the epoch this request was
+            # admitted against, and the parent must recompute.
+            return ComputeOutcome(
+                result=None,
+                epoch=self.parent_epoch,
+                stale=True,
+                worker=pid,
+                reloaded=reloaded,
+            )
         if envelope.mode == "automl":
             result = self.service.run(
                 envelope.request, time_budget_seconds=envelope.budget_seconds
             )
         else:
             result = self.platform.search(envelope.request)
-        return ComputeOutcome(result=result, epoch=self.parent_epoch)
+        return ComputeOutcome(
+            result=result, epoch=self.parent_epoch, worker=pid, reloaded=reloaded
+        )
 
 
 _REPLICA: PlatformReplica | None = None
@@ -307,8 +351,14 @@ def _bootstrap_replica(spec: PlatformSpec) -> None:
     _REPLICA = PlatformReplica(spec)
 
 
-def _replica_ready(_: int) -> bool:
-    return _REPLICA is not None
+def _replica_ready(_: int) -> int:
+    """The worker's pid when its replica is up, 0 otherwise.
+
+    The pid doubles as the replica's identity for mutation-log
+    acknowledgement tracking in the parent (see
+    ``ProcessPoolBackend._note_outcome``).
+    """
+    return os.getpid() if _REPLICA is not None else 0
 
 
 def _execute_envelope(envelope: RequestEnvelope) -> ComputeOutcome:
@@ -325,27 +375,17 @@ def platform_spec(gateway) -> PlatformSpec:
     always pickled).  Custom clocks and monkeypatched platform stubs are
     deliberately not captured — use the thread backend for those.
     """
+    from repro.persist.snapshot import capture_engine_config
     from repro.serving.cache import CachingProxy
-    from repro.serving.sharded import ShardedDiscoveryIndex
 
     platform = gateway.platform
     discovery = platform.corpus.discovery
-    kind = "sharded" if isinstance(discovery, ShardedDiscoveryIndex) else "flat"
     proxy = platform.proxy
     if isinstance(proxy, CachingProxy):
         proxy = proxy.inner
     base_epoch, registrations = platform.corpus.registration_snapshot()
     return PlatformSpec(
-        kind=kind,
-        num_shards=getattr(discovery, "num_shards", 1),
-        vectorized=getattr(discovery, "vectorized", True),
-        use_lsh=getattr(discovery, "use_lsh", False),
-        lsh_bands=getattr(discovery, "lsh_bands", 32),
-        target_recall=getattr(discovery, "target_recall", None),
-        multi_probe=getattr(discovery, "multi_probe", False),
-        join_threshold=getattr(discovery, "join_threshold", 0.3),
-        union_threshold=getattr(discovery, "union_threshold", 0.55),
-        discovery_cache_capacity=getattr(discovery, "cache_capacity", None),
+        index=capture_engine_config(discovery),
         discovery_top_k=platform.discovery_top_k,
         search_fraction=gateway.service.search_fraction,
         automl_splits=gateway.service.automl_splits,
@@ -364,9 +404,22 @@ class ProcessPoolBackend:
 
     Parent threads keep running the shared serve pipeline (admission,
     cache, coalescing, deadlines); only the platform computation crosses
-    the process boundary.  The parent mirrors the corpus registrations and
-    appends an op to the mutation log whenever the epoch moves, so every
-    envelope tells the replica exactly which corpus state to compute at.
+    the process boundary.  The parent subscribes to the corpus's mutation
+    journal, so every envelope carries the exact op sequence (one record
+    per epoch bump) a replica needs to reach the request's epoch.
+
+    The log is **bounded** two ways:
+
+    * every outcome acknowledges the epoch its replica reached; once all
+      worker pids have acknowledged an entry it can never be needed again
+      and is dropped before the next envelope is pickled;
+    * with durable state configured (``GatewayConfig.snapshot_dir``), the
+      snapshot manager's cadence re-bases the log wholesale — entries at
+      or below the newest snapshot's epoch are dropped, and a replica that
+      missed them warm-starts from the snapshot file instead (its
+      ``ComputeOutcome.reloaded`` flag feeds ``persist.replica_reloads``).
+      Under sustained churn the envelope log therefore never exceeds the
+      snapshot cadence.
     """
 
     name = PROCESS
@@ -376,21 +429,48 @@ class ProcessPoolBackend:
         self._gateway = None
         self._pool: ProcessPoolExecutor | None = None
         self._orchestrator: ThreadPoolExecutor | None = None
-        self._mirror: dict[str, object] = {}
         self._log: list[tuple[int, str, object]] = []
         self._synced_epoch = 0
+        # Epoch every replica is guaranteed to be able to reach without
+        # the entries below it: the max of the bootstrap base, the newest
+        # on-disk snapshot, and the all-pids acknowledgement floor.
+        self._floor = 0
+        self._workers = 0
+        self._acked: dict[int, int] = {}
+        self._snapshot_ref: tuple | None = None
+        # Written by the snapshot manager's listener (inside the corpus
+        # lock) and consumed under _log_lock in _sync_ops: a plain
+        # attribute hand-off, so the corpus-lock → log-lock order is never
+        # inverted.
+        self._pending_snapshot: tuple | None = None
         self._log_lock = threading.Lock()
 
     def start(self, gateway) -> None:
         self._gateway = gateway
+        corpus = gateway.platform.corpus
+        # Journal first, snapshot second: anything that mutates between
+        # the two lands in the log with an epoch the bootstrap state
+        # already covers, and the floor drops it before the first envelope.
+        self._synced_epoch = corpus.subscribe(self._observe)
+        manager = getattr(gateway, "snapshots", None)
         spec = platform_spec(gateway)
-        # The mirror starts from the same atomic snapshot the spec shipped,
-        # so the mutation log continues exactly where the bootstrap ended.
-        self._mirror = {
-            registration.name: registration for registration in spec.registrations
-        }
-        self._synced_epoch = spec.base_epoch
+        if manager is not None:
+            # Bootstrap replicas from the durable snapshot instead of
+            # pickling every registration into the spec: refresh the file
+            # to the current corpus state and ship only its path.
+            path = manager.snapshot()
+            self._pending_snapshot = (str(path), manager.snapshot_epoch)
+            spec = replace(
+                spec,
+                registrations=(),
+                base_epoch=manager.snapshot_epoch,
+                snapshot=(str(path), manager.snapshot_epoch),
+            )
+            manager.add_listener(self._on_snapshot)
+        with self._log_lock:
+            self._floor = spec.base_epoch
         workers = self.config.process_workers or self.config.max_workers
+        self._workers = workers
         context = (
             multiprocessing.get_context(self.config.process_start_method)
             if self.config.process_start_method
@@ -406,12 +486,31 @@ class ProcessPoolBackend:
             initargs=(spec,),
         )
         if self.config.warm_start:
-            if not all(self._pool.map(_replica_ready, range(workers))):
+            pids = list(self._pool.map(_replica_ready, range(workers)))
+            if not all(pids):
                 raise BackendError("process backend failed to bootstrap its replicas")
+            with self._log_lock:
+                for pid in pids:
+                    # Every worker bootstrapped at (at least) the base state.
+                    self._acked.setdefault(pid, spec.base_epoch)
         self._orchestrator = ThreadPoolExecutor(
             max_workers=self.config.max_workers,
             thread_name_prefix="gateway-orchestrator",
         )
+
+    # -- mutation journal --------------------------------------------------------
+    def _observe(self, epoch: int, op: str, payload: object) -> None:
+        """Corpus journal feed (runs inside the corpus lock)."""
+        with self._log_lock:
+            self._log.append((epoch, op, payload))
+            self._synced_epoch = epoch
+            self._gateway.metrics.set_gauge(
+                f"gateway.backend.{self.name}.log_length", len(self._log)
+            )
+
+    def _on_snapshot(self, path, epoch: int) -> None:
+        """Snapshot-manager listener (runs inside the corpus lock)."""
+        self._pending_snapshot = (str(path), epoch)
 
     def submit(
         self, request_id: int, request: SearchRequest, timer: BudgetTimer
@@ -439,55 +538,54 @@ class ProcessPoolBackend:
         finally:
             gateway.metrics.adjust_gauge(f"gateway.backend.{self.name}.queue_depth", -1)
 
-    def _sync_ops(self) -> tuple[tuple, int]:
-        """Refresh the mutation log against the live corpus; return (log, epoch).
+    def _sync_ops(self) -> tuple[tuple, int, tuple | None]:
+        """Prune and snapshot the mutation log; return (log, epoch, snapshot).
 
-        Registrations are diffed by name and object identity (the corpus
-        never mutates a registration in place).  If identity diffing cannot
-        reproduce the parent's registration *order* — which candidate
-        tie-breaking depends on — the log falls back to a full resync of
-        the replicas.
+        The journal observer keeps the log current, so the only work here
+        is advancing the floor — adopting a newly published snapshot and
+        folding in the acknowledgement floor (sound only once every worker
+        pid is known: all replicas bootstrap at the base state, and a pid
+        is discovered at the latest with its first acknowledgement) — and
+        dropping the entries below it before they get pickled.
         """
-        corpus = self._gateway.platform.corpus
         with self._log_lock:
-            # Atomic (epoch, registrations) read: Corpus serialises mutations
-            # with the epoch bump, so the log can never stamp a registration
-            # with an epoch that does not include it.
-            epoch, current = corpus.registration_snapshot()
-            if epoch != self._synced_epoch:
-                previous = self._mirror
-                ops: list[tuple[str, object]] = []
-                for name, registration in previous.items():
-                    if current.get(name) is not registration:
-                        ops.append(("remove", name))
-                added = [
-                    name
-                    for name, registration in current.items()
-                    if previous.get(name) is not registration
-                ]
-                ops.extend(("add", current[name]) for name in added)
-                survivors = [
-                    name
-                    for name in previous
-                    if current.get(name) is previous[name]
-                ]
-                if survivors + added != list(current):
-                    ops = [("remove", name) for name in previous]
-                    ops.extend(("add", registration) for registration in current.values())
-                self._log.extend((epoch, op, payload) for op, payload in ops)
-                self._mirror = current
-                self._synced_epoch = epoch
-            return tuple(self._log), self._synced_epoch
+            pending = self._pending_snapshot
+            if pending is not None and (
+                self._snapshot_ref is None or pending[1] > self._snapshot_ref[1]
+            ):
+                self._snapshot_ref = pending
+                self._floor = max(self._floor, pending[1])
+            if self._acked and len(self._acked) >= self._workers:
+                self._floor = max(self._floor, min(self._acked.values()))
+            if self._log and self._log[0][0] <= self._floor:
+                floor = self._floor
+                self._log = [record for record in self._log if record[0] > floor]
+                self._gateway.metrics.set_gauge(
+                    f"gateway.backend.{self.name}.log_length", len(self._log)
+                )
+            return tuple(self._log), self._synced_epoch, self._snapshot_ref
+
+    def _note_outcome(self, outcome: ComputeOutcome) -> None:
+        """Record a replica acknowledgement (and any snapshot reload)."""
+        if outcome.reloaded:
+            self._gateway.metrics.increment("persist.replica_reloads")
+        if outcome.worker is None:
+            return
+        with self._log_lock:
+            previous = self._acked.get(outcome.worker)
+            if previous is None or outcome.epoch > previous:
+                self._acked[outcome.worker] = outcome.epoch
 
     def _compute(self, request: SearchRequest, remaining: float | None) -> ComputeOutcome:
         gateway = self._gateway
-        ops, expected_epoch = self._sync_ops()
+        ops, expected_epoch, snapshot = self._sync_ops()
         envelope = RequestEnvelope(
             mode=gateway.mode,
             request=replace(request, time_budget_seconds=remaining),
             budget_seconds=remaining,
             expected_epoch=expected_epoch,
             ops=ops,
+            snapshot=snapshot,
         )
         gateway.metrics.adjust_gauge(f"gateway.backend.{self.name}.inflight_computes", 1)
         started = gateway.clock.now()
@@ -501,6 +599,7 @@ class ProcessPoolBackend:
                 f"gateway.backend.{self.name}.compute_seconds",
                 gateway.clock.now() - started,
             )
+        self._note_outcome(outcome)
         if outcome.stale:
             # The replica could not reach this envelope's epoch; recompute
             # in-process so the caller still gets a correct answer.
@@ -509,6 +608,13 @@ class ProcessPoolBackend:
         return outcome
 
     def shutdown(self, wait: bool = True) -> None:
+        if self._gateway is not None:
+            corpus = getattr(self._gateway.platform, "corpus", None)
+            if corpus is not None and hasattr(corpus, "unsubscribe"):
+                corpus.unsubscribe(self._observe)
+            manager = getattr(self._gateway, "snapshots", None)
+            if manager is not None:
+                manager.remove_listener(self._on_snapshot)
         if self._orchestrator is not None:
             self._orchestrator.shutdown(wait=wait)
         if self._pool is not None:

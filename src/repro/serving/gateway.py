@@ -97,6 +97,23 @@ class GatewayConfig:
         Bootstrap and warm every process-pool worker at gateway
         construction (platform replica build + first-query engine
         structures) instead of on first request.
+    snapshot_dir:
+        Durable-state directory (``None`` = no persistence).  When set,
+        the gateway attaches a :class:`~repro.persist.SnapshotManager` to
+        the platform: every corpus mutation is journaled to a WAL, the
+        cadence policy below re-snapshots and truncates it, and a restart
+        is ``Mileena.load(snapshot_dir)``.  The process backend also
+        bootstraps its worker replicas from the snapshot file (plus the
+        envelope-carried WAL tail) and re-bases its mutation log on every
+        new snapshot, which is what keeps envelope logs bounded under
+        sustained churn.
+    snapshot_every_mutations / snapshot_every_seconds:
+        The re-snapshot cadence (see :class:`~repro.persist.SnapshotManager`).
+        ``every_mutations`` also bounds the WAL and the process backend's
+        per-envelope mutation logs.
+    wal_fsync:
+        Fsync every WAL append and snapshot write (power-cut durability)
+        instead of flush-only (process-crash durability, the default).
 
     Discovery-side knobs (``use_lsh``, ``lsh_bands``, ``target_recall``,
     ``multi_probe``, the index-level ``cache_capacity``) live on the
@@ -118,6 +135,10 @@ class GatewayConfig:
     process_workers: int | None = None
     process_start_method: str | None = None
     warm_start: bool = True
+    snapshot_dir: str | None = None
+    snapshot_every_mutations: int | None = 64
+    snapshot_every_seconds: float | None = None
+    wal_fsync: bool = False
 
 
 @dataclass
@@ -128,12 +149,19 @@ class ComputeOutcome:
     mismatched stamps (a mutation raced the computation, or a process-pool
     replica ran ahead of this envelope's mutation log) are served to the
     caller but never cached.  ``stale=True`` marks a process-pool replica
-    that could not compute at the expected epoch at all.
+    that could not compute at the expected epoch at all.  ``worker`` and
+    ``reloaded`` are process-backend bookkeeping: the worker pid lets the
+    parent track which mutation-log entries every replica has applied (so
+    acknowledged entries can be dropped from future envelopes), and
+    ``reloaded`` reports that the replica re-bootstrapped itself from the
+    latest snapshot file to catch up.
     """
 
     result: SearchResult | AutoMLServiceResult | None
     epoch: int
     stale: bool = False
+    worker: int | None = None
+    reloaded: bool = False
 
 
 @dataclass
@@ -180,8 +208,35 @@ class Gateway:
             # epoch-keyed cache (near-identical requests share discovery).
             if getattr(platform, "cache", None) is None:
                 platform.cache = self.cache
+            # Single cache handle: a sharded index with its own whole-query
+            # discovery cache adopts an epoch-scoped view of the gateway's
+            # cache instead — one memory budget, one eviction policy, one
+            # invalidation path.
+            discovery = getattr(getattr(platform, "corpus", None), "discovery", None)
+            if (
+                hasattr(discovery, "attach_cache")
+                and getattr(discovery, "cache", None) is not None
+            ):
+                discovery.attach_cache(self.cache)
         if getattr(platform, "metrics", None) is None:
             platform.metrics = self.metrics
+        # Durable state: attach a snapshot manager when configured (a
+        # platform that already carries one — e.g. built with
+        # Mileena.sharded(snapshot_dir=...) — is reused as is, but gains
+        # this gateway's metrics registry so persist.* counters land with
+        # the serving metrics).
+        self.snapshots = getattr(platform, "snapshots", None)
+        if self.snapshots is not None and self.snapshots.metrics is None:
+            self.snapshots.metrics = self.metrics
+        if self.config.snapshot_dir is not None and self.snapshots is None:
+            self.snapshots = platform.attach_snapshots(
+                self.config.snapshot_dir,
+                every_mutations=self.config.snapshot_every_mutations,
+                every_seconds=self.config.snapshot_every_seconds,
+                clock=self.clock,
+                fsync=self.config.wal_fsync,
+                metrics=self.metrics,
+            )
         if self.config.cache_proxy_scores and not isinstance(platform.proxy, CachingProxy):
             platform.proxy = CachingProxy(platform.proxy, metrics=self.metrics)
         self.service = service if service is not None else MileenaAutoMLService(

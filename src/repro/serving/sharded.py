@@ -254,6 +254,35 @@ class ShardedDiscoveryIndex:
     def __len__(self) -> int:
         return sum(len(shard) for shard in self.shards)
 
+    def profiles_in_order(self) -> list[DatasetProfile]:
+        """Every registered profile, in *global* registration order.
+
+        The sharded counterpart of the flat index's ``profiles_in_order``:
+        profiles live in their shards, the global ``_sequence`` supplies
+        the order.  Replaying the list through ``register_profile`` on a
+        fresh sharded index (same shard count, same hasher) reproduces the
+        per-shard packed structures and the merge order exactly — this is
+        what the persistence layer snapshots.
+        """
+        with self._lock:
+            return [
+                self._shard_for(dataset).profiles[dataset]
+                for dataset in self._sequence
+            ]
+
+    def attach_cache(self, cache: ResultCache) -> None:
+        """Adopt a shared serving-layer cache for whole-query memoisation.
+
+        Replaces the index's private discovery cache with an epoch-scoped
+        view of ``cache`` (usually the gateway's request ``ResultCache``):
+        one cache handle holds request results *and* discovery candidate
+        lists, with one capacity and one invalidation path — the view keys
+        every entry under this index's mutation counter, so any
+        register/unregister makes stale candidates unreachable exactly as
+        before.
+        """
+        self.cache = cache.view("discovery_cache", lambda: self._epoch)
+
     # -- discovery -------------------------------------------------------------
     def discover(self, query: Relation, augmentation_type: str, top_k: int | None = None):
         if augmentation_type == JOIN:

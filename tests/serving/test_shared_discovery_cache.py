@@ -1,0 +1,107 @@
+"""One cache handle: the sharded index's discovery cache inside the gateway's.
+
+The gateway's request `ResultCache` and `ShardedDiscoveryIndex.cache` used
+to memoise at different granularities in two separate LRUs with two
+invalidation paths.  A gateway now hands the index an epoch-scoped *view*
+of its own cache: entries live in one store under one capacity, discovery
+hits still land under the ``discovery_cache`` metrics name, and a
+register/unregister invalidates both families through their version
+scopes.
+"""
+
+import pytest
+
+from repro.core import Mileena, SearchRequest
+from repro.datasets import CorpusSpec, generate_corpus
+from repro.serving import Gateway, GatewayConfig, ResultCache
+from repro.serving.cache import CacheView
+
+_SPEC = CorpusSpec(num_datasets=12, requester_rows=100, provider_rows=100, seed=9)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(_SPEC)
+
+
+def make_platform(corpus):
+    platform = Mileena.sharded(num_shards=2, discovery_cache_capacity=8)
+    for relation in corpus.providers[:6]:
+        platform.register_dataset(relation)
+    return platform
+
+
+def test_gateway_adopts_index_cache_as_view(corpus):
+    platform = make_platform(corpus)
+    standalone_cache = platform.corpus.discovery.cache
+    assert isinstance(standalone_cache, ResultCache)  # before: its own LRU
+    with Gateway(platform, GatewayConfig(max_workers=2)) as gateway:
+        adopted = platform.corpus.discovery.cache
+        assert isinstance(adopted, CacheView)
+        assert adopted.parent is gateway.cache
+        request = SearchRequest(
+            train=corpus.train,
+            test=corpus.test,
+            target=corpus.target,
+            max_augmentations=1,
+        )
+        assert gateway.run_many([request])[0].ok
+        # Discovery fan-out results landed in the gateway's single store.
+        discovery_entries = [
+            key
+            for key in gateway.cache._entries
+            if isinstance(key, tuple) and key[:2] == ("view", "discovery_cache")
+        ]
+        assert discovery_entries
+        # Repeat queries hit the shared handle under the discovery name.
+        platform.corpus.discovery.join_candidates(corpus.train)
+        assert gateway.metrics.cache_stats("discovery_cache").hits >= 1
+
+
+def test_view_invalidation_tracks_index_epoch(corpus):
+    platform = make_platform(corpus)
+    with Gateway(platform, GatewayConfig(max_workers=2)) as gateway:
+        discovery = platform.corpus.discovery
+        before = discovery.join_candidates(corpus.train)
+        hits_before = gateway.metrics.cache_stats("discovery_cache").hits
+        assert discovery.join_candidates(corpus.train) == before
+        assert gateway.metrics.cache_stats("discovery_cache").hits == hits_before + 1
+        # A registration bumps the index epoch: the cached candidate list
+        # must become unreachable, and the fresh scan must see the newcomer.
+        platform.register_dataset(corpus.providers[6])
+        after = discovery.join_candidates(corpus.train)
+        assert {c.dataset for c in after} >= {c.dataset for c in before}
+        misses = gateway.metrics.cache_stats("discovery_cache").misses
+        assert misses >= 2  # initial fill + post-epoch refill
+
+
+def test_view_and_parent_keys_cannot_collide():
+    parent = ResultCache(capacity=8, name="parent")
+    view = parent.view("child", version_source=lambda: 1)
+    parent.put(("a",), "parent-value")
+    view.put(("a",), "child-value")
+    assert parent.get(("a",)) == "parent-value"
+    assert view.get(("a",)) == "child-value"
+    view.clear()
+    assert view.get(("a",)) is None
+    assert parent.get(("a",)) == "parent-value"
+
+
+def test_shared_capacity_is_single_budget():
+    parent = ResultCache(capacity=4, name="parent")
+    view = parent.view("child")
+    for index in range(4):
+        view.put(index, index)
+    parent.put("own", "entry")  # fifth entry: evicts the oldest view entry
+    assert len(parent) == 4
+    assert view.get(0) is None
+    assert parent.get("own") == "entry"
+
+
+def test_standalone_index_keeps_private_cache(corpus):
+    platform = make_platform(corpus)
+    discovery = platform.corpus.discovery
+    assert isinstance(discovery.cache, ResultCache)
+    first = discovery.join_candidates(corpus.train)
+    assert discovery.join_candidates(corpus.train) == first
+    assert discovery.cache.stats.hits >= 1
