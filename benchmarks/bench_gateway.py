@@ -74,10 +74,16 @@ def run_backend(corpus, requests, backend: str, workers: int, num_shards: int):
         responses = gateway.run_many(requests)
         elapsed = time.perf_counter() - started
         counters = gateway.metrics.snapshot()["counters"]
-    return responses, elapsed, counters
+        # The live ops surface, captured while the gateway is still up:
+        # metrics, cache hit rates, and the slowest sampled traces land
+        # next to the JSON results (see --ops-out).
+        ops = gateway.ops_report(slowest=2)
+    return responses, elapsed, counters, ops
 
 
-def bench_workload(corpus, name, requests, backends, workers, num_shards, repeats):
+def bench_workload(
+    corpus, name, requests, backends, workers, num_shards, repeats, ops_reports
+):
     """Best-of-``repeats`` timing per configuration (noise on shared runners
     would otherwise flap the CI regression gate); result identity against
     the sequential baseline is asserted on every repeat, not just the best."""
@@ -90,7 +96,7 @@ def bench_workload(corpus, name, requests, backends, workers, num_shards, repeat
     for backend in backends:
         seconds = float("inf")
         for _ in range(repeats):
-            responses, sample_seconds, counters = run_backend(
+            responses, sample_seconds, counters, ops = run_backend(
                 corpus, requests, backend, workers, num_shards
             )
             statuses = [response.status for response in responses]
@@ -98,6 +104,7 @@ def bench_workload(corpus, name, requests, backends, workers, num_shards, repeat
             got = [result_signature(response.result) for response in responses]
             assert got == expected, f"{backend} responses diverge from sequential"
             seconds = min(seconds, sample_seconds)
+        ops_reports.append(f"### {name} / {backend}\n{ops}")
         rows.append(
             {
                 "workload": name,
@@ -150,6 +157,13 @@ def main(argv: list[str] | None = None) -> int:
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_gateway.json",
     )
+    parser.add_argument(
+        "--ops-out",
+        type=Path,
+        default=None,
+        help="where to write the per-backend ops/trace reports "
+        "(default: <out> with an _ops.txt suffix)",
+    )
     args = parser.parse_args(argv)
     if args.backend is not None:
         args.backends = [args.backend]
@@ -188,6 +202,7 @@ def main(argv: list[str] | None = None) -> int:
         f"gateway backends on {os.cpu_count()} cores, {args.num_datasets} datasets, "
         f"{args.workers} workers"
     )
+    ops_reports: list[str] = []
     for name, requests in workloads:
         entry = bench_workload(
             corpus,
@@ -197,6 +212,7 @@ def main(argv: list[str] | None = None) -> int:
             args.workers,
             args.num_shards,
             args.repeats,
+            ops_reports,
         )
         report["results"].append(entry)
         print(f"\n{name} workload ({len(requests)} requests, "
@@ -212,6 +228,11 @@ def main(argv: list[str] | None = None) -> int:
             )
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {args.out}")
+    ops_out = args.ops_out
+    if ops_out is None:
+        ops_out = args.out.with_name(args.out.stem + "_ops.txt")
+    ops_out.write_text("\n\n".join(ops_reports) + "\n")
+    print(f"wrote {ops_out}")
     return 0
 
 

@@ -27,6 +27,7 @@ from repro.core.request import SearchRequest
 from repro.core.requester import FinalModelReport, Requester
 from repro.core.search import GreedySketchSearch
 from repro.exceptions import SearchError
+from repro.obs import span
 from repro.privacy.mechanisms import PrivacyBudget
 from repro.relational.relation import Relation
 from repro.sketches.builder import SketchBuilder
@@ -298,12 +299,16 @@ class Mileena:
     def _discover_candidates(self, request: SearchRequest) -> list[AugmentationCandidate]:
         if self.metrics is not None:
             self.metrics.increment("platform.discoveries")
-        join_candidates = self.corpus.discovery.join_candidates(
-            request.train, top_k=self.discovery_top_k
-        )
-        union_candidates = self.corpus.discovery.union_candidates(
-            request.train, top_k=self.discovery_top_k
-        )
+        with span("discovery.join") as join_span:
+            join_candidates = self.corpus.discovery.join_candidates(
+                request.train, top_k=self.discovery_top_k
+            )
+            join_span.annotate(candidates=len(join_candidates))
+        with span("discovery.union") as union_span:
+            union_candidates = self.corpus.discovery.union_candidates(
+                request.train, top_k=self.discovery_top_k
+            )
+            union_span.annotate(candidates=len(union_candidates))
         candidates: list[AugmentationCandidate] = []
         for candidate in join_candidates:
             if candidate.query_column not in request.join_keys:
@@ -331,7 +336,8 @@ class Mileena:
         """Solve Problem 1 for one request."""
         timer = BudgetTimer(self.clock, request.time_budget_seconds)
         requester = Requester("requester", builder=self.builder)
-        sketches = requester.build_sketches(request)
+        with span("compute.sketches"):
+            sketches = requester.build_sketches(request)
         state = AugmentationState.from_sketches(
             request.target, sketches.train, sketches.test
         )
@@ -339,20 +345,24 @@ class Mileena:
         search = GreedySketchSearch(
             store=self.corpus.sketches, proxy=self.proxy, clock=self.clock
         )
-        plan, state = search.run(
-            state,
-            candidates,
-            max_augmentations=request.max_augmentations,
-            min_improvement=request.min_improvement,
-            time_budget_seconds=timer.remaining() if request.time_budget_seconds else None,
-        )
-        proxy_score = self.proxy.evaluate(
-            state.train_element(), state.test_element(), request.target
-        )
+        with span("score.greedy") as greedy:
+            greedy.annotate(num_candidates=len(candidates))
+            plan, state = search.run(
+                state,
+                candidates,
+                max_augmentations=request.max_augmentations,
+                min_improvement=request.min_improvement,
+                time_budget_seconds=timer.remaining() if request.time_budget_seconds else None,
+            )
+        with span("score.proxy"):
+            proxy_score = self.proxy.evaluate(
+                state.train_element(), state.test_element(), request.target
+            )
         final_report = None
         if train_final_model:
             relations = {name: reg.relation for name, reg in self.corpus.registrations.items()}
-            final_report = requester.train_final_model(request, plan, relations)
+            with span("score.final_model"):
+                final_report = requester.train_final_model(request, plan, relations)
         elapsed = timer.elapsed()
         if self.metrics is not None:
             self.metrics.increment("platform.searches")

@@ -46,6 +46,7 @@ from repro.discovery.minhash import MinHasher
 from repro.discovery.profiles import DatasetProfile, profile_relation
 from repro.discovery.tfidf import IdfModel
 from repro.exceptions import DiscoveryError
+from repro.obs import span
 from repro.relational.relation import Relation
 
 JOIN = "join"
@@ -347,13 +348,23 @@ class DiscoveryIndex:
                 [column.minhash.num_values > 0 for column in query_columns], dtype=bool
             )
             if self.use_lsh:
-                selection = self._lsh_layout(signatures[valid]) if valid.any() else None
-                sims = engine.similarities(signatures, selection[0]) if selection else None
+                with span("discovery.lsh_candidates") as banding:
+                    selection = self._lsh_layout(signatures[valid]) if valid.any() else None
+                    banding.annotate(
+                        candidate_rows=int(selection[0].size) if selection else 0
+                    )
+                with span("discovery.join_verify"):
+                    sims = (
+                        engine.similarities(signatures, selection[0])
+                        if selection
+                        else None
+                    )
             else:
                 # One engine call hands back a layout and similarities built
                 # from the same snapshot, so a concurrent register/unregister
                 # cannot misalign the two.
-                selection, sims = engine.scan(signatures)
+                with span("discovery.join_verify"):
+                    selection, sims = engine.scan(signatures)
                 if not selection[0].size:
                     sims = None
             if sims is not None:
@@ -453,33 +464,35 @@ class DiscoveryIndex:
             row_norms = self._row_norms(idf, size)
             scored: list[tuple[object, np.ndarray]] = []
             best = np.zeros(size, dtype=np.float64)
-            for query_column in query_profile.columns.values():
-                sketch = query_column.tfidf
-                if sketch is None or not sketch.term_counts:
-                    continue
-                query_norm = query_norms.get(query_column.column, 0.0)
-                if query_norm == 0.0:
-                    continue
-                dot = terms.weighted_dot(sketch.term_counts, idf, size)
-                # dot / (query_norm · row_norm): the same two float ops,
-                # in the same order, as the scalar cosine's final division.
-                denominator = query_norm * row_norms
-                similarities = np.divide(
-                    dot,
-                    denominator,
-                    out=np.zeros(size, dtype=np.float64),
-                    where=denominator != 0.0,
-                )
-                scored.append((query_column, similarities))
-                np.maximum(
-                    best,
-                    np.where(
-                        terms.compatible_rows(query_column.dtype, size),
-                        similarities,
-                        0.0,
-                    ),
-                    out=best,
-                )
+            with span("discovery.union_dot", rows=size) as dot_span:
+                for query_column in query_profile.columns.values():
+                    sketch = query_column.tfidf
+                    if sketch is None or not sketch.term_counts:
+                        continue
+                    query_norm = query_norms.get(query_column.column, 0.0)
+                    if query_norm == 0.0:
+                        continue
+                    dot = terms.weighted_dot(sketch.term_counts, idf, size)
+                    # dot / (query_norm · row_norm): the same two float ops,
+                    # in the same order, as the scalar cosine's final division.
+                    denominator = query_norm * row_norms
+                    similarities = np.divide(
+                        dot,
+                        denominator,
+                        out=np.zeros(size, dtype=np.float64),
+                        where=denominator != 0.0,
+                    )
+                    scored.append((query_column, similarities))
+                    np.maximum(
+                        best,
+                        np.where(
+                            terms.compatible_rows(query_column.dtype, size),
+                            similarities,
+                            0.0,
+                        ),
+                        out=best,
+                    )
+                dot_span.annotate(query_columns=len(scored))
             if scored:
                 hits = best >= self.union_threshold
                 hits &= best > 0.0

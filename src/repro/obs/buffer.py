@@ -1,0 +1,85 @@
+"""The bounded in-memory trace store and its JSONL exporter.
+
+Retained traces (sampled, or slow enough for the always-on slow-request
+log) land in a :class:`TraceBuffer`: a capacity-bounded deque, oldest
+evicted first, so a long-running gateway holds a rolling window of recent
+traces at a fixed memory cost.  ``export_jsonl`` streams the window to
+disk — one span record per line, grouped by trace — for offline analysis
+next to the ``BENCH_*.json`` artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.trace import SpanRecord
+
+
+@dataclass(frozen=True)
+class CompletedTrace:
+    """One finished, retained trace: its root summary plus every record."""
+
+    trace_id: str
+    name: str
+    start: float
+    duration: float
+    sampled: bool
+    slow: bool
+    records: tuple[SpanRecord, ...]
+    attrs: dict = field(default_factory=dict)
+
+
+class TraceBuffer:
+    """A thread-safe, capacity-bounded ring of recent completed traces."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("trace buffer capacity must be positive")
+        self.capacity = capacity
+        self._traces: deque[CompletedTrace] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def add(self, trace: CompletedTrace) -> None:
+        with self._lock:
+            self._traces.append(trace)
+
+    def snapshot(self) -> list[CompletedTrace]:
+        """The retained traces, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def slowest(self, n: int = 5) -> list[CompletedTrace]:
+        """The ``n`` slowest retained traces, slowest first."""
+        return sorted(self.snapshot(), key=lambda trace: -trace.duration)[:n]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def export_jsonl(self, path) -> int:
+        """Write every retained span record to ``path`` as JSON lines.
+
+        Each line is one span record plus its trace's retention context
+        (``sampled`` / ``slow``), so offline tooling can regroup by
+        ``trace_id`` without a side index.  Attribute values that are not
+        JSON types degrade to ``repr`` rather than failing the export.
+        Returns the number of lines written.
+        """
+        path = Path(path)
+        lines = 0
+        with open(path, "w") as handle:
+            for trace in self.snapshot():
+                for record in trace.records:
+                    row = record.as_dict()
+                    row["sampled"] = trace.sampled
+                    row["slow"] = trace.slow
+                    handle.write(json.dumps(row, default=repr) + "\n")
+                    lines += 1
+        return lines

@@ -26,6 +26,7 @@ from pathlib import Path
 
 from repro.core.clock import WallClock
 from repro.exceptions import PersistError
+from repro.obs import span
 from repro.persist.snapshot import read_snapshot, snapshot_platform, write_snapshot
 from repro.persist.wal import MutationWAL, apply_records
 
@@ -197,11 +198,12 @@ class SnapshotManager:
         ROADMAP item, not worth the snapshot/WAL coherence risk here.
         """
         corpus = self.platform.corpus
-        with corpus.frozen():
+        with corpus.frozen(), span("persist.snapshot_save") as save:
             sections = snapshot_platform(self.platform)
             write_snapshot(self.snapshot_path, sections, fsync=self.fsync)
             self.wal.truncate()
             self.snapshot_epoch = sections["epoch"]
+            save.annotate(epoch=self.snapshot_epoch)
             self._mutations_since = 0
             self._last_snapshot_time = self.clock.now()
             if self.metrics is not None:

@@ -37,6 +37,7 @@ import struct
 from pathlib import Path
 
 from repro.exceptions import PersistError
+from repro.obs import span
 
 SNAPSHOT_MAGIC = b"MILSNAP\x00"
 FORMAT_VERSION = 1
@@ -211,24 +212,26 @@ def restore_platform(sections: dict):
     from repro.core.platform import Mileena
     from repro.discovery.minhash import MinHasher
 
-    minhasher = sections.get("minhasher") or MinHasher()
-    discovery, sketches = build_corpus_stores(sections["index"], minhasher)
-    corpus = Corpus(discovery=discovery, sketches=sketches)
-    for profile in sections["profiles"]:
-        discovery.register_profile(profile)
-    for registration in sections["registrations"]:
-        corpus.registrations[registration.name] = registration
-        sketches.add(registration.sketch)
-    corpus.epoch = sections["epoch"]
-    platform_config = sections["platform"]
-    kwargs = {}
-    if sections.get("proxy") is not None:
-        kwargs["proxy"] = sections["proxy"]
-    if sections.get("builder") is not None:
-        kwargs["builder"] = sections["builder"]
-    return Mileena(
-        corpus=corpus,
-        discovery_top_k=platform_config["discovery_top_k"],
-        serving_backend=platform_config["serving_backend"],
-        **kwargs,
-    )
+    with span("persist.snapshot_load", epoch=sections["epoch"]) as load:
+        minhasher = sections.get("minhasher") or MinHasher()
+        discovery, sketches = build_corpus_stores(sections["index"], minhasher)
+        corpus = Corpus(discovery=discovery, sketches=sketches)
+        for profile in sections["profiles"]:
+            discovery.register_profile(profile)
+        for registration in sections["registrations"]:
+            corpus.registrations[registration.name] = registration
+            sketches.add(registration.sketch)
+        corpus.epoch = sections["epoch"]
+        load.annotate(registrations=len(sections["registrations"]))
+        platform_config = sections["platform"]
+        kwargs = {}
+        if sections.get("proxy") is not None:
+            kwargs["proxy"] = sections["proxy"]
+        if sections.get("builder") is not None:
+            kwargs["builder"] = sections["builder"]
+        return Mileena(
+            corpus=corpus,
+            discovery_top_k=platform_config["discovery_top_k"],
+            serving_backend=platform_config["serving_backend"],
+            **kwargs,
+        )

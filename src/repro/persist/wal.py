@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import NamedTuple
 
 from repro.exceptions import PersistError
+from repro.obs import span
 
 WAL_MAGIC = b"MILWAL\x00\n"
 _FRAME = struct.Struct("<II")
@@ -111,17 +112,20 @@ class MutationWAL:
     # -- writing -----------------------------------------------------------------
     def append(self, epoch: int, op: str, payload: object) -> None:
         """Frame and append one mutation record."""
-        encoded = pickle.dumps((epoch, op, payload), protocol=pickle.HIGHEST_PROTOCOL)
-        frame = _FRAME.pack(len(encoded), zlib.crc32(encoded))
-        try:
-            self._handle.write(frame + encoded)
-            self._handle.flush()
-            if self.fsync:
-                os.fsync(self._handle.fileno())
-        except OSError as error:
-            raise PersistError(f"could not append to WAL {self.path}: {error}") from error
-        self._record_count += 1
-        self._last_epoch = epoch
+        with span("persist.wal_append", epoch=epoch, op=op):
+            encoded = pickle.dumps((epoch, op, payload), protocol=pickle.HIGHEST_PROTOCOL)
+            frame = _FRAME.pack(len(encoded), zlib.crc32(encoded))
+            try:
+                self._handle.write(frame + encoded)
+                self._handle.flush()
+                if self.fsync:
+                    os.fsync(self._handle.fileno())
+            except OSError as error:
+                raise PersistError(
+                    f"could not append to WAL {self.path}: {error}"
+                ) from error
+            self._record_count += 1
+            self._last_epoch = epoch
 
     def truncate(self) -> None:
         """Atomically reset the log to empty (after a snapshot superseded it)."""
@@ -182,27 +186,29 @@ def apply_records(corpus, records) -> int:
     replayed onto (a gap from a mis-paired snapshot/WAL directory), and
     replay refuses rather than build a silently divergent corpus.
     """
-    applied = 0
-    for record in records:
-        if record.epoch <= corpus.epoch:
-            continue
-        if record.epoch != corpus.epoch + 1:
-            raise PersistError(
-                f"WAL gap: record epoch {record.epoch} does not continue "
-                f"corpus epoch {corpus.epoch}"
-            )
-        if record.op == "add":
-            corpus.add(record.payload)
-        elif record.op == "add_many":
-            corpus.add_many(list(record.payload))
-        elif record.op == "remove":
-            corpus.remove(record.payload)
-        else:
-            raise PersistError(f"unknown WAL operation {record.op!r}")
-        if corpus.epoch != record.epoch:
-            raise PersistError(
-                f"WAL replay desynchronised: corpus reached epoch "
-                f"{corpus.epoch}, record expected {record.epoch}"
-            )
-        applied += 1
+    with span("persist.wal_replay") as replay:
+        applied = 0
+        for record in records:
+            if record.epoch <= corpus.epoch:
+                continue
+            if record.epoch != corpus.epoch + 1:
+                raise PersistError(
+                    f"WAL gap: record epoch {record.epoch} does not continue "
+                    f"corpus epoch {corpus.epoch}"
+                )
+            if record.op == "add":
+                corpus.add(record.payload)
+            elif record.op == "add_many":
+                corpus.add_many(list(record.payload))
+            elif record.op == "remove":
+                corpus.remove(record.payload)
+            else:
+                raise PersistError(f"unknown WAL operation {record.op!r}")
+            if corpus.epoch != record.epoch:
+                raise PersistError(
+                    f"WAL replay desynchronised: corpus reached epoch "
+                    f"{corpus.epoch}, record expected {record.epoch}"
+                )
+            applied += 1
+        replay.annotate(applied=applied)
     return applied

@@ -39,6 +39,7 @@ the contract.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import multiprocessing
 import os
 import threading
@@ -50,6 +51,7 @@ from typing import Protocol, runtime_checkable
 from repro.core.clock import BudgetTimer
 from repro.core.request import SearchRequest
 from repro.exceptions import BackendError
+from repro.obs import RemoteTrace, attach_records, current_span, span
 from repro.serving.gateway import (
     EXPIRED,
     OK,
@@ -207,6 +209,11 @@ class RequestEnvelope:
     expected_epoch: int
     ops: tuple = ()
     snapshot: tuple | None = None
+    #: Parent-side trace context: ``(trace_id, parent_span_id)`` of the
+    #: live ``dispatch`` span, or ``None`` when untraced.  The replica
+    #: roots its ``replica`` span tree at it and ships the records back in
+    #: ``ComputeOutcome.spans`` so both sides stitch into one trace.
+    trace: tuple | None = None
 
 
 class PlatformReplica:
@@ -309,22 +316,45 @@ class PlatformReplica:
         return self.parent_epoch >= envelope.expected_epoch
 
     def execute(self, envelope: RequestEnvelope) -> ComputeOutcome:
+        """Run one envelope, collecting replica-side spans when traced.
+
+        The ``replica`` root span (and its ``replica.replay`` /
+        ``replica.bootstrap`` / ``replica.compute`` children, plus
+        whatever the platform emits beneath them) is parented at the
+        envelope's shipped ``dispatch`` span id; the records ride back on
+        the outcome for the parent to stitch in.
+        """
+        remote = RemoteTrace(envelope.trace, "replica", worker=os.getpid())
+        with remote:
+            outcome = self._execute(envelope, remote)
+        return replace(outcome, spans=remote.records)
+
+    def _execute(self, envelope: RequestEnvelope, remote: RemoteTrace) -> ComputeOutcome:
         pid = os.getpid()
         reloaded = False
-        if not self._replay(envelope):
+        with span("replica.replay") as replay:
+            caught_up = self._replay(envelope)
+            replay.annotate(epoch=self.parent_epoch)
+        if not caught_up:
             snapshot = envelope.snapshot
             if snapshot is not None and snapshot[1] > self.parent_epoch:
                 # The missing records are covered by a newer on-disk
                 # snapshot: warm-start from it and replay the rest.
-                self._install_snapshot(snapshot[0])
+                with span("replica.bootstrap") as bootstrap:
+                    self._install_snapshot(snapshot[0])
+                    bootstrap.annotate(epoch=self.parent_epoch)
                 self.reloads += 1
                 reloaded = True
-                self._replay(envelope)
+                remote.annotate(reloaded=True)
+                with span("replica.replay") as replay:
+                    self._replay(envelope)
+                    replay.annotate(epoch=self.parent_epoch)
         if self.parent_epoch != envelope.expected_epoch:
             # This replica ran ahead (a newer envelope's log was replayed
             # first) or is unrecoverably behind the pruned log; either way
             # its corpus no longer matches the epoch this request was
             # admitted against, and the parent must recompute.
+            remote.annotate(stale=True)
             return ComputeOutcome(
                 result=None,
                 epoch=self.parent_epoch,
@@ -332,12 +362,13 @@ class PlatformReplica:
                 worker=pid,
                 reloaded=reloaded,
             )
-        if envelope.mode == "automl":
-            result = self.service.run(
-                envelope.request, time_budget_seconds=envelope.budget_seconds
-            )
-        else:
-            result = self.platform.search(envelope.request)
+        with span("replica.compute"):
+            if envelope.mode == "automl":
+                result = self.service.run(
+                    envelope.request, time_budget_seconds=envelope.budget_seconds
+                )
+            else:
+                result = self.platform.search(envelope.request)
         return ComputeOutcome(
             result=result, epoch=self.parent_epoch, worker=pid, reloaded=reloaded
         )
@@ -579,6 +610,13 @@ class ProcessPoolBackend:
     def _compute(self, request: SearchRequest, remaining: float | None) -> ComputeOutcome:
         gateway = self._gateway
         ops, expected_epoch, snapshot = self._sync_ops()
+        # Cross-process trace propagation: the caller is the gateway's
+        # ``dispatch`` span (this method runs inside it on the
+        # orchestrator thread), so its ids root the replica's span tree.
+        parent = current_span()
+        trace_ref = (
+            (parent.trace.trace_id, parent.span_id) if parent is not None else None
+        )
         envelope = RequestEnvelope(
             mode=gateway.mode,
             request=replace(request, time_budget_seconds=remaining),
@@ -586,6 +624,7 @@ class ProcessPoolBackend:
             expected_epoch=expected_epoch,
             ops=ops,
             snapshot=snapshot,
+            trace=trace_ref,
         )
         gateway.metrics.adjust_gauge(f"gateway.backend.{self.name}.inflight_computes", 1)
         started = gateway.clock.now()
@@ -600,6 +639,11 @@ class ProcessPoolBackend:
                 gateway.clock.now() - started,
             )
         self._note_outcome(outcome)
+        if outcome.spans:
+            # Stitch the replica-side spans into the live parent trace
+            # (even for a stale outcome — the replay/bootstrap timeline is
+            # exactly what explains the stale fallback's latency).
+            attach_records(outcome.spans)
         if outcome.stale:
             # The replica could not reach this envelope's epoch; recompute
             # in-process so the caller still gets a correct answer.
@@ -679,46 +723,78 @@ class AsyncBackend:
             gateway.clock.now() - submitted_at,
         )
         try:
-            try:
-                waited, early = gateway._begin(request_id, timer)
-                if early is not None:
-                    return early
-                key = gateway._cache_key(timer, request)
-                flight = None
-                leading = False
-                if key is not None:
-                    hit = gateway._lookup(key, request_id, waited)
-                    if hit is not None:
-                        return hit
-                    flight, leading = gateway._flights.begin(key)
-                    if not leading:
-                        return await self._join_flight(flight, request_id, timer, waited)
-                remaining = (
-                    timer.remaining() if timer.budget_seconds is not None else None
-                )
-                started = gateway.clock.now()
+            # Each asyncio task runs in its own contextvars context, so the
+            # root span set here can never leak into a sibling request's
+            # coroutine no matter how the event loop interleaves them.
+            root = gateway.tracer.trace(
+                "request", request_id=request_id, backend=self.name, mode=gateway.mode
+            )
+            with root:
                 try:
-                    outcome = await self._loop.run_in_executor(
-                        self._compute_pool, gateway._compute_local, request, remaining
-                    )
-                except BaseException as error:
-                    gateway._abort_flight(key, flight, leading, error)
-                    raise
-                return gateway._complete(
-                    request_id,
-                    key,
-                    timer,
-                    waited,
-                    outcome,
-                    flight,
-                    leading,
-                    gateway.clock.now() - started,
-                )
-            except Exception as error:  # noqa: BLE001
-                return gateway._failed(request_id, error)
+                    response = await self._serve_stages(request_id, request, timer)
+                except Exception as error:  # noqa: BLE001
+                    response = gateway._failed(request_id, error)
+                root.annotate(status=response.status)
+                return response
         finally:
             gateway.metrics.adjust_gauge(f"gateway.backend.{self.name}.queue_depth", -1)
             gateway._request_done()
+
+    async def _serve_stages(
+        self, request_id: int, request: SearchRequest, timer: BudgetTimer
+    ) -> GatewayResponse:
+        gateway = self._gateway
+        with span("admission") as admission:
+            waited, early = gateway._begin(request_id, timer)
+            admission.annotate(waited_seconds=waited)
+            if early is not None:
+                admission.annotate(outcome="expired")
+                return early
+        key = gateway._cache_key(timer, request)
+        flight = None
+        leading = False
+        if key is not None:
+            with span("cache_lookup") as lookup:
+                hit = gateway._lookup(key, request_id, waited)
+                if hit is not None:
+                    lookup.annotate(outcome="hit")
+                    return hit
+                flight, leading = gateway._flights.begin(key)
+                if not leading:
+                    lookup.annotate(outcome="coalesced")
+                    return await self._join_flight(flight, request_id, timer, waited)
+                lookup.annotate(outcome="miss")
+        remaining = timer.remaining() if timer.budget_seconds is not None else None
+        started = gateway.clock.now()
+        try:
+            with span("dispatch") as dispatch:
+                # run_in_executor switches threads, which loses contextvars;
+                # capturing the context while the dispatch span is active
+                # and computing under ctx.run parents the executor-side
+                # ``compute`` span (and the platform spans beneath it)
+                # correctly.
+                ctx = contextvars.copy_context()
+                outcome = await self._loop.run_in_executor(
+                    self._compute_pool,
+                    ctx.run,
+                    gateway._compute_local,
+                    request,
+                    remaining,
+                )
+                dispatch.annotate(epoch=outcome.epoch, stale=outcome.stale)
+        except BaseException as error:
+            gateway._abort_flight(key, flight, leading, error)
+            raise
+        return gateway._complete(
+            request_id,
+            key,
+            timer,
+            waited,
+            outcome,
+            flight,
+            leading,
+            gateway.clock.now() - started,
+        )
 
     async def _join_flight(
         self, flight: Future, request_id: int, timer: BudgetTimer, waited: float

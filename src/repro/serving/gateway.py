@@ -43,6 +43,7 @@ from repro.core.platform import Mileena, SearchResult
 from repro.core.request import SearchRequest
 from repro.core.service import AutoMLServiceResult, MileenaAutoMLService
 from repro.exceptions import AdmissionError
+from repro.obs import TraceBuffer, Tracer, span
 from repro.serving.cache import CachingProxy, ResultCache, SingleFlight
 from repro.serving.fingerprint import request_fingerprint
 from repro.serving.metrics import MetricsRegistry
@@ -114,6 +115,21 @@ class GatewayConfig:
     wal_fsync:
         Fsync every WAL append and snapshot write (power-cut durability)
         instead of flush-only (process-crash durability, the default).
+    trace_sample_rate:
+        Head-sampling probability for trace *retention*: every request
+        still builds its span tree (cheap), but only this fraction is
+        kept in the trace buffer — except slow requests, which are always
+        kept (below).  ``1.0`` retains everything, ``0.0`` retains only
+        slow requests.
+    slow_trace_seconds:
+        The always-on slow-request log threshold: any request whose root
+        span runs at least this long is retained regardless of the
+        sampling verdict.
+    trace_buffer_capacity:
+        How many retained traces the in-memory ring buffer holds (oldest
+        evicted first); ``Gateway.ops_report()`` renders the slowest of
+        them and ``gateway.tracer.buffer.export_jsonl(path)`` dumps the
+        window for offline analysis.  See ``docs/OBSERVABILITY.md``.
 
     Discovery-side knobs (``use_lsh``, ``lsh_bands``, ``target_recall``,
     ``multi_probe``, the index-level ``cache_capacity``) live on the
@@ -139,6 +155,9 @@ class GatewayConfig:
     snapshot_every_mutations: int | None = 64
     snapshot_every_seconds: float | None = None
     wal_fsync: bool = False
+    trace_sample_rate: float = 0.1
+    slow_trace_seconds: float = 1.0
+    trace_buffer_capacity: int = 256
 
 
 @dataclass
@@ -162,6 +181,10 @@ class ComputeOutcome:
     stale: bool = False
     worker: int | None = None
     reloaded: bool = False
+    #: Replica-side span records (``repro.obs.trace.SpanRecord`` rows) a
+    #: process-pool worker collected while computing this outcome; the
+    #: parent stitches them into the live trace with ``attach_records``.
+    spans: tuple = ()
 
 
 @dataclass
@@ -192,10 +215,17 @@ class Gateway:
         clock: object | None = None,
         service: MileenaAutoMLService | None = None,
         backend: object | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.platform = platform
         self.config = config if config is not None else GatewayConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(
+            sample_rate=self.config.trace_sample_rate,
+            slow_threshold_seconds=self.config.slow_trace_seconds,
+            buffer=TraceBuffer(self.config.trace_buffer_capacity),
+            metrics=self.metrics,
+        )
         self.clock = clock if clock is not None else getattr(platform, "clock", WallClock())
         self.cache: ResultCache | None = None
         if self.config.cache_results:
@@ -335,6 +365,23 @@ class Gateway:
         """Requests submitted but not yet finished."""
         return self._pending
 
+    # -- ops surface -----------------------------------------------------------
+    def stats(self) -> dict:
+        """A structured health snapshot: metrics, caches, backend, traces.
+
+        See :func:`repro.obs.report.gateway_stats` for the shape and
+        ``docs/OBSERVABILITY.md`` for how to read it.
+        """
+        from repro.obs.report import gateway_stats
+
+        return gateway_stats(self)
+
+    def ops_report(self, slowest: int = 3) -> str:
+        """An operator-readable text report, slowest recent traces included."""
+        from repro.obs.report import ops_report
+
+        return ops_report(self, slowest=slowest)
+
     # -- serve pipeline --------------------------------------------------------
     # The pipeline is split into small stages so the synchronous backends
     # (thread, process) and the asyncio backend can share every piece of
@@ -399,10 +446,11 @@ class Gateway:
         result is served but not cached.
         """
         scoped = replace(request, time_budget_seconds=remaining)
-        if self.config.run_automl:
-            result = self.service.run(scoped, time_budget_seconds=remaining)
-        else:
-            result = self.platform.search(scoped)
+        with span("compute"):
+            if self.config.run_automl:
+                result = self.service.run(scoped, time_budget_seconds=remaining)
+            else:
+                result = self.platform.search(scoped)
         return ComputeOutcome(result=result, epoch=self.platform.corpus.epoch)
 
     def _store(self, key, timer: BudgetTimer, outcome: ComputeOutcome) -> None:
@@ -502,39 +550,82 @@ class Gateway:
         ``compute(request, remaining_budget) -> ComputeOutcome`` is supplied
         by the execution backend: the thread backend computes in this
         process, the process backend ships an envelope to a worker process.
+
+        Every request opens a trace (retention is the tracer's concern —
+        see :class:`GatewayConfig.trace_sample_rate`); the root ``request``
+        span stays active for the whole pipeline, so the stage spans in
+        ``_serve_stages`` and everything the platform emits underneath
+        nest into one tree.
         """
         try:
+            root = self.tracer.trace(
+                "request",
+                request_id=request_id,
+                backend=getattr(self.backend, "name", "unknown"),
+                mode=self.mode,
+            )
+            with root:
+                try:
+                    response = self._serve_stages(request_id, request, timer, compute)
+                except Exception as error:  # noqa: BLE001
+                    response = self._failed(request_id, error)
+                root.annotate(status=response.status)
+                return response
+        finally:
+            self._request_done()
+
+    def _serve_stages(
+        self,
+        request_id: int,
+        request: SearchRequest,
+        timer: BudgetTimer,
+        compute,
+    ) -> GatewayResponse:
+        """The traced pipeline body shared by the thread and process backends.
+
+        Span taxonomy (see ``docs/OBSERVABILITY.md``): ``admission`` covers
+        deadline accounting at entry; ``cache_lookup`` covers the cache
+        probe plus any coalesced wait on another worker's in-flight
+        result; ``dispatch`` covers the backend's compute hand-off — its
+        children are ``compute`` (in-process) or the stitched replica-side
+        spans (process backend).
+        """
+        with span("admission") as admission:
             waited, early = self._begin(request_id, timer)
+            admission.annotate(waited_seconds=waited)
             if early is not None:
+                admission.annotate(outcome="expired")
                 return early
-            key = self._cache_key(timer, request)
-            flight = None
-            leading = False
-            if key is not None:
+        key = self._cache_key(timer, request)
+        flight = None
+        leading = False
+        if key is not None:
+            with span("cache_lookup") as lookup:
                 hit = self._lookup(key, request_id, waited)
                 if hit is not None:
+                    lookup.annotate(outcome="hit")
                     return hit
                 flight, leading = self._flights.begin(key)
                 if not leading:
+                    lookup.annotate(outcome="coalesced")
                     return self._join_flight(key, flight, request_id, timer, waited)
-            remaining = timer.remaining() if timer.budget_seconds is not None else None
-            started = self.clock.now()
-            try:
+                lookup.annotate(outcome="miss")
+        remaining = timer.remaining() if timer.budget_seconds is not None else None
+        started = self.clock.now()
+        try:
+            with span("dispatch") as dispatch:
                 outcome = compute(request, remaining)
-            except BaseException as error:
-                self._abort_flight(key, flight, leading, error)
-                raise
-            return self._complete(
-                request_id,
-                key,
-                timer,
-                waited,
-                outcome,
-                flight,
-                leading,
-                self.clock.now() - started,
-            )
-        except Exception as error:  # noqa: BLE001
-            return self._failed(request_id, error)
-        finally:
-            self._request_done()
+                dispatch.annotate(epoch=outcome.epoch, stale=outcome.stale)
+        except BaseException as error:
+            self._abort_flight(key, flight, leading, error)
+            raise
+        return self._complete(
+            request_id,
+            key,
+            timer,
+            waited,
+            outcome,
+            flight,
+            leading,
+            self.clock.now() - started,
+        )

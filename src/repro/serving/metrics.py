@@ -59,7 +59,8 @@ class Gauge:
 
 
 class Histogram:
-    """A fixed-bucket latency histogram with count/sum/min/max."""
+    """A fixed-bucket latency histogram with count/sum/min/max and
+    bucket-interpolated percentile estimates (p50/p95/p99)."""
 
     def __init__(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
         self.name = name
@@ -96,15 +97,71 @@ class Histogram:
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 
+    def percentile(self, quantile: float) -> float:
+        """A bucket-interpolated quantile estimate (0 < quantile <= 1).
+
+        Exact observations are not kept, so the estimate interpolates
+        linearly within the bucket holding the target rank — between the
+        previous bucket bound (0.0 for the first) and the bucket's own
+        bound; the overflow bucket interpolates up to the observed max.
+        The result is clamped to the observed [min, max], which also makes
+        single-observation histograms exact.  Returns 0.0 when empty.
+        """
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError("quantile must be within (0, 1]")
+        with self._lock:
+            counts = list(self._counts)
+            count = self._count
+            minimum = self._min
+            maximum = self._max
+        return self._interpolate(quantile, counts, count, minimum, maximum)
+
+    def _interpolate(
+        self,
+        quantile: float,
+        counts: list[int],
+        count: int,
+        minimum: float,
+        maximum: float,
+    ) -> float:
+        if count == 0:
+            return 0.0
+        target = quantile * count
+        cumulative = 0
+        lower = 0.0
+        for index, bound in enumerate(self.buckets):
+            bucket = counts[index]
+            if bucket and cumulative + bucket >= target:
+                fraction = (target - cumulative) / bucket
+                value = lower + fraction * (bound - lower)
+                return min(max(value, minimum), maximum)
+            cumulative += bucket
+            lower = bound
+        # Overflow bucket: the only upper edge we have is the observed max.
+        bucket = counts[-1]
+        if bucket:
+            fraction = min(max((target - cumulative) / bucket, 0.0), 1.0)
+            value = lower + fraction * (maximum - lower)
+            return min(max(value, minimum), maximum)
+        return maximum
+
     def summary(self) -> dict[str, float]:
         with self._lock:
-            return {
-                "count": self._count,
-                "sum": self._sum,
-                "mean": self.mean,
-                "min": self._min if self._count else 0.0,
-                "max": self._max,
-            }
+            counts = list(self._counts)
+            count = self._count
+            total = self._sum
+            minimum = self._min if self._count else 0.0
+            maximum = self._max
+        summary = {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else 0.0,
+            "min": minimum,
+            "max": maximum,
+        }
+        for label, quantile in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+            summary[label] = self._interpolate(quantile, counts, count, minimum, maximum)
+        return summary
 
 
 @dataclass(frozen=True)
@@ -164,12 +221,24 @@ class MetricsRegistry:
         """Shorthand: move a gauge by ``delta`` (returns the new value)."""
         return self.gauge(name).adjust(delta)
 
+    def counter_value(self, name: str) -> int:
+        """Current value of counter ``name`` without creating it (0 if absent)."""
+        with self._lock:
+            counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
     def cache_stats(self, prefix: str) -> CacheStats:
-        """Hit/miss/eviction stats for a cache that reports under ``prefix``."""
+        """Hit/miss/eviction stats for a cache that reports under ``prefix``.
+
+        A pure read: querying an unknown prefix returns all-zero stats
+        without materialising ``hits``/``misses``/``evictions`` counters
+        in the registry (it used to create them permanently, polluting
+        ``snapshot()`` and ``render()`` with never-incremented entries).
+        """
         return CacheStats(
-            hits=self.counter(f"{prefix}.hits").value,
-            misses=self.counter(f"{prefix}.misses").value,
-            evictions=self.counter(f"{prefix}.evictions").value,
+            hits=self.counter_value(f"{prefix}.hits"),
+            misses=self.counter_value(f"{prefix}.misses"),
+            evictions=self.counter_value(f"{prefix}.evictions"),
         )
 
     def snapshot(self) -> dict[str, object]:
@@ -195,6 +264,8 @@ class MetricsRegistry:
         for name, summary in sorted(snapshot["histograms"].items()):
             lines.append(
                 f"{name} count={summary['count']} mean={summary['mean']:.6f} "
-                f"min={summary['min']:.6f} max={summary['max']:.6f}"
+                f"min={summary['min']:.6f} p50={summary['p50']:.6f} "
+                f"p95={summary['p95']:.6f} p99={summary['p99']:.6f} "
+                f"max={summary['max']:.6f}"
             )
         return "\n".join(lines)

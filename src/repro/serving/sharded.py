@@ -30,6 +30,7 @@ from repro.discovery.minhash import MinHasher
 from repro.discovery.profiles import DatasetProfile, profile_relation
 from repro.discovery.tfidf import IdfModel
 from repro.exceptions import DiscoveryError, SketchError
+from repro.obs import span
 from repro.relational.relation import Relation
 from repro.serving.cache import ResultCache
 from repro.serving.fingerprint import relation_fingerprint, stable_hash
@@ -303,14 +304,15 @@ class ShardedDiscoveryIndex:
         return self._join_fanout(query, top_k)
 
     def _join_fanout(self, query: Relation, top_k: int | None = None) -> list[JoinCandidate]:
-        query_profile = profile_relation(query, self.minhasher)
-        with self._lock:
-            results = [
-                candidate
-                for shard in self.shards
-                for candidate in shard.join_candidates_for_profile(query_profile)
-            ]
-            return self._merge(results, top_k)
+        with span("discovery.shard_fanout", kind=JOIN, num_shards=self.num_shards):
+            query_profile = profile_relation(query, self.minhasher)
+            with self._lock:
+                results = [
+                    candidate
+                    for shard in self.shards
+                    for candidate in shard.join_candidates_for_profile(query_profile)
+                ]
+                return self._merge(results, top_k)
 
     def union_candidates(self, query: Relation, top_k: int | None = None) -> list[UnionCandidate]:
         """Profile the query and compute corpus IDF once, fan out, merge."""
@@ -324,20 +326,21 @@ class ShardedDiscoveryIndex:
         return self._union_fanout(query, top_k)
 
     def _union_fanout(self, query: Relation, top_k: int | None = None) -> list[UnionCandidate]:
-        query_profile = profile_relation(query, self.minhasher)
-        with self._lock:
-            # Corpus-level IDF weights and the query columns' weighted norms
-            # are computed once here and shared by every shard.
-            idf = self.idf_model.idf()
-            query_norms = self.shards[0].query_column_norms(query_profile, idf)
-            results = [
-                candidate
-                for shard in self.shards
-                for candidate in shard.union_candidates_for_profile(
-                    query_profile, idf=idf, query_norms=query_norms
-                )
-            ]
-            return self._merge(results, top_k)
+        with span("discovery.shard_fanout", kind=UNION, num_shards=self.num_shards):
+            query_profile = profile_relation(query, self.minhasher)
+            with self._lock:
+                # Corpus-level IDF weights and the query columns' weighted norms
+                # are computed once here and shared by every shard.
+                idf = self.idf_model.idf()
+                query_norms = self.shards[0].query_column_norms(query_profile, idf)
+                results = [
+                    candidate
+                    for shard in self.shards
+                    for candidate in shard.union_candidates_for_profile(
+                        query_profile, idf=idf, query_norms=query_norms
+                    )
+                ]
+                return self._merge(results, top_k)
 
     def _merge(self, candidates, top_k: int | None):
         # The flat index sorts by descending similarity with Python's stable

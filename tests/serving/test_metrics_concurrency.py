@@ -1,0 +1,150 @@
+"""Registry correctness under concurrency, non-creating reads, percentiles."""
+
+import threading
+
+import pytest
+
+from repro.serving.metrics import Histogram, MetricsRegistry
+
+
+def hammer(threads, work):
+    workers = [threading.Thread(target=work) for _ in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+
+
+class TestConcurrentUpdates:
+    THREADS = 8
+    PER_THREAD = 2000
+
+    def test_counter_increments_are_exact(self):
+        metrics = MetricsRegistry()
+
+        def work():
+            for _ in range(self.PER_THREAD):
+                metrics.increment("hammered.total")
+                metrics.increment("hammered.batch", 3)
+
+        hammer(self.THREADS, work)
+        expected = self.THREADS * self.PER_THREAD
+        assert metrics.counter_value("hammered.total") == expected
+        assert metrics.counter_value("hammered.batch") == expected * 3
+
+    def test_histogram_observations_are_exact(self):
+        metrics = MetricsRegistry()
+
+        def work():
+            for index in range(self.PER_THREAD):
+                metrics.observe("hammered.seconds", 0.001 * (index % 10))
+
+        hammer(self.THREADS, work)
+        summary = metrics.histogram("hammered.seconds").summary()
+        expected = self.THREADS * self.PER_THREAD
+        assert summary["count"] == expected
+        assert summary["sum"] == pytest.approx(
+            self.THREADS * sum(0.001 * (i % 10) for i in range(self.PER_THREAD))
+        )
+
+    def test_gauge_adjustments_are_exact(self):
+        metrics = MetricsRegistry()
+
+        def work():
+            for _ in range(self.PER_THREAD):
+                metrics.adjust_gauge("hammered.depth", 1)
+                metrics.adjust_gauge("hammered.depth", -1)
+
+        hammer(self.THREADS, work)
+        assert metrics.gauge("hammered.depth").value == 0
+
+    def test_concurrent_creation_yields_one_instance(self):
+        metrics = MetricsRegistry()
+        seen = []
+
+        def work():
+            seen.append(metrics.counter("contended"))
+
+        hammer(self.THREADS, work)
+        assert all(counter is seen[0] for counter in seen)
+
+
+class TestNonCreatingReads:
+    def test_counter_value_of_unknown_name_is_zero(self):
+        metrics = MetricsRegistry()
+        assert metrics.counter_value("never.emitted") == 0
+        assert metrics.snapshot()["counters"] == {}
+
+    def test_cache_stats_does_not_materialise_counters(self):
+        """Regression: ``cache_stats`` used to call ``counter(...)`` on the
+        read path, permanently creating hits/misses/evictions counters for
+        any prefix ever queried."""
+        metrics = MetricsRegistry()
+        stats = metrics.cache_stats("unknown_layer")
+        assert (stats.hits, stats.misses, stats.evictions) == (0, 0, 0)
+        assert stats.hit_rate == 0.0
+        assert metrics.snapshot()["counters"] == {}
+        assert "unknown_layer" not in metrics.render()
+
+    def test_cache_stats_still_reads_live_counters(self):
+        metrics = MetricsRegistry()
+        metrics.increment("layer.hits", 3)
+        metrics.increment("layer.misses", 1)
+        stats = metrics.cache_stats("layer")
+        assert stats.hits == 3 and stats.misses == 1
+        assert stats.hit_rate == pytest.approx(0.75)
+        # The read created nothing: evictions stays unmaterialised.
+        assert "layer.evictions" not in metrics.snapshot()["counters"]
+
+
+class TestHistogramPercentiles:
+    def test_empty_histogram_percentiles_are_zero(self):
+        histogram = Histogram("empty")
+        assert histogram.percentile(0.5) == 0.0
+        summary = histogram.summary()
+        assert summary["p50"] == summary["p95"] == summary["p99"] == 0.0
+
+    def test_quantile_validation(self):
+        histogram = Histogram("h")
+        with pytest.raises(ValueError):
+            histogram.percentile(0.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+
+    def test_single_observation_is_exact(self):
+        histogram = Histogram("h")
+        histogram.observe(0.042)
+        for quantile in (0.5, 0.95, 0.99, 1.0):
+            assert histogram.percentile(quantile) == pytest.approx(0.042)
+
+    def test_percentiles_are_monotonic_and_bounded(self):
+        histogram = Histogram("h")
+        values = [0.0004, 0.003, 0.007, 0.02, 0.08, 0.3, 0.7, 2.0, 20.0, 100.0]
+        for value in values:
+            histogram.observe(value)
+        estimates = [histogram.percentile(q) for q in (0.25, 0.5, 0.75, 0.95, 1.0)]
+        assert estimates == sorted(estimates)
+        assert all(min(values) <= e <= max(values) for e in estimates)
+
+    def test_interpolation_lands_inside_target_bucket(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.6, 3.0):
+            histogram.observe(value)
+        # Rank 2 of 4 falls in the (1.0, 2.0] bucket.
+        assert 1.0 <= histogram.percentile(0.5) <= 2.0
+        # Rank 3.8 falls in the (2.0, 4.0] bucket.
+        assert 2.0 <= histogram.percentile(0.95) <= 4.0
+
+    def test_overflow_bucket_interpolates_to_observed_max(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        for value in (0.5, 10.0, 10.0, 10.0):
+            histogram.observe(value)
+        assert histogram.percentile(0.99) <= 10.0
+        assert histogram.percentile(0.99) > 1.0
+
+    def test_render_includes_percentiles(self):
+        metrics = MetricsRegistry()
+        metrics.observe("latency", 0.01)
+        lines = metrics.render().splitlines()
+        line = next(entry for entry in lines if entry.startswith("latency"))
+        assert "p50=" in line and "p95=" in line and "p99=" in line

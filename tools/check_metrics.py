@@ -1,0 +1,143 @@
+"""Metric/span catalog check: the source and OBSERVABILITY.md must agree.
+
+Scans ``src/`` for every metric name passed to the registry's emission
+methods (``increment`` / ``observe`` / ``set_gauge`` / ``adjust_gauge``
+and the sharded stores' ``_record`` shorthand) and every span name opened
+via ``span(...)`` / ``Tracer.trace(...)`` / ``RemoteTrace(...)``, then
+checks both directions against the catalog tables in
+``docs/OBSERVABILITY.md``:
+
+* a name emitted in the source but missing from the catalog fails —
+  undocumented telemetry is invisible telemetry;
+* a catalog row no longer emitted anywhere fails — stale documentation
+  is worse than none.
+
+F-string segments (``f"gateway.backend.{self.name}.queue_depth"``) and
+catalog placeholders (``gateway.backend.<backend>.queue_depth``) both
+normalise to ``*`` and match by ``fnmatch`` in either direction, so one
+catalog row covers a templated family.  Only dotted names count as
+metrics (``_record("suggest")`` in the agents layer is an LLM call
+counter, not registry telemetry); span names are taken verbatim.
+
+Run locally::
+
+    python tools/check_metrics.py
+"""
+
+from __future__ import annotations
+
+import re
+from fnmatch import fnmatch
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CATALOG = REPO_ROOT / "docs" / "OBSERVABILITY.md"
+
+# Emission calls whose first string argument is a metric name.  The name
+# may sit on the line after the call (black wraps long calls), so the
+# pattern crosses newlines.
+METRIC_CALL = re.compile(
+    r"\.(?:increment|observe|set_gauge|adjust_gauge|_record)\(\s*(f?)\"([^\"]+)\"",
+)
+
+# Span-opening calls whose string argument is a span name.
+SPAN_CALL = re.compile(
+    r"(?:(?<!\w)span|\.trace|RemoteTrace)\(\s*(?:[\w.\[\]]+,\s*)?\"([^\"]+)\"",
+)
+
+#: Catalog sections whose table rows are authoritative name lists.
+METRIC_SECTIONS = ("Metric catalog", "Counters", "Gauges", "Histograms")
+SPAN_SECTIONS = ("Span taxonomy",)
+
+FSTRING_FIELD = re.compile(r"\{[^{}]*\}")
+PLACEHOLDER = re.compile(r"<[^<>]+>")
+TABLE_NAME = re.compile(r"^\|\s*`([^`]+)`")
+HEADING = re.compile(r"^#{2,3}\s+(.*)$")
+
+
+def normalise(name: str) -> str:
+    """Collapse f-string fields and ``<placeholder>`` segments to ``*``."""
+    return PLACEHOLDER.sub("*", FSTRING_FIELD.sub("*", name))
+
+
+def emitted_names() -> tuple[set[str], set[str]]:
+    """(metric names, span names) actually emitted under ``src/``."""
+    metrics: set[str] = set()
+    spans: set[str] = set()
+    for path in sorted((REPO_ROOT / "src").rglob("*.py")):
+        text = path.read_text()
+        for _, name in METRIC_CALL.findall(text):
+            name = normalise(name)
+            if "." in name:
+                metrics.add(name)
+        for name in SPAN_CALL.findall(text):
+            spans.add(normalise(name))
+    # cache_stats() reads hits/misses/evictions under a caller-chosen
+    # prefix; the emitting sites are the caches' f-string increments,
+    # already collected above.
+    return metrics, spans
+
+
+def catalog_names() -> tuple[set[str], set[str]]:
+    """(metric names, span names) listed in the OBSERVABILITY.md tables."""
+    metrics: set[str] = set()
+    spans: set[str] = set()
+    section = None
+    for line in CATALOG.read_text().splitlines():
+        heading = HEADING.match(line)
+        if heading:
+            section = heading.group(1).strip()
+            continue
+        row = TABLE_NAME.match(line)
+        if not row:
+            continue
+        name = normalise(row.group(1))
+        if section in METRIC_SECTIONS:
+            metrics.add(name)
+        elif section in SPAN_SECTIONS:
+            spans.add(name)
+    return metrics, spans
+
+
+def match_either(name: str, other: str) -> bool:
+    """True when either side's wildcards cover the other."""
+    return fnmatch(name, other) or fnmatch(other, name)
+
+
+def uncovered(names: set[str], against: set[str]) -> list[str]:
+    return sorted(
+        name
+        for name in names
+        if not any(match_either(name, candidate) for candidate in against)
+    )
+
+
+def main() -> int:
+    if not CATALOG.exists():
+        print(f"Metrics catalog check FAILED: {CATALOG} does not exist")
+        return 1
+    emitted_metrics, emitted_spans = emitted_names()
+    listed_metrics, listed_spans = catalog_names()
+    problems: list[str] = []
+    for name in uncovered(emitted_metrics, listed_metrics):
+        problems.append(f"metric emitted in src/ but not in the catalog: {name}")
+    for name in uncovered(listed_metrics, emitted_metrics):
+        problems.append(f"metric in the catalog but never emitted: {name}")
+    for name in uncovered(emitted_spans, listed_spans):
+        problems.append(f"span emitted in src/ but not in the taxonomy: {name}")
+    for name in uncovered(listed_spans, emitted_spans):
+        problems.append(f"span in the taxonomy but never emitted: {name}")
+    if problems:
+        print("Metrics catalog check FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(
+        f"Metrics catalog check passed "
+        f"({len(emitted_metrics)} metrics, {len(emitted_spans)} spans)."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
