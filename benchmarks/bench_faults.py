@@ -1,0 +1,163 @@
+"""Fault-tolerance costs: disarmed-site overhead and worker-kill recovery.
+
+Three numbers for the reliability layer (see ``docs/RELIABILITY.md``):
+
+* ``fault_point_ns`` — cost of one *disarmed* fault-site consultation
+  (the price production pays for the chaos harness existing at all; it
+  should stay within a few tens of nanoseconds);
+* ``baseline_ms`` — median process-backend request latency with no fault
+  armed (every request is a cache miss: the corpus churns between
+  requests, so this is the real dispatch + replica-replay + compute path);
+* ``recovery_ms`` — the same request with the worker killed on arrival
+  (``FaultPlan.crash("replica.dispatch")``): pool respawn + envelope
+  redispatch + compute, measured to first OK response.
+
+The enforced ratio is ``recovery_efficiency = baseline_ms / recovery_ms``
+— dimensionless and within-run.  It is dominated by process-spawn cost,
+which varies with core count and platform, so the regression gate only
+enforces it when the committed baseline came from a machine with the same
+``cpu_count`` (the JSON carries it in config).  Result identity against a
+fault-free platform is asserted on every recovery repeat.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py               # full run
+    PYTHONPATH=src python benchmarks/bench_faults.py --repeats 3   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import Mileena, SearchRequest  # noqa: E402
+from repro.datasets import CorpusSpec, generate_corpus  # noqa: E402
+from repro.faults import FaultPlan, arm, disarm, fault_point  # noqa: E402
+from repro.serving import Gateway, GatewayConfig  # noqa: E402
+
+SPEC = CorpusSpec(num_datasets=14, requester_rows=110, provider_rows=110, seed=7)
+INITIAL = 8
+FAULT_POINT_CALLS = 200_000
+
+
+def fresh_platform(corpus) -> Mileena:
+    platform = Mileena.sharded(num_shards=2)
+    for relation in corpus.providers[:INITIAL]:
+        platform.register_dataset(relation)
+    return platform
+
+
+def result_signature(result):
+    return (
+        tuple((c.kind, c.dataset, c.join_key) for c in result.plan.candidates),
+        result.proxy_test_r2,
+        result.final_test_r2,
+    )
+
+
+def bench_fault_point_ns() -> float:
+    """Per-call cost of a disarmed fault site, in nanoseconds."""
+    disarm()
+    fault_point("bench.site")  # warm the call path
+    start = time.perf_counter()
+    for _ in range(FAULT_POINT_CALLS):
+        fault_point("bench.site")
+    elapsed = time.perf_counter() - start
+    return elapsed / FAULT_POINT_CALLS * 1e9
+
+
+def churn(platform, corpus) -> None:
+    """Bump the corpus epoch so the next request misses the result cache.
+
+    Registering and removing a spare provider leaves the corpus exactly as
+    it was (same datasets, same order), so every request computes the same
+    answer while the epoch-scoped cache key changes.
+    """
+    spare = corpus.providers[INITIAL]
+    platform.register_dataset(spare)
+    platform.corpus.remove(spare.name)
+
+
+def bench_recovery(corpus, request, repeats: int, seed: int) -> dict:
+    platform = fresh_platform(corpus)
+    expected = result_signature(fresh_platform(corpus).search(request))
+    config = GatewayConfig(max_workers=2, process_workers=1, backend="process")
+    baseline_samples: list[float] = []
+    recovery_samples: list[float] = []
+    with Gateway(platform, config) as gateway:
+        gateway.run_many([request])  # warm the pool and the engine structures
+        for _ in range(repeats):
+            churn(platform, corpus)
+            start = time.perf_counter()
+            response = gateway.run_many([request])[0]
+            baseline_samples.append((time.perf_counter() - start) * 1000.0)
+            assert response.ok, response.error
+        restarts_before = gateway.metrics.counter_value("faults.replica_restarts")
+        for repeat in range(repeats):
+            churn(platform, corpus)
+            arm(FaultPlan(seed=seed + repeat).crash("replica.dispatch", on_hit=1))
+            try:
+                start = time.perf_counter()
+                response = gateway.run_many([request])[0]
+                recovery_samples.append((time.perf_counter() - start) * 1000.0)
+            finally:
+                disarm()
+            assert response.ok, response.error
+            assert result_signature(response.result) == expected
+        restarts = gateway.metrics.counter_value("faults.replica_restarts")
+    assert restarts - restarts_before >= repeats
+    baseline_ms = statistics.median(baseline_samples)
+    recovery_ms = statistics.median(recovery_samples)
+    return {
+        "baseline_ms": round(baseline_ms, 2),
+        "recovery_ms": round(recovery_ms, 2),
+        "replica_restarts": int(restarts - restarts_before),
+        "speedup": {
+            "recovery_efficiency": round(baseline_ms / recovery_ms, 3),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_faults.json",
+    )
+    args = parser.parse_args(argv)
+
+    corpus = generate_corpus(SPEC)
+    request = SearchRequest(
+        train=corpus.train,
+        test=corpus.test,
+        target=corpus.target,
+        max_augmentations=2,
+    )
+    report = {
+        "benchmark": "faults",
+        "config": {
+            "repeats": args.repeats,
+            "seed": args.seed,
+            "cpu_count": os.cpu_count(),
+            "fault_point_calls": FAULT_POINT_CALLS,
+        },
+        "fault_point_ns": round(bench_fault_point_ns(), 1),
+        "results": [bench_recovery(corpus, request, args.repeats, args.seed)],
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,7 +1,7 @@
 """Benchmark-regression gate: smoke benches vs the committed baselines.
 
-The repo carries measured perf numbers (``BENCH_discovery.json``,
-``BENCH_gateway.json``) as tracked artifacts.  This script keeps them
+The repo carries measured perf numbers (the tracked ``BENCH_*.json``
+artifacts) as baselines.  This script keeps them
 honest: it runs the *smoke* configuration of each benchmark and fails
 (exit 1) when a speedup ratio drops more than ``--tolerance`` (default
 30%) below the committed baseline.
@@ -98,6 +98,25 @@ def persist_ratios(report: dict) -> dict[str, float]:
         f"persist[{smallest['datasets']}].{name}": value
         for name, value in smallest.get("speedup", {}).items()
     }
+
+
+def faults_ratios(report: dict) -> dict[str, float]:
+    """Recovery-efficiency ratios from the fault-tolerance benchmark."""
+    ratios: dict[str, float] = {}
+    for entry in report.get("results", []):
+        for name, value in entry.get("speedup", {}).items():
+            ratios[f"faults.{name}"] = value
+    return ratios
+
+
+def faults_enforceable(baseline_report: dict, current_report: dict):
+    """Recovery efficiency is dominated by process-spawn cost, which
+    scales with machine and core count, so it is enforced only when the
+    committed baseline came from a machine with the same cpu_count."""
+    base_cpus = baseline_report.get("config", {}).get("cpu_count")
+    now_cpus = current_report.get("config", {}).get("cpu_count")
+    same_cores = base_cpus is not None and base_cpus == now_cpus
+    return lambda name: same_cores
 
 
 def gateway_ratios(report: dict) -> dict[str, float]:
@@ -211,6 +230,17 @@ def main(argv: list[str] | None = None) -> int:
             args.out_dir / "bench_persist_smoke.json",
             persist_ratios,
         ),
+        # Worker-kill recovery vs clean dispatch.  The ratio is
+        # within-run and dimensionless but dominated by process-spawn
+        # cost, so it is only enforced when the baseline machine matches
+        # (see faults_enforceable).
+        (
+            "bench_faults.py",
+            ["--repeats", "3"],
+            REPO_ROOT / "BENCH_faults.json",
+            args.out_dir / "bench_faults_smoke.json",
+            faults_ratios,
+        ),
     ]
 
     all_failures: list[str] = []
@@ -227,11 +257,12 @@ def main(argv: list[str] | None = None) -> int:
         current_report = json.loads(smoke_path.read_text())
         baseline = extract(baseline_report)
         current = extract(current_report)
-        enforce = (
-            gateway_enforceable(baseline_report, current_report)
-            if extract is gateway_ratios
-            else (lambda name: True)
-        )
+        if extract is gateway_ratios:
+            enforce = gateway_enforceable(baseline_report, current_report)
+        elif extract is faults_ratios:
+            enforce = faults_enforceable(baseline_report, current_report)
+        else:
+            enforce = lambda name: True  # noqa: E731
         print(f"\n-- {script} vs {baseline_path.name} (tolerance {args.tolerance:.0%})")
         lines, failures = compare(baseline, current, args.tolerance, enforce)
         print("\n".join(lines))

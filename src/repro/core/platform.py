@@ -205,6 +205,7 @@ class Mileena:
         clock: object | None = None,
         fsync: bool = False,
         metrics: object | None = None,
+        keep_snapshots: int = 2,
     ) -> object:
         """Keep this platform's state durable under ``directory``.
 
@@ -225,6 +226,7 @@ class Mileena:
             clock=clock,
             fsync=fsync,
             metrics=metrics if metrics is not None else self.metrics,
+            keep_snapshots=keep_snapshots,
         ).attach()
         return self.snapshots
 
@@ -272,41 +274,48 @@ class Mileena:
         return accepted
 
     # -- requester side -------------------------------------------------------------
-    def discover_candidates(self, request: SearchRequest) -> list[AugmentationCandidate]:
+    def discover_candidates(
+        self, request: SearchRequest, top_k: int | None = None
+    ) -> list[AugmentationCandidate]:
         """``Discover(R, ∪)`` and ``Discover(R, ⋈)`` for one request.
 
-        When a serving-layer cache is attached, the candidate list is
-        memoised on (train-relation fingerprint, join keys, corpus epoch):
-        requests sharing a requester relation skip re-profiling and
-        re-scanning, and any register/unregister bumps the epoch so stale
-        candidates are never served.
+        ``top_k`` overrides the platform's ``discovery_top_k`` for this
+        call (the gateway's degraded cheap path narrows the fan-out this
+        way).  When a serving-layer cache is attached, the candidate list
+        is memoised on (train-relation fingerprint, join keys, effective
+        top-k, corpus epoch): requests sharing a requester relation skip
+        re-profiling and re-scanning, and any register/unregister bumps
+        the epoch so stale candidates are never served.
         """
+        effective_top_k = top_k if top_k is not None else self.discovery_top_k
         if self.cache is None:
-            return self._discover_candidates(request)
+            return self._discover_candidates(request, effective_top_k)
         from repro.serving.fingerprint import relation_fingerprint
 
         key = (
             "discover",
             relation_fingerprint(request.train),
             tuple(request.join_keys),
-            self.discovery_top_k,
+            effective_top_k,
             self.corpus.epoch,
         )
         return self.cache.get_or_compute(
-            key, lambda: self._discover_candidates(request)
+            key, lambda: self._discover_candidates(request, effective_top_k)
         )
 
-    def _discover_candidates(self, request: SearchRequest) -> list[AugmentationCandidate]:
+    def _discover_candidates(
+        self, request: SearchRequest, top_k: int
+    ) -> list[AugmentationCandidate]:
         if self.metrics is not None:
             self.metrics.increment("platform.discoveries")
         with span("discovery.join") as join_span:
             join_candidates = self.corpus.discovery.join_candidates(
-                request.train, top_k=self.discovery_top_k
+                request.train, top_k=top_k
             )
             join_span.annotate(candidates=len(join_candidates))
         with span("discovery.union") as union_span:
             union_candidates = self.corpus.discovery.union_candidates(
-                request.train, top_k=self.discovery_top_k
+                request.train, top_k=top_k
             )
             union_span.annotate(candidates=len(union_candidates))
         candidates: list[AugmentationCandidate] = []
@@ -331,9 +340,17 @@ class Mileena:
         return candidates
 
     def search(
-        self, request: SearchRequest, train_final_model: bool = True
+        self,
+        request: SearchRequest,
+        train_final_model: bool = True,
+        discovery_top_k: int | None = None,
     ) -> SearchResult:
-        """Solve Problem 1 for one request."""
+        """Solve Problem 1 for one request.
+
+        ``discovery_top_k`` narrows the candidate fan-out for this call
+        only — the gateway's degraded mode serves a cheaper search this
+        way when the full-fidelity path is unavailable.
+        """
         timer = BudgetTimer(self.clock, request.time_budget_seconds)
         requester = Requester("requester", builder=self.builder)
         with span("compute.sketches"):
@@ -341,7 +358,7 @@ class Mileena:
         state = AugmentationState.from_sketches(
             request.target, sketches.train, sketches.test
         )
-        candidates = self.discover_candidates(request)
+        candidates = self.discover_candidates(request, top_k=discovery_top_k)
         search = GreedySketchSearch(
             store=self.corpus.sketches, proxy=self.proxy, clock=self.clock
         )

@@ -34,7 +34,12 @@ knob                 default    effect
 ===================  =========  ==============================================
 """
 
-from repro.persist.manager import SNAPSHOT_FILE, WAL_FILE, SnapshotManager
+from repro.persist.manager import (
+    SNAPSHOT_FILE,
+    WAL_FILE,
+    SnapshotManager,
+    quarantine_corrupt,
+)
 from repro.persist.snapshot import (
     FORMAT_VERSION,
     read_snapshot,
@@ -42,13 +47,15 @@ from repro.persist.snapshot import (
     snapshot_platform,
     write_snapshot,
 )
-from repro.persist.wal import MutationWAL, WalRecord, apply_records
+from repro.persist.wal import MutationWAL, WalRecord, apply_records, read_wal_records
 
 __all__ = [
     "SnapshotManager",
     "MutationWAL",
     "WalRecord",
     "apply_records",
+    "read_wal_records",
+    "quarantine_corrupt",
     "snapshot_platform",
     "restore_platform",
     "read_snapshot",

@@ -1,18 +1,27 @@
-"""Snapshot cadence management: re-snapshot, truncate, warm-start.
+"""Snapshot cadence management: re-snapshot, retain a chain, warm-start.
 
 :class:`SnapshotManager` owns one durable-state directory::
 
-    <directory>/snapshot.bin   the latest full snapshot (atomic replace)
-    <directory>/wal.bin        mutations since that snapshot
+    <directory>/snapshot.bin            the latest full snapshot (atomic replace)
+    <directory>/wal.bin                 mutations since that snapshot
+    <directory>/snapshot-<epoch>.bin    retained previous snapshot versions
+    <directory>/wal-<epoch>.bin         sealed WAL segments continuing them
+    <directory>/*.corrupt               quarantined files that failed checksum
 
 It subscribes to the corpus's mutation journal: every register /
 bulk-register / unregister is appended to the WAL *inside the corpus
 lock* (so the log can never miss or reorder a mutation), and when the
 cadence policy fires — every ``every_mutations`` mutations and/or every
 ``every_seconds`` seconds, evaluated at mutation time — the manager
-writes a fresh snapshot and truncates the WAL.  Restart is
+writes a fresh snapshot.  The superseded snapshot is *retained* (hard
+link, falling back to a copy) as ``snapshot-<epoch>.bin`` and the live
+WAL is sealed beside it as ``wal-<epoch>.bin``, keeping the last
+``keep_snapshots`` versions recoverable: each retained snapshot plus the
+segment chain after it replays to exactly the newest state.  Restart is
 ``SnapshotManager.load(directory)`` (or ``Mileena.load``): restore the
-snapshot, replay the WAL tail, continue.
+newest *verifiable* snapshot — a corrupt one is logged, quarantined to
+``<name>.corrupt``, and skipped in favour of the previous version — then
+replay the sealed segments and the live WAL tail on top.
 
 Listeners (the process backend) are notified after each snapshot with
 ``(path, epoch)`` so replica bootstrap state and envelope mutation logs
@@ -22,16 +31,58 @@ can be re-based onto the new snapshot; see
 
 from __future__ import annotations
 
+import logging
+import os
+import re
+import shutil
 from pathlib import Path
 
 from repro.core.clock import WallClock
-from repro.exceptions import PersistError
+from repro.exceptions import PersistError, SnapshotCorrupt
 from repro.obs import span
 from repro.persist.snapshot import read_snapshot, snapshot_platform, write_snapshot
-from repro.persist.wal import MutationWAL, apply_records
+from repro.persist.wal import MutationWAL, apply_records, read_wal_records
 
 SNAPSHOT_FILE = "snapshot.bin"
 WAL_FILE = "wal.bin"
+
+_VERSIONED_SNAPSHOT = re.compile(r"^snapshot-(\d{12})\.bin$")
+_SEALED_SEGMENT = re.compile(r"^wal-(\d{12})\.bin$")
+
+_LOG = logging.getLogger("repro.persist")
+
+
+def quarantine_corrupt(path: Path) -> Path:
+    """Rename a corrupt durable-state file to ``<name>.corrupt``.
+
+    The bytes are preserved for forensics but taken out of every future
+    load's candidate chain; an existing quarantine of the same name is
+    overwritten (the newer corruption is the interesting one).
+    """
+    target = path.with_name(path.name + ".corrupt")
+    with span("persist.snapshot_quarantine", path=str(path)):
+        os.replace(path, target)
+    return target
+
+
+def _versioned_snapshots(directory: Path) -> list[tuple[int, Path]]:
+    """Retained ``snapshot-<epoch>.bin`` files, oldest first."""
+    versions = []
+    for path in directory.iterdir():
+        match = _VERSIONED_SNAPSHOT.match(path.name)
+        if match:
+            versions.append((int(match.group(1)), path))
+    return sorted(versions)
+
+
+def _sealed_segments(directory: Path) -> list[tuple[int, Path]]:
+    """Sealed ``wal-<epoch>.bin`` segments, oldest first (by base epoch)."""
+    segments = []
+    for path in directory.iterdir():
+        match = _SEALED_SEGMENT.match(path.name)
+        if match:
+            segments.append((int(match.group(1)), path))
+    return sorted(segments)
 
 
 class SnapshotManager:
@@ -62,6 +113,12 @@ class SnapshotManager:
         Optional :class:`~repro.serving.metrics.MetricsRegistry`:
         ``persist.wal_records``, ``persist.snapshots``, and the
         ``persist.wal_length`` gauge land here.
+    keep_snapshots:
+        How many *previous* snapshot versions (and the sealed WAL
+        segments continuing them) to retain beside the newest one.  Each
+        retained version is a fallback if a newer snapshot file is found
+        corrupt at load time; ``0`` disables the chain (newest-only, the
+        pre-chain layout).
     """
 
     def __init__(
@@ -73,11 +130,15 @@ class SnapshotManager:
         clock: object | None = None,
         fsync: bool = False,
         metrics: object | None = None,
+        keep_snapshots: int = 2,
     ) -> None:
         if every_mutations is not None and every_mutations <= 0:
             raise PersistError("every_mutations must be positive (or None)")
         if every_seconds is not None and every_seconds <= 0:
             raise PersistError("every_seconds must be positive (or None)")
+        if keep_snapshots < 0:
+            raise PersistError("keep_snapshots must be non-negative")
+        self.keep_snapshots = keep_snapshots
         self.platform = platform
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -146,6 +207,17 @@ class SnapshotManager:
             return None
         try:
             epoch = read_snapshot(self.snapshot_path)["epoch"]
+        except SnapshotCorrupt as error:
+            # The live platform is authoritative here and will re-baseline
+            # the directory; keep the corrupt bytes for forensics.
+            quarantined = quarantine_corrupt(self.snapshot_path)
+            _LOG.warning(
+                "snapshot %s failed verification at attach (%s); quarantined as %s",
+                self.snapshot_path,
+                error,
+                quarantined.name,
+            )
+            return None
         except PersistError:
             return None
         self.snapshot_epoch = epoch
@@ -185,25 +257,34 @@ class SnapshotManager:
 
     # -- snapshotting ------------------------------------------------------------
     def snapshot(self) -> Path:
-        """Write a fresh snapshot now and truncate the WAL behind it.
+        """Write a fresh snapshot now; retain the superseded version.
 
         Safe both from the journal observer (corpus lock already held —
         ``frozen`` is re-entrant) and from any other thread: the whole
-        capture → write → truncate sequence runs under the corpus lock,
-        which is what makes concurrent snapshot calls and racing
+        retain → seal → capture → write sequence runs under the corpus
+        lock, which is what makes concurrent snapshot calls and racing
         mutations impossible to interleave with the file/WAL pair.  The
         cost is that *mutations* stall for the write's duration
         (``BENCH_persist.json``'s ``save_ms`` per corpus size — queries
         never take this lock); moving the write off the lock is a
         ROADMAP item, not worth the snapshot/WAL coherence risk here.
+
+        Crash windows: the previous snapshot is retained (hard link) and
+        the WAL sealed as its segment *before* the new ``snapshot.bin``
+        is published, so every intermediate state still replays to the
+        full mutation history — the chain loader walks newest-usable
+        snapshot plus every later segment, and the epoch guard in
+        :func:`~repro.persist.wal.apply_records` skips whatever the
+        restored snapshot already covers.
         """
         corpus = self.platform.corpus
         with corpus.frozen(), span("persist.snapshot_save") as save:
             sections = snapshot_platform(self.platform)
+            self._retain_previous()
             write_snapshot(self.snapshot_path, sections, fsync=self.fsync)
-            self.wal.truncate()
             self.snapshot_epoch = sections["epoch"]
             save.annotate(epoch=self.snapshot_epoch)
+            self._prune_chain()
             self._mutations_since = 0
             self._last_snapshot_time = self.clock.now()
             if self.metrics is not None:
@@ -213,20 +294,96 @@ class SnapshotManager:
                 listener(self.snapshot_path, self.snapshot_epoch)
         return self.snapshot_path
 
+    def _retain_previous(self) -> None:
+        """Link the outgoing snapshot into the chain and seal its WAL.
+
+        With ``keep_snapshots == 0``, or with no verified previous
+        snapshot (first write into a directory), the WAL is simply
+        truncated — the pre-chain behaviour.
+        """
+        previous_epoch = self.snapshot_epoch
+        if (
+            self.keep_snapshots > 0
+            and previous_epoch is not None
+            and self.snapshot_path.exists()
+        ):
+            retained = self.directory / f"snapshot-{previous_epoch:012d}.bin"
+            if not retained.exists():
+                try:
+                    os.link(self.snapshot_path, retained)
+                except OSError:
+                    # Filesystems without hard links (or cross-device
+                    # layouts) fall back to a byte copy.
+                    shutil.copy2(self.snapshot_path, retained)
+            self.wal.rotate(self.directory / f"wal-{previous_epoch:012d}.bin")
+        else:
+            self.wal.truncate()
+
+    def _prune_chain(self) -> None:
+        """Drop retained versions beyond ``keep_snapshots`` (and their segments)."""
+        versions = _versioned_snapshots(self.directory)
+        excess = versions[: -self.keep_snapshots] if self.keep_snapshots else versions
+        for _, path in excess:
+            path.unlink(missing_ok=True)
+        kept = versions[-self.keep_snapshots:] if self.keep_snapshots else []
+        oldest_kept = kept[0][0] if kept else None
+        for epoch, path in _sealed_segments(self.directory):
+            if oldest_kept is None or epoch < oldest_kept:
+                path.unlink(missing_ok=True)
+
     # -- restart -----------------------------------------------------------------
     @classmethod
     def load(cls, directory: str | Path):
-        """Restore a platform from ``directory``: snapshot + WAL tail replay.
+        """Restore a platform from ``directory``: snapshot chain + WAL replay.
 
-        Returns the warm platform.  A torn WAL tail (crash mid-append) is
-        dropped; records at or below the snapshot epoch (crash between
-        snapshot write and WAL truncation) are skipped by the epoch guard
-        in :func:`repro.persist.wal.apply_records`.
+        Walks the snapshot candidates newest first (``snapshot.bin``,
+        then the retained ``snapshot-<epoch>.bin`` versions).  A
+        candidate that fails verification is logged, quarantined to
+        ``<name>.corrupt``, and skipped — warm-start falls back to the
+        previous version in the chain instead of raising.  On top of the
+        restored snapshot every sealed WAL segment plus the live WAL is
+        replayed in epoch order, so whichever version survived, the
+        platform comes back at the newest journaled state.  A torn WAL
+        tail (crash mid-append) is dropped; records the snapshot already
+        covers are skipped by the epoch guard in
+        :func:`repro.persist.wal.apply_records`.
         """
         from repro.persist.snapshot import restore_platform
 
         directory = Path(directory)
-        platform = restore_platform(read_snapshot(directory / SNAPSHOT_FILE))
+        candidates: list[Path] = []
+        if (directory / SNAPSHOT_FILE).exists():
+            candidates.append(directory / SNAPSHOT_FILE)
+        candidates.extend(
+            path for _, path in reversed(_versioned_snapshots(directory))
+        )
+        if not candidates:
+            raise PersistError(f"{directory} holds no snapshot to restore")
+        platform = None
+        for candidate in candidates:
+            try:
+                sections = read_snapshot(candidate)
+            except SnapshotCorrupt as error:
+                quarantined = quarantine_corrupt(candidate)
+                _LOG.warning(
+                    "snapshot %s failed verification (%s); quarantined as %s, "
+                    "falling back to the previous version in the chain",
+                    candidate,
+                    error,
+                    quarantined.name,
+                )
+                continue
+            platform = restore_platform(sections)
+            break
+        if platform is None:
+            raise SnapshotCorrupt(
+                f"every snapshot in {directory} failed verification "
+                f"({len(candidates)} candidate(s) quarantined)"
+            )
+        # Sealed segments first (ascending base epoch), then the live WAL:
+        # together they continue whichever snapshot version survived.
+        for _, segment in _sealed_segments(directory):
+            apply_records(platform.corpus, read_wal_records(segment))
         wal_path = directory / WAL_FILE
         if wal_path.exists():
             wal = MutationWAL(wal_path)

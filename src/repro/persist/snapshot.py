@@ -36,7 +36,8 @@ import pickle
 import struct
 from pathlib import Path
 
-from repro.exceptions import PersistError
+from repro.exceptions import PersistError, SnapshotCorrupt
+from repro.faults.injector import fault_bytes
 from repro.obs import span
 
 SNAPSHOT_MAGIC = b"MILSNAP\x00"
@@ -56,11 +57,14 @@ def write_snapshot(path: str | Path, sections: dict, fsync: bool = True) -> int:
     header = _HEADER.pack(
         SNAPSHOT_MAGIC, FORMAT_VERSION, len(payload), hashlib.sha256(payload).digest()
     )
+    # Chaos-suite site: an armed truncate/corrupt plan mangles the blob
+    # here — *after* framing, so the published file fails verification
+    # exactly the way a torn disk write would.
+    blob = fault_bytes("snapshot.write", header + payload)
     tmp_path = path.with_name(f".{path.name}.tmp.{os.getpid()}")
     try:
         with open(tmp_path, "wb") as handle:
-            handle.write(header)
-            handle.write(payload)
+            handle.write(blob)
             handle.flush()
             if fsync:
                 os.fsync(handle.fileno())
@@ -80,10 +84,13 @@ def write_snapshot(path: str | Path, sections: dict, fsync: bool = True) -> int:
 def read_snapshot(path: str | Path) -> dict:
     """Read and verify a snapshot file; returns its sections dict.
 
-    Raises :class:`~repro.exceptions.PersistError` on a missing file, an
-    unknown magic or format version, a truncated payload, or a checksum
-    mismatch — a corrupt snapshot is refused outright rather than restored
-    into a subtly wrong platform.
+    Raises :class:`~repro.exceptions.SnapshotCorrupt` (a
+    :class:`~repro.exceptions.PersistError` subclass) on bad magic, a
+    truncated payload, or a checksum mismatch — a corrupt snapshot is
+    refused outright rather than restored into a subtly wrong platform,
+    and the typed subclass lets the chain loader quarantine the file and
+    fall back to the previous version.  A missing file or an unknown
+    format version raises plain ``PersistError`` (nothing to quarantine).
     """
     path = Path(path)
     try:
@@ -91,10 +98,10 @@ def read_snapshot(path: str | Path) -> dict:
     except OSError as error:
         raise PersistError(f"could not read snapshot {path}: {error}") from error
     if len(raw) < _HEADER.size:
-        raise PersistError(f"snapshot {path} is truncated (no complete header)")
+        raise SnapshotCorrupt(f"snapshot {path} is truncated (no complete header)")
     magic, version, length, checksum = _HEADER.unpack_from(raw)
     if magic != SNAPSHOT_MAGIC:
-        raise PersistError(f"{path} is not a Mileena snapshot (bad magic)")
+        raise SnapshotCorrupt(f"{path} is not a Mileena snapshot (bad magic)")
     if version != FORMAT_VERSION:
         raise PersistError(
             f"snapshot {path} has format version {version}; "
@@ -102,12 +109,12 @@ def read_snapshot(path: str | Path) -> dict:
         )
     payload = raw[_HEADER.size :]
     if len(payload) != length:
-        raise PersistError(
+        raise SnapshotCorrupt(
             f"snapshot {path} is truncated "
             f"({len(payload)} payload bytes, header declares {length})"
         )
     if hashlib.sha256(payload).digest() != checksum:
-        raise PersistError(f"snapshot {path} failed its checksum")
+        raise SnapshotCorrupt(f"snapshot {path} failed its checksum")
     return pickle.loads(payload)
 
 

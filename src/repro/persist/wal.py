@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import NamedTuple
 
 from repro.exceptions import PersistError
+from repro.faults.injector import fault_bytes
 from repro.obs import span
 
 WAL_MAGIC = b"MILWAL\x00\n"
@@ -116,7 +117,10 @@ class MutationWAL:
             encoded = pickle.dumps((epoch, op, payload), protocol=pickle.HIGHEST_PROTOCOL)
             frame = _FRAME.pack(len(encoded), zlib.crc32(encoded))
             try:
-                self._handle.write(frame + encoded)
+                # Chaos-suite site: an armed corrupt plan flips bytes in
+                # the framed record so replay sees exactly what a bad
+                # sector would produce (CRC mismatch, valid prefix kept).
+                self._handle.write(fault_bytes("wal.append", frame + encoded))
                 self._handle.flush()
                 if self.fsync:
                     os.fsync(self._handle.fileno())
@@ -143,6 +147,35 @@ class MutationWAL:
         self._handle = open(self.path, "ab")
         self._record_count = 0
         self._last_epoch = None
+
+    def rotate(self, to_path: str | Path) -> bool:
+        """Move the current log aside as a sealed segment; start a fresh one.
+
+        Used by the snapshot chain: when a new snapshot supersedes the
+        live WAL, the records are not discarded (as :meth:`truncate`
+        does) but sealed under ``to_path`` so a fallback to the *previous*
+        snapshot version can still replay them.  Returns False (and does
+        nothing) when the log holds no records.
+        """
+        if self._record_count == 0:
+            return False
+        to_path = Path(to_path)
+        self._handle.close()
+        try:
+            os.replace(self.path, to_path)
+        except OSError as error:
+            self._handle = open(self.path, "ab")
+            raise PersistError(
+                f"could not rotate WAL {self.path} to {to_path}: {error}"
+            ) from error
+        self._handle = open(self.path, "ab")
+        self._handle.write(WAL_MAGIC)
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self._record_count = 0
+        self._last_epoch = None
+        return True
 
     def close(self) -> None:
         self._handle.close()
@@ -176,6 +209,33 @@ class MutationWAL:
     def last_epoch(self) -> int | None:
         """Epoch of the newest record, or ``None`` when the log is empty."""
         return self._last_epoch
+
+
+def read_wal_records(path: str | Path) -> list[WalRecord]:
+    """Every valid-prefix record of the WAL (or sealed segment) at ``path``.
+
+    Purely read-only — unlike constructing a :class:`MutationWAL`, this
+    never truncates a torn tail or opens the file for appending, so it is
+    safe on sealed chain segments.  A missing file is an empty log.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    raw = path.read_bytes()
+    if not raw:
+        return []
+    if not raw.startswith(WAL_MAGIC):
+        if len(raw) < len(WAL_MAGIC) and WAL_MAGIC.startswith(raw):
+            return []  # torn mid-magic
+        raise PersistError(f"{path} is not a Mileena WAL (bad magic)")
+    records: list[WalRecord] = []
+    offset = len(WAL_MAGIC)
+    while offset < len(raw):
+        record, offset = MutationWAL._decode(raw, offset)
+        if record is None:
+            break
+        records.append(record)
+    return records
 
 
 def apply_records(corpus, records) -> int:

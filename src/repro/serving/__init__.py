@@ -53,6 +53,9 @@ _EXPORTS = {
     "AsyncBackend": ("repro.serving.backends", "AsyncBackend"),
     "BACKENDS": ("repro.serving.backends", "BACKENDS"),
     "resolve_backend": ("repro.serving.backends", "resolve_backend"),
+    "RetryPolicy": ("repro.serving.resilience", "RetryPolicy"),
+    "CircuitBreaker": ("repro.serving.resilience", "CircuitBreaker"),
+    "ResilientDispatch": ("repro.serving.resilience", "ResilientDispatch"),
     "ResultCache": ("repro.serving.cache", "ResultCache"),
     "CacheView": ("repro.serving.cache", "CacheView"),
     "SingleFlight": ("repro.serving.cache", "SingleFlight"),

@@ -45,12 +45,14 @@ import os
 import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import Protocol, runtime_checkable
 
 from repro.core.clock import BudgetTimer
 from repro.core.request import SearchRequest
-from repro.exceptions import BackendError
+from repro.exceptions import BackendError, BackendUnavailable, RequestTimeout
+from repro.faults.injector import pending_fault
 from repro.obs import RemoteTrace, attach_records, current_span, span
 from repro.serving.gateway import (
     EXPIRED,
@@ -214,6 +216,11 @@ class RequestEnvelope:
     #: roots its ``replica`` span tree at it and ships the records back in
     #: ``ComputeOutcome.spans`` so both sides stitch into one trace.
     trace: tuple | None = None
+    #: A :class:`~repro.faults.injector.FaultSpec` armed at the
+    #: ``replica.dispatch`` site in the *parent*, shipped along so the
+    #: worker performs it (crash / delay / raise) deterministically while
+    #: handling exactly this envelope.  ``None`` in production.
+    fault: object | None = None
 
 
 class PlatformReplica:
@@ -331,6 +338,10 @@ class PlatformReplica:
 
     def _execute(self, envelope: RequestEnvelope, remote: RemoteTrace) -> ComputeOutcome:
         pid = os.getpid()
+        if envelope.fault is not None:
+            # Parent-coordinated chaos: crash (os._exit), stall, or raise
+            # exactly where a real worker failure would surface.
+            envelope.fault.perform()
         reloaded = False
         with span("replica.replay") as replay:
             caught_up = self._replay(envelope)
@@ -475,6 +486,15 @@ class ProcessPoolBackend:
         # inverted.
         self._pending_snapshot: tuple | None = None
         self._log_lock = threading.Lock()
+        # Supervision state: the bootstrap spec and mp context are kept so
+        # a broken pool (dead worker) can be respawned; the generation
+        # counter makes restarts idempotent across racing orchestrator
+        # threads (only the thread that saw the still-current generation
+        # rebuilds — the rest just redispatch onto the fresh pool).
+        self._spec: PlatformSpec | None = None
+        self._mp_context = None
+        self._pool_generation = 0
+        self._restart_lock = threading.Lock()
 
     def start(self, gateway) -> None:
         self._gateway = gateway
@@ -507,23 +527,12 @@ class ProcessPoolBackend:
             if self.config.process_start_method
             else None
         )
+        self._spec = spec
+        self._mp_context = context
         # The process pool is created (and warmed) before any orchestration
         # thread exists, so fork-started workers never inherit a mid-request
         # parent thread.
-        self._pool = ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=context,
-            initializer=_bootstrap_replica,
-            initargs=(spec,),
-        )
-        if self.config.warm_start:
-            pids = list(self._pool.map(_replica_ready, range(workers)))
-            if not all(pids):
-                raise BackendError("process backend failed to bootstrap its replicas")
-            with self._log_lock:
-                for pid in pids:
-                    # Every worker bootstrapped at (at least) the base state.
-                    self._acked.setdefault(pid, spec.base_epoch)
+        self._pool = self._spawn_pool(spec)
         self._orchestrator = ThreadPoolExecutor(
             max_workers=self.config.max_workers,
             thread_name_prefix="gateway-orchestrator",
@@ -542,6 +551,74 @@ class ProcessPoolBackend:
     def _on_snapshot(self, path, epoch: int) -> None:
         """Snapshot-manager listener (runs inside the corpus lock)."""
         self._pending_snapshot = (str(path), epoch)
+
+    # -- supervision -------------------------------------------------------------
+    def _spawn_pool(self, spec: PlatformSpec) -> ProcessPoolExecutor:
+        """Build (and optionally warm) a replica pool from ``spec``."""
+        workers = self._workers
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=self._mp_context,
+            initializer=_bootstrap_replica,
+            initargs=(spec,),
+        )
+        if self.config.warm_start:
+            pids = list(pool.map(_replica_ready, range(workers)))
+            if not all(pids):
+                pool.shutdown(wait=False)
+                raise BackendError("process backend failed to bootstrap its replicas")
+            with self._log_lock:
+                for pid in pids:
+                    # Every worker bootstrapped at (at least) the base state.
+                    self._acked.setdefault(pid, spec.base_epoch)
+        return pool
+
+    def _ensure_pool(self, generation: int) -> None:
+        """Replace a broken pool; idempotent across racing dispatchers.
+
+        ``generation`` is the pool generation the caller dispatched
+        against — when another thread already swapped the pool, there is
+        nothing to do.  The replacement pool warm-starts from the newest
+        on-disk snapshot when one exists (replicas come back at its epoch
+        and replay only the envelope tail) and otherwise re-captures the
+        live platform, so recovered workers are result identical to the
+        crashed ones.
+        """
+        with self._restart_lock:
+            if self._pool_generation != generation:
+                return
+            gateway = self._gateway
+            with span("replica.restart") as restart:
+                old_pool = self._pool
+                with self._log_lock:
+                    pending = self._pending_snapshot
+                    if pending is not None and (
+                        self._snapshot_ref is None or pending[1] > self._snapshot_ref[1]
+                    ):
+                        self._snapshot_ref = pending
+                    snapshot = self._snapshot_ref
+                    # Dead workers never acknowledge again; their stale
+                    # entries would pin the log floor forever.
+                    self._acked = {}
+                if snapshot is not None:
+                    spec = replace(
+                        self._spec,
+                        registrations=(),
+                        base_epoch=snapshot[1],
+                        snapshot=snapshot,
+                    )
+                else:
+                    spec = platform_spec(gateway)
+                self._pool = self._spawn_pool(spec)
+                with self._log_lock:
+                    self._floor = max(self._floor, spec.base_epoch)
+                self._pool_generation += 1
+                restart.annotate(
+                    generation=self._pool_generation, epoch=spec.base_epoch
+                )
+            gateway.metrics.increment("faults.replica_restarts")
+            if old_pool is not None:
+                old_pool.shutdown(wait=False)
 
     def submit(
         self, request_id: int, request: SearchRequest, timer: BudgetTimer
@@ -608,6 +685,36 @@ class ProcessPoolBackend:
                 self._acked[outcome.worker] = outcome.epoch
 
     def _compute(self, request: SearchRequest, remaining: float | None) -> ComputeOutcome:
+        """Supervised dispatch: respawn a broken pool and redispatch.
+
+        A worker death (SIGKILL, ``os._exit``, OOM) surfaces as
+        :class:`BrokenProcessPool`; the in-flight envelope is not lost —
+        the pool is respawned (see :meth:`_ensure_pool`) and the envelope
+        re-dispatched up to ``GatewayConfig.redispatch_attempts`` times.
+        Computes are deterministic and side-effect free in the worker, so
+        re-dispatch is always safe.  With redispatch exhausted (or the
+        respawn itself failing) the parent computes locally — same answer,
+        GIL-bound speed — rather than failing the request.
+        """
+        gateway = self._gateway
+        attempts = max(0, gateway.config.redispatch_attempts)
+        for attempt in range(attempts + 1):
+            generation = self._pool_generation
+            try:
+                return self._dispatch_once(request, remaining)
+            except BrokenProcessPool:
+                try:
+                    self._ensure_pool(generation)
+                except Exception:  # noqa: BLE001 - respawn failed; fall back
+                    break
+                if attempt < attempts:
+                    gateway.metrics.increment("faults.redispatches")
+        gateway.metrics.increment("faults.local_fallbacks")
+        return gateway._compute_local(request, remaining)
+
+    def _dispatch_once(
+        self, request: SearchRequest, remaining: float | None
+    ) -> ComputeOutcome:
         gateway = self._gateway
         ops, expected_epoch, snapshot = self._sync_ops()
         # Cross-process trace propagation: the caller is the gateway's
@@ -625,6 +732,7 @@ class ProcessPoolBackend:
             ops=ops,
             snapshot=snapshot,
             trace=trace_ref,
+            fault=pending_fault("replica.dispatch"),
         )
         gateway.metrics.adjust_gauge(f"gateway.backend.{self.name}.inflight_computes", 1)
         started = gateway.clock.now()
@@ -759,11 +867,19 @@ class AsyncBackend:
                 if hit is not None:
                     lookup.annotate(outcome="hit")
                     return hit
+                early = gateway._degrade_early(request_id, request, timer, waited)
+                if early is not None:
+                    lookup.annotate(outcome="degraded")
+                    return early
                 flight, leading = gateway._flights.begin(key)
                 if not leading:
                     lookup.annotate(outcome="coalesced")
                     return await self._join_flight(flight, request_id, timer, waited)
                 lookup.annotate(outcome="miss")
+        else:
+            early = gateway._degrade_early(request_id, request, timer, waited)
+            if early is not None:
+                return early
         remaining = timer.remaining() if timer.budget_seconds is not None else None
         started = gateway.clock.now()
         try:
@@ -777,11 +893,30 @@ class AsyncBackend:
                 outcome = await self._loop.run_in_executor(
                     self._compute_pool,
                     ctx.run,
+                    gateway.resilience.run,
                     gateway._compute_local,
                     request,
                     remaining,
+                    timer,
                 )
                 dispatch.annotate(epoch=outcome.epoch, stale=outcome.stale)
+        except (RequestTimeout, BackendUnavailable) as error:
+            # The degraded ladder can recompute (CPU-bound), so it runs on
+            # the compute executor too, under the captured span context.
+            fallback_ctx = contextvars.copy_context()
+            return await self._loop.run_in_executor(
+                self._compute_pool,
+                fallback_ctx.run,
+                gateway._dispatch_failed,
+                request_id,
+                key,
+                request,
+                timer,
+                waited,
+                flight,
+                leading,
+                error,
+            )
         except BaseException as error:
             gateway._abort_flight(key, flight, leading, error)
             raise

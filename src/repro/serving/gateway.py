@@ -42,11 +42,18 @@ from repro.core.clock import BudgetTimer, WallClock
 from repro.core.platform import Mileena, SearchResult
 from repro.core.request import SearchRequest
 from repro.core.service import AutoMLServiceResult, MileenaAutoMLService
-from repro.exceptions import AdmissionError
+from repro.exceptions import (
+    AdmissionError,
+    BackendUnavailable,
+    DegradedResult,
+    RequestTimeout,
+)
+from repro.faults.injector import fault_point
 from repro.obs import TraceBuffer, Tracer, span
 from repro.serving.cache import CachingProxy, ResultCache, SingleFlight
 from repro.serving.fingerprint import request_fingerprint
 from repro.serving.metrics import MetricsRegistry
+from repro.serving.resilience import CircuitBreaker, ResilientDispatch, RetryPolicy
 
 OK = "ok"
 REJECTED = "rejected"
@@ -130,6 +137,39 @@ class GatewayConfig:
         evicted first); ``Gateway.ops_report()`` renders the slowest of
         them and ``gateway.tracer.buffer.export_jsonl(path)`` dumps the
         window for offline analysis.  See ``docs/OBSERVABILITY.md``.
+    retry_max_attempts:
+        Total dispatch attempts (first try included) for *transient*
+        failures (:class:`~repro.exceptions.TransientError` subclasses);
+        deterministic errors never retry.  Retries back off exponentially
+        from ``retry_backoff_seconds`` with ``retry_jitter`` spread
+        (``retry_jitter_seed`` pins the jitter for deterministic tests)
+        and never sleep past the request's budget.
+    hedge_after_seconds:
+        When set, a dispatch still outstanding after this long races a
+        second identical compute and the first result wins — a tail-
+        latency bound against one pathologically slow worker or shard.
+        ``None`` (default) disables hedging.
+    breaker_failure_threshold / breaker_recovery_seconds:
+        The per-backend circuit breaker: this many consecutive dispatch
+        failures open it, converting further requests into fast typed
+        :class:`~repro.exceptions.BackendUnavailable` rejections until a
+        half-open probe succeeds after the recovery window.
+    degraded_fallback:
+        Serve degraded responses (marked ``degraded=True``) instead of
+        failing when the primary path is unavailable: last-known-good
+        results from a fingerprint-keyed cache, or — for an open breaker
+        in search mode — a reduced-fidelity local recompute at
+        ``degraded_top_k`` discovery fan-out with no final-model
+        training.  See ``docs/RELIABILITY.md``.
+    degrade_pressure_seconds:
+        Deadline-pressure threshold: a budgeted request arriving with
+        less than this much budget left is served straight from the
+        last-known-good cache when possible (``None`` disables the
+        pressure check).
+    redispatch_attempts:
+        Process backend only: how many times a broken-pool dispatch is
+        re-sent to freshly respawned replicas before falling back to a
+        parent-local compute.
 
     Discovery-side knobs (``use_lsh``, ``lsh_bands``, ``target_recall``,
     ``multi_probe``, the index-level ``cache_capacity``) live on the
@@ -158,6 +198,17 @@ class GatewayConfig:
     trace_sample_rate: float = 0.1
     slow_trace_seconds: float = 1.0
     trace_buffer_capacity: int = 256
+    retry_max_attempts: int = 2
+    retry_backoff_seconds: float = 0.05
+    retry_jitter: float = 0.5
+    retry_jitter_seed: int | None = None
+    hedge_after_seconds: float | None = None
+    breaker_failure_threshold: int = 8
+    breaker_recovery_seconds: float = 5.0
+    degraded_fallback: bool = True
+    degraded_top_k: int = 8
+    degrade_pressure_seconds: float | None = None
+    redispatch_attempts: int = 2
 
 
 @dataclass
@@ -189,7 +240,14 @@ class ComputeOutcome:
 
 @dataclass
 class GatewayResponse:
-    """Outcome of one gateway request."""
+    """Outcome of one gateway request.
+
+    ``degraded=True`` marks a response served by a fallback path (the
+    last-known-good cache or a reduced-fidelity recompute) because the
+    primary dispatch was unavailable — the result may be stale or
+    truncated relative to a full-fidelity answer, and callers that cannot
+    tolerate that should treat it as a failure.
+    """
 
     request_id: int
     status: str
@@ -198,6 +256,7 @@ class GatewayResponse:
     cache_hit: bool = False
     waited_seconds: float = 0.0
     service_seconds: float = 0.0
+    degraded: bool = False
 
     @property
     def ok(self) -> bool:
@@ -287,6 +346,37 @@ class Gateway:
         if choice is None:
             choice = "thread"
         self.backend = resolve_backend(choice, self.config)
+        # Resilience wrapper around the dispatch stage: retry policy,
+        # per-backend circuit breaker, optional hedging (see
+        # repro.serving.resilience and docs/RELIABILITY.md).
+        self.resilience = ResilientDispatch(
+            policy=RetryPolicy(
+                max_attempts=self.config.retry_max_attempts,
+                backoff_seconds=self.config.retry_backoff_seconds,
+                jitter=self.config.retry_jitter,
+                seed=self.config.retry_jitter_seed,
+            ),
+            breaker=CircuitBreaker(
+                name=getattr(self.backend, "name", "unknown"),
+                clock=self.clock,
+                failure_threshold=self.config.breaker_failure_threshold,
+                recovery_seconds=self.config.breaker_recovery_seconds,
+                metrics=self.metrics,
+            ),
+            hedge_after_seconds=self.config.hedge_after_seconds,
+            hedge_workers=max(2, self.config.max_workers),
+            metrics=self.metrics,
+        )
+        # Last-known-good results for graceful degradation: keyed on
+        # (mode, request fingerprint) with *no* epoch scoping — a
+        # degraded response is allowed to be stale, that is its contract.
+        self._lkg: ResultCache | None = None
+        if self.config.degraded_fallback:
+            self._lkg = ResultCache(
+                capacity=self.config.cache_capacity,
+                metrics=self.metrics,
+                name="lkg_cache",
+            )
         self.backend.start(self)
 
     @property
@@ -352,6 +442,7 @@ class Gateway:
 
     # -- lifecycle -------------------------------------------------------------
     def shutdown(self, wait: bool = True) -> None:
+        self.resilience.shutdown()
         self.backend.shutdown(wait=wait)
 
     def __enter__(self) -> "Gateway":
@@ -445,6 +536,7 @@ class Gateway:
         raced it, the stamp no longer matches the cache key's epoch and the
         result is served but not cached.
         """
+        fault_point("gateway.compute")
         scoped = replace(request, time_budget_seconds=remaining)
         with span("compute"):
             if self.config.run_automl:
@@ -511,6 +603,10 @@ class Gateway:
         """Shared post-compute tail: record, cache (stamp-checked), hand off."""
         self.metrics.observe("gateway.service_seconds", service_seconds)
         self._store(key, timer, outcome)
+        if self._lkg is not None and key is not None and not timer.expired():
+            # Last-known-good is keyed without budget or epoch: a degraded
+            # response may serve a stale result, but never a truncated one.
+            self._lkg.put((key[0], key[1]), outcome.result)
         if leading:
             self._flights.finish(key, flight, outcome.result)
         self.metrics.increment("gateway.ok")
@@ -605,17 +701,29 @@ class Gateway:
                 if hit is not None:
                     lookup.annotate(outcome="hit")
                     return hit
+                early = self._degrade_early(request_id, request, timer, waited)
+                if early is not None:
+                    lookup.annotate(outcome="degraded")
+                    return early
                 flight, leading = self._flights.begin(key)
                 if not leading:
                     lookup.annotate(outcome="coalesced")
                     return self._join_flight(key, flight, request_id, timer, waited)
                 lookup.annotate(outcome="miss")
+        else:
+            early = self._degrade_early(request_id, request, timer, waited)
+            if early is not None:
+                return early
         remaining = timer.remaining() if timer.budget_seconds is not None else None
         started = self.clock.now()
         try:
             with span("dispatch") as dispatch:
-                outcome = compute(request, remaining)
+                outcome = self.resilience.run(compute, request, remaining, timer)
                 dispatch.annotate(epoch=outcome.epoch, stale=outcome.stale)
+        except (RequestTimeout, BackendUnavailable) as error:
+            return self._dispatch_failed(
+                request_id, key, request, timer, waited, flight, leading, error
+            )
         except BaseException as error:
             self._abort_flight(key, flight, leading, error)
             raise
@@ -629,3 +737,128 @@ class Gateway:
             leading,
             self.clock.now() - started,
         )
+
+    # -- graceful degradation ---------------------------------------------------
+    def _degrade_early(
+        self, request_id: int, request: SearchRequest, timer: BudgetTimer, waited: float
+    ) -> GatewayResponse | None:
+        """Serve last-known-good up front when the deadline is already tight.
+
+        Only fires when ``degrade_pressure_seconds`` is configured, the
+        request carries a budget, and less than that threshold remains —
+        i.e. a full compute would almost certainly blow the deadline, so a
+        stale-but-instant answer beats a late rejection.
+        """
+        threshold = self.config.degrade_pressure_seconds
+        if threshold is None or self._lkg is None:
+            return None
+        if timer.budget_seconds is None or timer.remaining() > threshold:
+            return None
+        return self._lkg_response(request_id, request, waited, reason="pressure")
+
+    def _lkg_response(
+        self,
+        request_id: int,
+        request: SearchRequest,
+        waited: float,
+        reason: str,
+    ) -> GatewayResponse | None:
+        """A degraded response from the last-known-good cache, or None."""
+        if self._lkg is None:
+            return None
+        cached = self._lkg.get((self.mode, request_fingerprint(request)), _MISS)
+        if cached is _MISS:
+            return None
+        with span("request.degraded", reason=reason, source="lkg_cache"):
+            self.metrics.increment("gateway.degraded")
+        self.metrics.increment("gateway.ok")
+        return GatewayResponse(
+            request_id,
+            OK,
+            result=cached,
+            cache_hit=True,
+            degraded=True,
+            waited_seconds=waited,
+        )
+
+    def _degraded_compute(
+        self,
+        request_id: int,
+        request: SearchRequest,
+        timer: BudgetTimer,
+        waited: float,
+        reason: str,
+    ) -> GatewayResponse | None:
+        """A reduced-recall in-process search as a degraded fallback.
+
+        Probes far fewer discovery candidates (``degraded_top_k``) and
+        skips final-model training, trading recall for a fast answer in
+        this process while the backend is unavailable.  Any failure here
+        returns None — the caller falls through to a typed failure.
+        """
+        if self._lkg is None or self.config.run_automl:
+            return None
+        remaining = timer.remaining() if timer.budget_seconds is not None else None
+        scoped = replace(request, time_budget_seconds=remaining)
+        try:
+            with span("request.degraded", reason=reason, source="reduced_search"):
+                result = self.platform.search(
+                    scoped,
+                    train_final_model=False,
+                    discovery_top_k=self.config.degraded_top_k,
+                )
+        except Exception:  # noqa: BLE001 - degraded path must never raise
+            return None
+        self.metrics.increment("gateway.degraded")
+        self.metrics.increment("gateway.ok")
+        return GatewayResponse(
+            request_id,
+            OK,
+            result=result,
+            degraded=True,
+            waited_seconds=waited,
+        )
+
+    def _dispatch_failed(
+        self,
+        request_id: int,
+        key,
+        request: SearchRequest,
+        timer: BudgetTimer,
+        waited: float,
+        flight: Future | None,
+        leading: bool,
+        error: Exception,
+    ) -> GatewayResponse:
+        """Typed dispatch failure: try the degraded ladder, then fail fast.
+
+        Followers coalesced behind this flight get the original error (a
+        degraded response is private to the request that produced it — it
+        was never epoch-stamped, so it must not feed the flight table or
+        the result cache).
+        """
+        self._abort_flight(key, flight, leading, error)
+        timed_out = isinstance(error, RequestTimeout)
+        reason = "timeout" if timed_out else "backend_unavailable"
+        fallback = self._lkg_response(request_id, request, waited, reason=reason)
+        if fallback is not None:
+            return fallback
+        if not timed_out:
+            fallback = self._degraded_compute(
+                request_id, request, timer, waited, reason
+            )
+            if fallback is not None:
+                return fallback
+        if timed_out:
+            self.metrics.increment("gateway.expired")
+            return GatewayResponse(
+                request_id,
+                EXPIRED,
+                error=str(error) or "deadline expired during dispatch",
+                waited_seconds=waited,
+            )
+        failure = DegradedResult(
+            f"backend dispatch failed and no degraded fallback was available: {error}"
+        )
+        failure.__cause__ = error
+        return self._failed(request_id, failure)

@@ -1,0 +1,23 @@
+"""Workload helpers shared by the chaos scenarios (importable by name)."""
+
+from repro.core import Mileena
+
+INITIAL = 8
+
+
+def fresh_platform(corpus, **kwargs):
+    platform = Mileena.sharded(num_shards=2, **kwargs)
+    for relation in corpus.providers[:INITIAL]:
+        platform.register_dataset(relation)
+    return platform
+
+
+def result_identity(result):
+    """A bit-exact fingerprint of a search result (plan + trained model)."""
+    report = result.final_report
+    return (
+        tuple((c.kind, c.dataset, c.join_key) for c in result.plan.candidates),
+        result.proxy_test_r2,
+        report.model.model_.intercept,
+        report.model.model_.coefficients.tobytes(),
+    )

@@ -1,0 +1,46 @@
+"""Shared fixtures for the deterministic chaos suite.
+
+Every scenario follows the same shape: compute a no-fault baseline, arm a
+seeded :class:`~repro.faults.FaultPlan`, re-run the workload through the
+fault, and assert the recovered result is *bit-identical* to the
+baseline.  ``CHAOS_SEED`` (CI runs 7, 11, 23) seeds the plans, so the
+corruption positions and jitter differ per run while the assertions stay
+exact.
+"""
+
+import os
+
+import pytest
+
+from repro.core import SearchRequest
+from repro.datasets import CorpusSpec, generate_corpus
+from repro.faults import disarm
+
+_SPEC = CorpusSpec(num_datasets=14, requester_rows=110, provider_rows=110, seed=7)
+
+
+@pytest.fixture(scope="session")
+def chaos_seed() -> int:
+    return int(os.environ.get("CHAOS_SEED", "7"))
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return generate_corpus(_SPEC)
+
+
+@pytest.fixture(scope="session")
+def request_for(corpus):
+    return SearchRequest(
+        train=corpus.train,
+        test=corpus.test,
+        target=corpus.target,
+        max_augmentations=2,
+    )
+
+
+@pytest.fixture(autouse=True)
+def always_disarm():
+    """No plan may outlive its test — the tier-1 suite runs fault free."""
+    yield
+    disarm()
