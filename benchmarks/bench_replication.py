@@ -1,0 +1,220 @@
+"""Primary/follower read scaling: the replicated backend vs a flat primary.
+
+The replication claim is narrow and falsifiable: on a multi-core box, N
+follower processes tailing the primary's WAL serve a *distinct* read
+workload (unique requester relations — no cache, no coalescing, pure
+compute) at ≥2x the sequential single-process rate, while staying
+bit-identical to it.  Two workloads:
+
+* ``distinct`` — the read-scaling regime the gate measures; every request
+  pays full discovery + greedy search, so throughput tracks how many
+  followers compute in parallel;
+* ``popular`` — a small repeating task pool, where the gateway's cache
+  and coalescing already win and replication must at least not regress.
+
+Result identity against the sequential baseline is asserted on **every**
+repeat before any timing is trusted — a fast wrong answer fails the
+bench, not the gate.  Numbers land in ``BENCH_replication.json``; the CI
+gate (``check_regression.py --only replication``) enforces
+``distinct_speedup ≥ 2.0`` only on runners with ≥4 cores and records
+``cpu_count`` so single-core boxes stay honest instead of flaky.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_replication.py          # full run
+    PYTHONPATH=src python benchmarks/bench_replication.py --smoke  # CI config
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from _corpus import distinct_requests, popular_requests  # noqa: E402
+from repro.core import Mileena  # noqa: E402
+from repro.datasets import CorpusSpec, generate_corpus  # noqa: E402
+from repro.serving import Gateway, GatewayConfig  # noqa: E402
+
+REPLICATION_COUNTERS = (
+    "replication.reads",
+    "replication.stale_reads",
+    "replication.primary_fallbacks",
+    "replication.redispatches",
+    "replication.follower_restarts",
+)
+
+
+def fresh_platform(corpus, num_shards: int) -> Mileena:
+    platform = Mileena.sharded(num_shards=num_shards)
+    for relation in corpus.providers:
+        platform.register_dataset(relation)
+    return platform
+
+
+def result_signature(result):
+    """The fields the replicated topology must reproduce exactly."""
+    return (
+        tuple((c.kind, c.dataset, c.join_key) for c in result.plan.candidates),
+        result.proxy_test_r2,
+        result.final_test_r2,
+    )
+
+
+def run_sequential(corpus, requests, num_shards: int):
+    platform = fresh_platform(corpus, num_shards)
+    started = time.perf_counter()
+    results = [platform.search(request) for request in requests]
+    return results, time.perf_counter() - started
+
+
+def run_replicated(corpus, requests, followers: int, workers: int, num_shards: int):
+    """One timed pass through a replicated gateway (followers pre-warmed)."""
+    with tempfile.TemporaryDirectory(prefix="bench-replication-") as state_dir:
+        config = GatewayConfig(
+            backend="replicated",
+            snapshot_dir=state_dir,
+            follower_count=followers,
+            max_workers=workers,
+            max_pending=max(64, 2 * len(requests)),
+        )
+        with Gateway(fresh_platform(corpus, num_shards), config) as gateway:
+            started = time.perf_counter()
+            responses = gateway.run_many(requests)
+            elapsed = time.perf_counter() - started
+            counters = gateway.metrics.snapshot()["counters"]
+            ops = gateway.ops_report(slowest=2)
+    return responses, elapsed, counters, ops
+
+
+def bench_workload(corpus, name, requests, args, ops_reports):
+    """Best-of-``repeats`` timing; identity asserted on every repeat."""
+    sequential_seconds = float("inf")
+    for _ in range(args.repeats):
+        sequential_results, seconds = run_sequential(corpus, requests, args.num_shards)
+        sequential_seconds = min(sequential_seconds, seconds)
+    expected = [result_signature(result) for result in sequential_results]
+
+    seconds = float("inf")
+    for _ in range(args.repeats):
+        responses, sample_seconds, counters, ops = run_replicated(
+            corpus, requests, args.followers, args.workers, args.num_shards
+        )
+        statuses = [response.status for response in responses]
+        assert statuses == ["ok"] * len(responses), (name, statuses)
+        got = [result_signature(response.result) for response in responses]
+        assert got == expected, f"{name}: replicated responses diverge from sequential"
+        seconds = min(seconds, sample_seconds)
+    ops_reports.append(f"### {name} / replicated\n{ops}")
+    return {
+        "workload": name,
+        "requests": len(requests),
+        "sequential_seconds": round(sequential_seconds, 4),
+        "sequential_rps": round(len(requests) / sequential_seconds, 4),
+        "replicated_seconds": round(seconds, 4),
+        "replicated_rps": round(len(requests) / seconds, 4),
+        "speedup_vs_sequential": round(sequential_seconds / seconds, 3),
+        "counters": {
+            key: int(counters.get(key, 0)) for key in REPLICATION_COUNTERS
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--followers", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--num-shards", type=int, default=4)
+    parser.add_argument("--num-datasets", type=int, default=40)
+    parser.add_argument("--popular-requests", type=int, default=16)
+    parser.add_argument("--distinct-requests", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small CI configuration (fewer datasets and requests)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_replication.json",
+    )
+    parser.add_argument(
+        "--ops-out",
+        type=Path,
+        default=None,
+        help="where to write the ops/trace reports "
+        "(default: <out> with an _ops.txt suffix)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.num_datasets = 30
+        args.popular_requests = 8
+        args.distinct_requests = 8
+
+    corpus = generate_corpus(
+        CorpusSpec(
+            num_datasets=args.num_datasets,
+            requester_rows=200,
+            provider_rows=200,
+            seed=args.seed,
+        )
+    )
+    workloads = [
+        ("distinct", distinct_requests(corpus, args.distinct_requests)),
+        ("popular", popular_requests(corpus, args.popular_requests)),
+    ]
+    report = {
+        "benchmark": "replication",
+        "config": {
+            "cpu_count": os.cpu_count(),
+            "followers": args.followers,
+            "workers": args.workers,
+            "num_shards": args.num_shards,
+            "num_datasets": args.num_datasets,
+            "popular_requests": args.popular_requests,
+            "distinct_requests": args.distinct_requests,
+            "smoke": args.smoke,
+            "repeats": args.repeats,
+        },
+        "results": [],
+    }
+    print(
+        f"replicated backend on {os.cpu_count()} cores, "
+        f"{args.followers} followers, {args.num_datasets} datasets"
+    )
+    ops_reports: list[str] = []
+    for name, requests in workloads:
+        entry = bench_workload(corpus, name, requests, args, ops_reports)
+        report["results"].append(entry)
+        print(
+            f"{name:>9}: sequential {entry['sequential_rps']:.2f} req/s, "
+            f"replicated {entry['replicated_rps']:.2f} req/s "
+            f"({entry['speedup_vs_sequential']:.2f}x), "
+            f"reads={entry['counters']['replication.reads']} "
+            f"stale={entry['counters']['replication.stale_reads']}"
+        )
+    by_name = {entry["workload"]: entry for entry in report["results"]}
+    report["summary"] = {
+        "distinct_speedup": by_name["distinct"]["speedup_vs_sequential"],
+        "popular_speedup": by_name["popular"]["speedup_vs_sequential"],
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    ops_out = args.ops_out
+    if ops_out is None:
+        ops_out = args.out.with_name(args.out.stem + "_ops.txt")
+    ops_out.write_text("\n\n".join(ops_reports) + "\n")
+    print(f"wrote {ops_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,13 +15,22 @@ gateway's *distinct*-workload ratios (parallel compute, scales with
 cores) are enforced only when the baseline was recorded on a machine with
 the same cpu_count.
 
+One gate carries an *absolute* floor on top of the baseline comparison:
+``replication.distinct_speedup`` must stay ≥ 2.0 — the headline
+primary/follower read-scaling claim — enforced only on runners with ≥ 4
+cores (parallel speedup needs them; smaller boxes report the measurement
+and move on, like the ``faults.recovery_efficiency`` machine gate).
+
 CI wires this up after the test job and skips it when the commit message
 contains ``[bench-skip]``; the smoke JSONs are uploaded as workflow
-artifacts either way (see ``.github/workflows/ci.yml``).
+artifacts either way (see ``.github/workflows/ci.yml``).  The replication
+bench has its own CI job (it spawns follower fleets), so the default
+selection excludes it — ``--only replication`` runs it alone.
 
 Run locally::
 
     PYTHONPATH=src python benchmarks/check_regression.py --out-dir /tmp/bench_smoke
+    PYTHONPATH=src python benchmarks/check_regression.py --only replication
 """
 
 from __future__ import annotations
@@ -119,6 +128,63 @@ def faults_enforceable(baseline_report: dict, current_report: dict):
     return lambda name: same_cores
 
 
+def replication_ratios(report: dict) -> dict[str, float]:
+    """Read-scaling ratios from the replication benchmark's summary."""
+    summary = report.get("summary", {})
+    return {f"replication.{name}": value for name, value in summary.items()}
+
+
+def replication_enforceable(baseline_report: dict, current_report: dict):
+    """Both replication ratios measure parallel compute across follower
+    processes and scale with cores, so the baseline comparison holds only
+    between machines with the same cpu_count.  (The absolute ≥2x floor is
+    gated separately in :func:`replication_floor_failures`.)"""
+    base_cpus = baseline_report.get("config", {}).get("cpu_count")
+    now_cpus = current_report.get("config", {}).get("cpu_count")
+    same_cores = base_cpus is not None and base_cpus == now_cpus
+    return lambda name: same_cores
+
+
+REPLICATION_MIN_SPEEDUP = 2.0
+REPLICATION_MIN_CORES = 4
+
+
+def replication_floor_failures(report: dict) -> tuple[list[str], list[str]]:
+    """The headline claim: replicated reads ≥ 2x sequential on the
+    *distinct* workload.
+
+    Unlike the relative comparisons above, this is an absolute floor on
+    the current run — a committed baseline cannot ratchet it down.
+    Parallel speedup needs cores, so it is enforced only on runners with
+    ≥ ``REPLICATION_MIN_CORES`` CPUs (the CI replication job pins one);
+    smaller boxes print the measurement and skip, mirroring the
+    ``faults.recovery_efficiency`` machine gate.
+    """
+    cpus = report.get("config", {}).get("cpu_count") or 0
+    measured = report.get("summary", {}).get("distinct_speedup")
+    name = "replication.distinct_speedup"
+    if measured is None:
+        return [], [f"{name}: missing from the current smoke report"]
+    if cpus < REPLICATION_MIN_CORES:
+        return [
+            f"  {name:<48} floor={REPLICATION_MIN_SPEEDUP:>8.2f} "
+            f"measured={measured:>8.2f}  (only {cpus} core(s), "
+            f"≥{REPLICATION_MIN_CORES} required — not enforced)"
+        ], []
+    status = "ok" if measured >= REPLICATION_MIN_SPEEDUP else "BELOW FLOOR"
+    lines = [
+        f"  {name:<48} floor={REPLICATION_MIN_SPEEDUP:>8.2f} "
+        f"measured={measured:>8.2f}  {status}"
+    ]
+    failures: list[str] = []
+    if measured < REPLICATION_MIN_SPEEDUP:
+        failures.append(
+            f"{name}: measured {measured:.2f} below the absolute "
+            f"{REPLICATION_MIN_SPEEDUP:.1f}x floor on a {cpus}-core runner"
+        )
+    return lines, failures
+
+
 def gateway_ratios(report: dict) -> dict[str, float]:
     ratios: dict[str, float] = {}
     for entry in report.get("results", []):
@@ -194,6 +260,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="compare existing smoke JSONs in --out-dir instead of running",
     )
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated bench names to check (e.g. 'replication' or "
+        "'discovery,gateway'); the default selection runs every bench "
+        "except 'replication', which has a dedicated CI job",
+    )
     args = parser.parse_args(argv)
     args.out_dir.mkdir(parents=True, exist_ok=True)
 
@@ -202,6 +275,7 @@ def main(argv: list[str] | None = None) -> int:
         # 3-repeat median was noisy enough to trip the 30% tolerance on a
         # healthy build.
         (
+            "discovery",
             "bench_discovery.py",
             ["--sizes", "100", "--repeats", "10"],
             REPO_ROOT / "BENCH_discovery.json",
@@ -214,6 +288,7 @@ def main(argv: list[str] | None = None) -> int:
         # with the cache-hit fraction and is only comparable between runs
         # of the *same* request mix.
         (
+            "gateway",
             "bench_gateway.py",
             [],
             REPO_ROOT / "BENCH_gateway.json",
@@ -224,6 +299,7 @@ def main(argv: list[str] | None = None) -> int:
         # the smoke size compares across machines like the discovery
         # ratios do.
         (
+            "persist",
             "bench_persist.py",
             ["--sizes", "100", "--repeats", "10"],
             REPO_ROOT / "BENCH_persist.json",
@@ -235,16 +311,42 @@ def main(argv: list[str] | None = None) -> int:
         # cost, so it is only enforced when the baseline machine matches
         # (see faults_enforceable).
         (
+            "faults",
             "bench_faults.py",
             ["--repeats", "3"],
             REPO_ROOT / "BENCH_faults.json",
             args.out_dir / "bench_faults_smoke.json",
             faults_ratios,
         ),
+        # Primary/follower read scaling.  Spawns follower process fleets,
+        # so it runs in its own CI job via --only replication; the
+        # distinct-workload ratio additionally carries the absolute ≥2x
+        # floor (see replication_floor_failures).
+        (
+            "replication",
+            "bench_replication.py",
+            ["--smoke"],
+            REPO_ROOT / "BENCH_replication.json",
+            args.out_dir / "bench_replication_smoke.json",
+            replication_ratios,
+        ),
     ]
 
+    known = {name for name, *_ in benches}
+    if args.only:
+        selected = {name.strip() for name in args.only.split(",") if name.strip()}
+        unknown = selected - known
+        if unknown:
+            parser.error(
+                f"unknown bench name(s) {sorted(unknown)}; choose from {sorted(known)}"
+            )
+    else:
+        selected = known - {"replication"}
+
     all_failures: list[str] = []
-    for script, extra, baseline_path, smoke_path, extract in benches:
+    for name, script, extra, baseline_path, smoke_path, extract in benches:
+        if name not in selected:
+            continue
         if not baseline_path.exists():
             print(f"-- {script}: no committed baseline at {baseline_path.name}, skipping")
             continue
@@ -261,6 +363,8 @@ def main(argv: list[str] | None = None) -> int:
             enforce = gateway_enforceable(baseline_report, current_report)
         elif extract is faults_ratios:
             enforce = faults_enforceable(baseline_report, current_report)
+        elif extract is replication_ratios:
+            enforce = replication_enforceable(baseline_report, current_report)
         else:
             enforce = lambda name: True  # noqa: E731
         print(f"\n-- {script} vs {baseline_path.name} (tolerance {args.tolerance:.0%})")
@@ -272,6 +376,11 @@ def main(argv: list[str] | None = None) -> int:
             if recall_lines:
                 print("\n".join(recall_lines))
             all_failures.extend(recall_failures)
+        if extract is replication_ratios:
+            floor_lines, floor_failures = replication_floor_failures(current_report)
+            if floor_lines:
+                print("\n".join(floor_lines))
+            all_failures.extend(floor_failures)
 
     if all_failures:
         print("\nBenchmark regression gate FAILED:")

@@ -39,6 +39,8 @@ from repro.persist.manager import (
     WAL_FILE,
     SnapshotManager,
     quarantine_corrupt,
+    sealed_segments,
+    versioned_snapshots,
 )
 from repro.persist.snapshot import (
     FORMAT_VERSION,
@@ -47,15 +49,24 @@ from repro.persist.snapshot import (
     snapshot_platform,
     write_snapshot,
 )
-from repro.persist.wal import MutationWAL, WalRecord, apply_records, read_wal_records
+from repro.persist.wal import (
+    MutationWAL,
+    WalRecord,
+    WalTailer,
+    apply_records,
+    read_wal_records,
+)
 
 __all__ = [
     "SnapshotManager",
     "MutationWAL",
     "WalRecord",
+    "WalTailer",
     "apply_records",
     "read_wal_records",
     "quarantine_corrupt",
+    "sealed_segments",
+    "versioned_snapshots",
     "snapshot_platform",
     "restore_platform",
     "read_snapshot",

@@ -65,24 +65,40 @@ def quarantine_corrupt(path: Path) -> Path:
     return target
 
 
-def _versioned_snapshots(directory: Path) -> list[tuple[int, Path]]:
-    """Retained ``snapshot-<epoch>.bin`` files, oldest first."""
+def versioned_snapshots(directory: str | Path) -> list[tuple[int, Path]]:
+    """Retained ``(epoch, snapshot-<epoch>.bin)`` pairs, oldest first.
+
+    Public because the replication follower walks the same chain the
+    loader does when it has to re-bootstrap past a pruned WAL.
+    """
     versions = []
-    for path in directory.iterdir():
+    for path in Path(directory).iterdir():
         match = _VERSIONED_SNAPSHOT.match(path.name)
         if match:
             versions.append((int(match.group(1)), path))
     return sorted(versions)
 
 
-def _sealed_segments(directory: Path) -> list[tuple[int, Path]]:
-    """Sealed ``wal-<epoch>.bin`` segments, oldest first (by base epoch)."""
+def sealed_segments(directory: str | Path) -> list[tuple[int, Path]]:
+    """Sealed ``(base epoch, wal-<epoch>.bin)`` pairs, oldest first.
+
+    The base epoch is the epoch of the snapshot the segment *continues*
+    (its first record is ``base + 1``).  Followers replay segments in this
+    order on top of whatever snapshot they restored, then tail the live
+    WAL — the epoch guard in :func:`~repro.persist.wal.apply_records`
+    skips anything already covered.
+    """
     segments = []
-    for path in directory.iterdir():
+    for path in Path(directory).iterdir():
         match = _SEALED_SEGMENT.match(path.name)
         if match:
             segments.append((int(match.group(1)), path))
     return sorted(segments)
+
+
+# Backwards-compatible internal aliases (pre-replication private names).
+_versioned_snapshots = versioned_snapshots
+_sealed_segments = sealed_segments
 
 
 class SnapshotManager:
@@ -150,6 +166,7 @@ class SnapshotManager:
         self.wal = MutationWAL(self.wal_path, fsync=fsync)
         self.snapshot_epoch: int | None = None
         self._listeners: list = []
+        self._seal_listeners: list = []
         self._mutations_since = 0
         self._last_snapshot_time = self.clock.now()
         self._attached = False
@@ -225,12 +242,36 @@ class SnapshotManager:
         return last if last is not None and last > epoch else epoch
 
     def add_listener(self, listener) -> None:
-        """``listener(path, epoch)`` fires after every snapshot write."""
+        """``listener(path, epoch)`` fires after every snapshot write.
+
+        This is the *publish* hook: the path is the freshly replaced
+        ``snapshot.bin`` and the epoch is the corpus state it captures.
+        The process backend re-bases its envelope mutation log on it; the
+        replicated backend records it so respawned followers warm-start
+        from the newest image.
+        """
         self._listeners.append(listener)
 
     def remove_listener(self, listener) -> None:
         if listener in self._listeners:
             self._listeners.remove(listener)
+
+    def add_seal_listener(self, listener) -> None:
+        """``listener(path, base_epoch)`` fires after a WAL segment is sealed.
+
+        The *seal* hook: when a cadence snapshot supersedes the live WAL,
+        the log is rotated aside as ``wal-<base_epoch>.bin`` (the segment
+        continuing snapshot ``base_epoch``) and this fires with its path.
+        Fired inside the corpus lock, like the journal feed — listeners
+        must be fast and must not mutate the corpus.  Followers in other
+        processes do not need it (they discover segments by scanning the
+        directory); it exists for primary-side bookkeeping and telemetry.
+        """
+        self._seal_listeners.append(listener)
+
+    def remove_seal_listener(self, listener) -> None:
+        if listener in self._seal_listeners:
+            self._seal_listeners.remove(listener)
 
     # -- journaling --------------------------------------------------------------
     def _observe(self, epoch: int, op: str, payload: object) -> None:
@@ -315,7 +356,10 @@ class SnapshotManager:
                     # Filesystems without hard links (or cross-device
                     # layouts) fall back to a byte copy.
                     shutil.copy2(self.snapshot_path, retained)
-            self.wal.rotate(self.directory / f"wal-{previous_epoch:012d}.bin")
+            sealed_path = self.directory / f"wal-{previous_epoch:012d}.bin"
+            if self.wal.rotate(sealed_path):
+                for listener in list(self._seal_listeners):
+                    listener(sealed_path, previous_epoch)
         else:
             self.wal.truncate()
 

@@ -1,0 +1,43 @@
+"""Primary/follower WAL-shipping replication for read scaling.
+
+The durable-state layer (:mod:`repro.persist`) already journals every
+corpus mutation to an append-only WAL and maintains a snapshot chain;
+this package stretches that log across processes:
+
+* :mod:`repro.replication.follower` — :class:`FollowerReplica`, a
+  read-only platform copy in a worker process that warm-starts from the
+  snapshot chain and catches up to any primary epoch by replaying sealed
+  segments and tailing the live WAL
+  (:class:`~repro.persist.wal.WalTailer`);
+* :mod:`repro.replication.backend` — :class:`ReplicatedBackend`, the
+  gateway execution backend that keeps mutations on the primary and
+  round-robins reads across N followers, with a per-follower circuit
+  breaker, respawn-and-redispatch on follower death, and a primary-local
+  fallback so the degraded ladder above it never changes.
+
+Select it like any other backend: ``Gateway(platform,
+GatewayConfig(backend="replicated", snapshot_dir=...))`` or
+``Mileena.sharded(backend="replicated", snapshot_dir=...)``.  The
+durable directory is mandatory — it *is* the replication transport.
+
+Topology and failure semantics: ``docs/ARCHITECTURE.md`` ("WAL-shipping
+replication") and ``docs/RELIABILITY.md``; every ``replication.*``
+metric and span is catalogued in ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.replication.backend import (
+    REPLICATED,
+    FollowerHandle,
+    ReadEnvelope,
+    ReplicatedBackend,
+)
+from repro.replication.follower import FollowerReplica, FollowerSpec
+
+__all__ = [
+    "REPLICATED",
+    "ReplicatedBackend",
+    "ReadEnvelope",
+    "FollowerHandle",
+    "FollowerReplica",
+    "FollowerSpec",
+]

@@ -1,0 +1,334 @@
+"""The primary half of WAL-shipping replication: the replicated backend.
+
+:class:`ReplicatedBackend` is an execution backend (see
+:mod:`repro.serving.backends`) for read scaling:
+
+* **mutations** stay on the primary — the gateway's platform *is* the
+  primary, and its attached :class:`~repro.persist.SnapshotManager`
+  journals every corpus mutation to the shared durable directory (that
+  journal is the replication stream; nothing else is shipped);
+* **reads** are load-balanced round-robin across N follower processes,
+  each a :class:`~repro.replication.follower.FollowerReplica` that
+  warm-started from the snapshot chain and catches up to the request's
+  epoch by tailing the WAL.  Outcomes are epoch-stamped exactly like
+  every other backend's, so the gateway's cache-poisoning rules apply
+  unchanged; a follower that cannot reach the epoch reports ``stale``
+  and the primary recomputes locally;
+* **failures** ride the PR 7 resilience layer: each follower has its own
+  circuit breaker (an unhealthy follower is skipped by the router until
+  its recovery window), a follower death (``BrokenProcessPool``) is
+  healed by respawning that one follower and redispatching to a
+  sibling, and with every follower out the backend falls back to a
+  primary-local compute — the degraded ladder above it is untouched.
+
+Orchestration (admission, cache, coalescing, deadlines, retry/breaker/
+hedging) stays in the parent's threads, identical to the process
+backend; only the read computation crosses the process boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+
+from repro.core.clock import BudgetTimer
+from repro.core.request import SearchRequest
+from repro.exceptions import BackendError, ReplicationError
+from repro.faults.injector import pending_fault
+from repro.obs import attach_records, current_span, span
+from repro.replication.follower import (
+    FollowerSpec,
+    _bootstrap_follower,
+    _execute_read,
+    _follower_ready,
+)
+from repro.serving.gateway import ComputeOutcome, GatewayConfig, GatewayResponse
+from repro.serving.resilience import CircuitBreaker
+
+REPLICATED = "replicated"
+
+
+@dataclass
+class ReadEnvelope:
+    """A picklable read request shipped to a follower process.
+
+    Deliberately lean next to the process backend's
+    :class:`~repro.serving.backends.RequestEnvelope`: there is **no
+    mutation log and no snapshot ref** — all state flows through the
+    durable directory, so the envelope only carries the request and the
+    primary epoch (``expected_epoch``) the follower must catch up to.
+    """
+
+    mode: str
+    request: SearchRequest
+    budget_seconds: float | None
+    expected_epoch: int
+    #: ``(trace_id, parent_span_id)`` of the live ``dispatch`` span, or
+    #: ``None`` when untraced; the follower roots its span tree at it.
+    trace: tuple | None = None
+    #: A :class:`~repro.faults.injector.FaultSpec` armed at the
+    #: ``follower.dispatch`` site in the parent, performed in the worker.
+    fault: object | None = None
+
+
+class FollowerHandle:
+    """One follower process: its pool, its breaker, its respawn latch."""
+
+    def __init__(
+        self,
+        index: int,
+        spec: FollowerSpec,
+        mp_context,
+        breaker: CircuitBreaker,
+    ) -> None:
+        self.index = index
+        self.spec = spec
+        self.breaker = breaker
+        self._mp_context = mp_context
+        self._pool: ProcessPoolExecutor | None = None
+        self.generation = 0
+        self._lock = threading.Lock()
+
+    def start(self) -> None:
+        self._pool = self._spawn()
+
+    def _spawn(self) -> ProcessPoolExecutor:
+        pool = ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=self._mp_context,
+            initializer=_bootstrap_follower,
+            initargs=(self.spec,),
+        )
+        if self.spec.warm_start:
+            pid = next(iter(pool.map(_follower_ready, range(1))))
+            if not pid:
+                pool.shutdown(wait=False)
+                raise BackendError(
+                    f"follower {self.index} failed to bootstrap from "
+                    f"{self.spec.directory}"
+                )
+        return pool
+
+    def dispatch(self, envelope: ReadEnvelope) -> ComputeOutcome:
+        return self._pool.submit(_execute_read, envelope).result()
+
+    def respawn(self, generation: int) -> None:
+        """Replace a dead follower process; idempotent across racing callers."""
+        with self._lock:
+            if self.generation != generation:
+                return
+            with span("replication.follower_restart", follower=self.index) as restart:
+                old_pool = self._pool
+                self._pool = self._spawn()
+                self.generation += 1
+                restart.annotate(generation=self.generation)
+            if old_pool is not None:
+                old_pool.shutdown(wait=False)
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+
+
+class ReplicatedBackend:
+    """Primary/follower read scaling over a shared durable directory."""
+
+    name = REPLICATED
+
+    def __init__(self, config: GatewayConfig) -> None:
+        self.config = config
+        self._gateway = None
+        self._handles: list[FollowerHandle] = []
+        self._orchestrator: ThreadPoolExecutor | None = None
+        self._next = 0
+        self._pick_lock = threading.Lock()
+
+    def start(self, gateway) -> None:
+        self._gateway = gateway
+        manager = getattr(gateway, "snapshots", None)
+        if manager is None:
+            raise ReplicationError(
+                "the replicated backend ships state through the durable "
+                "directory; configure GatewayConfig.snapshot_dir (or build "
+                "the platform with Mileena.sharded(snapshot_dir=...))"
+            )
+        # Publish a fresh image so followers warm-start at the *current*
+        # corpus state instead of replaying the whole live WAL.
+        manager.snapshot()
+        manager.add_seal_listener(self._on_seal)
+        spec = FollowerSpec(
+            directory=str(manager.directory),
+            search_fraction=gateway.service.search_fraction,
+            automl_splits=gateway.service.automl_splits,
+            poll_seconds=self.config.follower_poll_seconds,
+            catchup_timeout_seconds=self.config.follower_catchup_timeout_seconds,
+            cache_proxy_scores=self.config.cache_proxy_scores,
+            warm_start=self.config.warm_start,
+        )
+        context = (
+            multiprocessing.get_context(self.config.process_start_method)
+            if self.config.process_start_method
+            else None
+        )
+        count = max(1, self.config.follower_count)
+        self._handles = [
+            FollowerHandle(
+                index,
+                spec,
+                context,
+                # metrics=None: state changes of a *follower* breaker must
+                # not collide with the gateway-level breaker's
+                # ``gateway.breaker.state`` gauge; follower health is
+                # visible through the replication.* counters instead.
+                CircuitBreaker(
+                    name=f"follower-{index}",
+                    clock=gateway.clock,
+                    failure_threshold=self.config.breaker_failure_threshold,
+                    recovery_seconds=self.config.breaker_recovery_seconds,
+                    metrics=None,
+                ),
+            )
+            for index in range(count)
+        ]
+        # Followers boot before any orchestration thread exists, so
+        # fork-started workers never inherit a mid-request parent thread.
+        for handle in self._handles:
+            handle.start()
+        gateway.metrics.set_gauge("replication.followers", len(self._handles))
+        self._orchestrator = ThreadPoolExecutor(
+            max_workers=self.config.max_workers,
+            thread_name_prefix="gateway-replication",
+        )
+
+    def _on_seal(self, path, base_epoch: int) -> None:
+        """Seal hook (inside the corpus lock): one more segment shipped."""
+        self._gateway.metrics.increment("replication.segments_sealed")
+
+    # -- serve pipeline ----------------------------------------------------------
+    def submit(
+        self, request_id: int, request: SearchRequest, timer: BudgetTimer
+    ) -> Future:
+        submitted_at = self._gateway.clock.now()
+        self._gateway.metrics.adjust_gauge(f"gateway.backend.{self.name}.queue_depth", 1)
+        return self._orchestrator.submit(
+            self._run, request_id, request, timer, submitted_at
+        )
+
+    def _run(
+        self,
+        request_id: int,
+        request: SearchRequest,
+        timer: BudgetTimer,
+        submitted_at: float,
+    ) -> GatewayResponse:
+        gateway = self._gateway
+        gateway.metrics.observe(
+            f"gateway.backend.{self.name}.dispatch_seconds",
+            gateway.clock.now() - submitted_at,
+        )
+        try:
+            return gateway._serve(request_id, request, timer, self._compute)
+        finally:
+            gateway.metrics.adjust_gauge(f"gateway.backend.{self.name}.queue_depth", -1)
+
+    # -- read routing ------------------------------------------------------------
+    def _pick(self) -> FollowerHandle | None:
+        """The next healthy follower, round-robin; None with every breaker open."""
+        with self._pick_lock:
+            for _ in range(len(self._handles)):
+                handle = self._handles[self._next % len(self._handles)]
+                self._next += 1
+                if handle.breaker.allow():
+                    return handle
+                self._gateway.metrics.increment("replication.follower_skips")
+        return None
+
+    def _compute(self, request: SearchRequest, remaining: float | None) -> ComputeOutcome:
+        """Route one read: healthy follower → redispatch on death → primary.
+
+        Reads are deterministic and side-effect free in the follower, so a
+        redispatch after a follower death is always safe.  A stale outcome
+        (the follower could not reach the request's epoch in time) is not
+        a *failure* — the follower is healthy, just behind — so it does
+        not trip the breaker; the primary simply recomputes.
+        """
+        gateway = self._gateway
+        attempts = max(0, gateway.config.redispatch_attempts)
+        for attempt in range(attempts + 1):
+            handle = self._pick()
+            if handle is None:
+                break
+            generation = handle.generation
+            try:
+                outcome = self._dispatch_once(handle, request, remaining)
+            except BrokenProcessPool:
+                handle.breaker.record_failure()
+                gateway.metrics.increment("replication.follower_restarts")
+                try:
+                    handle.respawn(generation)
+                except Exception:  # noqa: BLE001 - respawn failed; breaker
+                    pass  # keeps routing away until its recovery window
+                if attempt < attempts:
+                    gateway.metrics.increment("replication.redispatches")
+                continue
+            handle.breaker.record_success()
+            if outcome.stale:
+                gateway.metrics.increment("replication.stale_reads")
+                break
+            return outcome
+        gateway.metrics.increment("replication.primary_fallbacks")
+        return gateway._compute_local(request, remaining)
+
+    def _dispatch_once(
+        self, handle: FollowerHandle, request: SearchRequest, remaining: float | None
+    ) -> ComputeOutcome:
+        gateway = self._gateway
+        parent = current_span()
+        trace_ref = (
+            (parent.trace.trace_id, parent.span_id) if parent is not None else None
+        )
+        envelope = ReadEnvelope(
+            mode=gateway.mode,
+            request=replace(request, time_budget_seconds=remaining),
+            budget_seconds=remaining,
+            expected_epoch=gateway.platform.corpus.epoch,
+            trace=trace_ref,
+            fault=pending_fault("follower.dispatch"),
+        )
+        gateway.metrics.increment("replication.reads")
+        gateway.metrics.adjust_gauge(f"gateway.backend.{self.name}.inflight_computes", 1)
+        started = gateway.clock.now()
+        try:
+            outcome = handle.dispatch(envelope)
+        finally:
+            gateway.metrics.adjust_gauge(
+                f"gateway.backend.{self.name}.inflight_computes", -1
+            )
+            gateway.metrics.observe(
+                f"gateway.backend.{self.name}.compute_seconds",
+                gateway.clock.now() - started,
+            )
+        gateway.metrics.set_gauge(
+            f"replication.follower.{handle.index}.lag", outcome.lag
+        )
+        if outcome.reloaded:
+            gateway.metrics.increment("replication.follower_reloads")
+        if outcome.spans:
+            # Stitch the follower-side spans (bootstrap, catch-up, compute)
+            # into the live parent trace — stale outcomes included, their
+            # catch-up timeline is what explains the fallback's latency.
+            attach_records(outcome.spans)
+        return outcome
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._gateway is not None:
+            manager = getattr(self._gateway, "snapshots", None)
+            if manager is not None:
+                manager.remove_seal_listener(self._on_seal)
+        if self._orchestrator is not None:
+            self._orchestrator.shutdown(wait=wait)
+        for handle in self._handles:
+            handle.shutdown(wait=wait)

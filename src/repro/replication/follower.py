@@ -1,0 +1,352 @@
+"""The follower half of WAL-shipping replication.
+
+A follower is a separate process serving *read* requests against its own
+copy of the platform.  It never talks to the primary directly — the
+durable-state directory (``snapshot.bin`` + retained versions + sealed
+``wal-<epoch>.bin`` segments + the live ``wal.bin``) *is* the shipping
+medium:
+
+* **warm start** — :class:`FollowerReplica` restores the newest readable
+  snapshot in the chain, replays every sealed segment on top, then seeds
+  a :class:`~repro.persist.wal.WalTailer` on the live WAL;
+* **catch-up** — each read request carries the primary corpus epoch it
+  was admitted against; the follower replays newly sealed segments and
+  tails the live WAL until it reaches *exactly* that epoch (records
+  beyond it stay buffered, so a racing primary mutation never pushes the
+  follower ahead of the request), reporting how far behind it started as
+  its lag signal;
+* **self-healing** — a gap (the primary pruned segments this follower
+  never saw) or an unreadable snapshot triggers a full re-bootstrap from
+  the chain, exactly like a process restart; a catch-up that cannot
+  reach the target inside its timeout returns a ``stale`` outcome and
+  the primary recomputes locally (the standard envelope rule).
+
+Read-only discipline: a follower **never writes** to the shared
+directory.  In particular it must not construct a
+:class:`~repro.persist.wal.MutationWAL` on the live log (opening for
+append truncates torn tails — a tear the primary is about to complete)
+and it never quarantines corrupt snapshots (it skips them; the primary
+owns forensics).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.exceptions import BackendError, PersistError, ReplicationError
+from repro.obs import RemoteTrace, span
+from repro.persist.manager import (
+    SNAPSHOT_FILE,
+    WAL_FILE,
+    sealed_segments,
+    versioned_snapshots,
+)
+from repro.persist.snapshot import read_snapshot, restore_platform
+from repro.persist.wal import WalTailer, apply_records, read_wal_records
+from repro.serving.gateway import ComputeOutcome
+
+
+@dataclass
+class FollowerSpec:
+    """Everything a follower process needs; every field must pickle.
+
+    Unlike the process backend's :class:`~repro.serving.backends.PlatformSpec`,
+    no platform state crosses the pickle boundary at all — just the path
+    of the durable-state directory the primary journals into, plus the
+    handful of service knobs that must match the primary for results to
+    be bit-identical.
+    """
+
+    directory: str
+    search_fraction: float = 0.5
+    automl_splits: int = 3
+    #: How long :meth:`FollowerReplica.catch_up` sleeps between polls of
+    #: the shared directory while waiting for the primary's WAL flush to
+    #: become visible.
+    poll_seconds: float = 0.02
+    #: Catch-up budget per request: a follower that cannot reach the
+    #: request's epoch within this window reports ``stale`` instead of
+    #: blocking the read indefinitely behind a wedged primary.
+    catchup_timeout_seconds: float = 5.0
+    cache_proxy_scores: bool = True
+    warm_start: bool = True
+
+
+class FollowerReplica:
+    """One follower's platform copy, kept current by tailing the primary's WAL."""
+
+    def __init__(self, spec: FollowerSpec) -> None:
+        self.spec = spec
+        self.directory = Path(spec.directory)
+        self.reloads = 0
+        self._tailer: WalTailer | None = None
+        self._applied_segments: set[int] = set()
+        #: Live-WAL records polled but not yet applied (they run past the
+        #: current request's target epoch, or a sealed segment they
+        #: continue has not been replayed yet).
+        self._pending: deque = deque()
+        self._bootstrap()
+
+    @property
+    def epoch(self) -> int:
+        return self.platform.corpus.epoch
+
+    # -- bootstrap ---------------------------------------------------------------
+    def _bootstrap(self) -> None:
+        """(Re)build the platform from the chain; reset the tailing cursor.
+
+        Retried a few times because the primary's retain → seal → publish
+        sequence can race the walk (e.g. a segment sealed between the
+        snapshot read and the segment listing leaves a gap) — a fresh
+        walk one iteration later sees a consistent directory.
+        """
+        with span("replication.bootstrap") as boot:
+            last_error: PersistError | None = None
+            for _ in range(3):
+                try:
+                    self._restore_chain()
+                    break
+                except PersistError as error:
+                    last_error = error
+            else:
+                raise ReplicationError(
+                    f"follower could not bootstrap from {self.directory}: "
+                    f"{last_error}"
+                ) from last_error
+            boot.annotate(epoch=self.epoch, reloads=self.reloads)
+            discovery = self.platform.corpus.discovery
+            if hasattr(discovery, "shard_sizes"):
+                boot.annotate(shard_sizes=discovery.shard_sizes())
+        if self.spec.warm_start:
+            registrations = self.platform.corpus.registrations
+            if registrations:
+                self._warm_up(next(iter(registrations.values())).relation)
+
+    def _restore_chain(self) -> None:
+        """One read-only walk: newest readable snapshot + segments + live tail."""
+        candidates: list[Path] = []
+        if (self.directory / SNAPSHOT_FILE).exists():
+            candidates.append(self.directory / SNAPSHOT_FILE)
+        candidates.extend(
+            path for _, path in reversed(versioned_snapshots(self.directory))
+        )
+        platform = None
+        for candidate in candidates:
+            try:
+                sections = read_snapshot(candidate)
+            except PersistError:
+                # Corrupt (or mid-replace) snapshot: skip it — quarantining
+                # is the primary's job, a follower only reads.
+                continue
+            platform = restore_platform(sections)
+            break
+        if platform is None:
+            raise PersistError(
+                f"{self.directory} holds no readable snapshot to bootstrap from"
+            )
+        segments = sealed_segments(self.directory)
+        for _, segment in segments:
+            apply_records(platform.corpus, read_wal_records(segment))
+        tailer = WalTailer(self.directory / WAL_FILE)
+        apply_records(platform.corpus, tailer.poll())
+        # Commit the walk only once it succeeded end to end.
+        self._install(platform)
+        self._applied_segments = {base for base, _ in segments}
+        self._tailer = tailer
+        self._pending = deque()
+
+    def _install(self, platform) -> None:
+        from repro.core.service import MileenaAutoMLService
+        from repro.serving.cache import CachingProxy
+
+        if self.spec.cache_proxy_scores and not isinstance(platform.proxy, CachingProxy):
+            platform.proxy = CachingProxy(platform.proxy)
+        self.platform = platform
+        self.service = MileenaAutoMLService(
+            platform=platform,
+            search_fraction=self.spec.search_fraction,
+            automl_splits=self.spec.automl_splits,
+        )
+
+    def _warm_up(self, relation) -> None:
+        """Prime the lazily built engine structures (same as PlatformReplica)."""
+        discovery = self.platform.corpus.discovery
+        try:
+            discovery.join_candidates(relation, top_k=1)
+            discovery.union_candidates(relation, top_k=1)
+        except Exception:  # noqa: BLE001 - warm-up must never fail bootstrap
+            pass
+
+    def _rebootstrap(self) -> None:
+        self.reloads += 1
+        self._bootstrap()
+
+    # -- catch-up ----------------------------------------------------------------
+    def catch_up(self, target_epoch: int, timeout_seconds: float) -> int:
+        """Replay shipped records until the corpus reaches ``target_epoch``.
+
+        Returns the lag (epochs behind the target) this follower *started*
+        at.  Records beyond the target stay in the pending buffer so the
+        follower lands exactly on the epoch the request was admitted
+        against — the one exception is a re-bootstrap (gap healing), which
+        restores whatever the chain holds and may overshoot; the caller
+        detects that as an epoch mismatch and reports ``stale``.
+        """
+        with span("replication.catch_up", target=target_epoch) as catching:
+            lag = max(0, target_epoch - self.epoch)
+            applied = 0
+            rebootstrapped = False
+            deadline = time.monotonic() + timeout_seconds
+            while self.epoch < target_epoch:
+                try:
+                    progressed = self._apply_visible(target_epoch)
+                except PersistError:
+                    # A segment no longer continues our state: the primary
+                    # pruned history this follower never applied.  The
+                    # newest snapshot covers it — start over from the chain.
+                    if rebootstrapped:
+                        raise
+                    self._rebootstrap()
+                    rebootstrapped = True
+                    continue
+                applied += progressed
+                if self.epoch >= target_epoch:
+                    break
+                if not progressed and self._gapped() and not rebootstrapped:
+                    # The hole is in no visible segment either — pruned
+                    # from under us while we tailed.  Chain re-bootstrap.
+                    self._rebootstrap()
+                    rebootstrapped = True
+                    continue
+                if time.monotonic() >= deadline:
+                    break
+                time.sleep(self.spec.poll_seconds)
+            catching.annotate(applied=applied, epoch=self.epoch, lag=lag)
+        return lag
+
+    def _gapped(self) -> bool:
+        """Whether the pending buffer starts beyond the next needed epoch."""
+        return bool(self._pending) and self._pending[0].epoch > self.epoch + 1
+
+    def _apply_visible(self, target_epoch: int) -> int:
+        """One pass over the shipped state: new segments, then the live tail.
+
+        Never applies a record with an epoch beyond ``target_epoch``; a
+        partially consumed segment is left unmarked so a later pass (with
+        a higher target) replays its remainder — the epoch guard in
+        :func:`~repro.persist.wal.apply_records` makes the overlap free.
+        """
+        corpus = self.platform.corpus
+        applied = 0
+        for base, path in sealed_segments(self.directory):
+            if base in self._applied_segments:
+                continue
+            records = read_wal_records(path)
+            usable = [record for record in records if record.epoch <= target_epoch]
+            applied += apply_records(corpus, usable)
+            if len(usable) == len(records):
+                self._applied_segments.add(base)
+        self._extend_pending(self._tailer.poll())
+        while self._pending and self._pending[0].epoch <= corpus.epoch:
+            self._pending.popleft()
+        if self._pending and self._pending[0].epoch == corpus.epoch + 1:
+            run = []
+            for record in self._pending:
+                if record.epoch > target_epoch:
+                    break
+                run.append(record)
+            if run:
+                applied += apply_records(corpus, run)
+                for _ in run:
+                    self._pending.popleft()
+        return applied
+
+    def _extend_pending(self, records) -> None:
+        """Buffer newly polled live-WAL records, rejecting epoch regressions.
+
+        Within the shipped stream epochs are strictly increasing (one
+        record per corpus epoch bump; a rotation only ever moves the
+        stream *forward* into a fresh file).  A newly polled record at or
+        below what we already buffered or applied means the log is not
+        the primary's journal anymore — refuse loudly rather than replay
+        a forged or rewound history.
+        """
+        for record in records:
+            floor = (
+                self._pending[-1].epoch if self._pending else self.platform.corpus.epoch
+            )
+            if record.epoch <= floor:
+                raise ReplicationError(
+                    f"epoch regression in shipped WAL {self._tailer.path}: "
+                    f"record epoch {record.epoch} arrived after {floor}"
+                )
+            self._pending.append(record)
+
+    # -- serving -----------------------------------------------------------------
+    def execute(self, envelope) -> ComputeOutcome:
+        """Serve one read envelope, collecting follower-side spans when traced."""
+        remote = RemoteTrace(envelope.trace, "follower", worker=os.getpid())
+        with remote:
+            outcome = self._execute(envelope, remote)
+        return replace(outcome, spans=remote.records)
+
+    def _execute(self, envelope, remote: RemoteTrace) -> ComputeOutcome:
+        pid = os.getpid()
+        if envelope.fault is not None:
+            # Parent-coordinated chaos: crash (os._exit), stall, or raise
+            # exactly where a real follower failure would surface.
+            envelope.fault.perform()
+        reloads_before = self.reloads
+        lag = self.catch_up(
+            envelope.expected_epoch, self.spec.catchup_timeout_seconds
+        )
+        reloaded = self.reloads > reloads_before
+        if reloaded:
+            remote.annotate(reloaded=True)
+        if self.epoch != envelope.expected_epoch:
+            # Behind (the primary's flush never became visible in time) or
+            # ahead (a gap heal restored a newer image than the target):
+            # either way this corpus no longer matches the epoch the read
+            # was admitted against, and the primary must recompute.
+            remote.annotate(stale=True)
+            return ComputeOutcome(
+                result=None,
+                epoch=self.epoch,
+                stale=True,
+                worker=pid,
+                reloaded=reloaded,
+                lag=lag,
+            )
+        with span("follower.compute"):
+            if envelope.mode == "automl":
+                result = self.service.run(
+                    envelope.request, time_budget_seconds=envelope.budget_seconds
+                )
+            else:
+                result = self.platform.search(envelope.request)
+        return ComputeOutcome(
+            result=result, epoch=self.epoch, worker=pid, reloaded=reloaded, lag=lag
+        )
+
+
+_FOLLOWER: FollowerReplica | None = None
+
+
+def _bootstrap_follower(spec: FollowerSpec) -> None:
+    global _FOLLOWER
+    _FOLLOWER = FollowerReplica(spec)
+
+
+def _follower_ready(_: int) -> int:
+    """The worker's pid when its follower is up, 0 otherwise."""
+    return os.getpid() if _FOLLOWER is not None else 0
+
+
+def _execute_read(envelope) -> ComputeOutcome:
+    if _FOLLOWER is None:  # pragma: no cover - initializer always runs first
+        raise BackendError("worker process has no follower replica")
+    return _FOLLOWER.execute(envelope)

@@ -65,6 +65,10 @@ from repro.serving.gateway import (
 THREAD = "thread"
 PROCESS = "process"
 ASYNC = "async"
+#: Primary/follower WAL-shipping replication (read scaling); the backend
+#: class lives in :mod:`repro.replication.backend` and is resolved
+#: lazily so importing the serving layer never pulls in the persist one.
+REPLICATED = "replicated"
 
 
 @runtime_checkable
@@ -987,12 +991,16 @@ BACKENDS = {
 def resolve_backend(choice, config: GatewayConfig):
     """An :class:`ExecutionBackend` instance from a name or an instance."""
     if isinstance(choice, str):
+        if choice == REPLICATED:
+            from repro.replication.backend import ReplicatedBackend
+
+            return ReplicatedBackend(config)
         try:
             factory = BACKENDS[choice]
         except KeyError:
             raise BackendError(
                 f"unknown execution backend {choice!r}; "
-                f"expected one of {sorted(BACKENDS)}"
+                f"expected one of {sorted(BACKENDS) + [REPLICATED]}"
             ) from None
         return factory(config)
     return choice

@@ -167,9 +167,23 @@ class GatewayConfig:
         last-known-good cache when possible (``None`` disables the
         pressure check).
     redispatch_attempts:
-        Process backend only: how many times a broken-pool dispatch is
-        re-sent to freshly respawned replicas before falling back to a
-        parent-local compute.
+        Process and replicated backends: how many times a broken-pool
+        dispatch is re-sent to freshly respawned replicas (or, for the
+        replicated backend, to a sibling follower) before falling back
+        to a parent-local compute.
+    follower_count:
+        Replicated backend only: how many follower processes serve
+        reads.  Each follower warm-starts from the snapshot chain and
+        tails the primary's WAL, so ``snapshot_dir`` (or a platform-level
+        snapshot manager) is mandatory with ``backend="replicated"``.
+    follower_poll_seconds:
+        How long a catching-up follower sleeps between polls of the
+        shared durable directory while waiting for the primary's WAL
+        flush to become visible.
+    follower_catchup_timeout_seconds:
+        Per-request catch-up budget on the follower: past it the
+        follower reports ``stale`` and the primary recomputes locally
+        instead of blocking the read behind a wedged primary.
 
     Discovery-side knobs (``use_lsh``, ``lsh_bands``, ``target_recall``,
     ``multi_probe``, the index-level ``cache_capacity``) live on the
@@ -209,6 +223,9 @@ class GatewayConfig:
     degraded_top_k: int = 8
     degrade_pressure_seconds: float | None = None
     redispatch_attempts: int = 2
+    follower_count: int = 2
+    follower_poll_seconds: float = 0.02
+    follower_catchup_timeout_seconds: float = 5.0
 
 
 @dataclass
@@ -224,7 +241,10 @@ class ComputeOutcome:
     parent track which mutation-log entries every replica has applied (so
     acknowledged entries can be dropped from future envelopes), and
     ``reloaded`` reports that the replica re-bootstrapped itself from the
-    latest snapshot file to catch up.
+    latest snapshot file to catch up.  ``lag`` is the replicated
+    backend's read-scaling signal: how many epochs behind the request's
+    expected epoch the serving follower *started* (0 for every other
+    backend, and for a follower that was already current).
     """
 
     result: SearchResult | AutoMLServiceResult | None
@@ -232,6 +252,7 @@ class ComputeOutcome:
     stale: bool = False
     worker: int | None = None
     reloaded: bool = False
+    lag: int = 0
     #: Replica-side span records (``repro.obs.trace.SpanRecord`` rows) a
     #: process-pool worker collected while computing this outcome; the
     #: parent stitches them into the live trace with ``attach_records``.

@@ -1,0 +1,23 @@
+"""Shared fixtures for the WAL-shipping replication suite."""
+
+import pytest
+
+from repro.core import SearchRequest
+from repro.datasets import CorpusSpec, generate_corpus
+
+_SPEC = CorpusSpec(num_datasets=14, requester_rows=100, provider_rows=100, seed=13)
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return generate_corpus(_SPEC)
+
+
+@pytest.fixture(scope="session")
+def request_for(corpus):
+    return SearchRequest(
+        train=corpus.train,
+        test=corpus.test,
+        target=corpus.target,
+        max_augmentations=2,
+    )

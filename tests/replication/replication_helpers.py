@@ -1,0 +1,42 @@
+"""Workload helpers shared by the replication suites (importable by name)."""
+
+import pickle
+import struct
+import zlib
+
+from repro.core import Mileena
+
+INITIAL = 8
+
+_FRAME = struct.Struct("<II")
+
+
+def fresh_primary(corpus, upto=INITIAL, **kwargs):
+    """A sharded platform with ``upto`` providers registered."""
+    platform = Mileena.sharded(num_shards=2, **kwargs)
+    for relation in corpus.providers[:upto]:
+        platform.register_dataset(relation)
+    return platform
+
+
+def result_identity(result):
+    """A bit-exact fingerprint of a search result (plan + trained model)."""
+    report = result.final_report
+    return (
+        tuple((c.kind, c.dataset, c.join_key) for c in result.plan.candidates),
+        result.proxy_test_r2,
+        report.model.model_.intercept,
+        report.model.model_.coefficients.tobytes(),
+    )
+
+
+def forge_record(path, epoch, op="add", payload=None):
+    """Append a validly framed record behind the manager's back.
+
+    What a misdirected writer (or a rewound filesystem) would leave in
+    the shipped stream: the framing checks out, the epoch does not.
+    """
+    encoded = pickle.dumps((epoch, op, payload), protocol=pickle.HIGHEST_PROTOCOL)
+    with open(path, "ab") as handle:
+        handle.write(_FRAME.pack(len(encoded), zlib.crc32(encoded)) + encoded)
+        handle.flush()

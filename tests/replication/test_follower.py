@@ -1,0 +1,165 @@
+"""FollowerReplica: chain warm-start, epoch-exact catch-up, self-healing.
+
+Runs the follower *in process* against a primary journaling into the same
+directory — the protocol is all files, so process isolation adds nothing
+but runtime here (the cross-process path is covered by
+``tests/serving/test_replicated_backend.py``).
+"""
+
+import pytest
+from replication_helpers import forge_record, fresh_primary, result_identity
+
+from repro.exceptions import ReplicationError
+from repro.persist import SnapshotManager, WalRecord
+from repro.replication import FollowerReplica, FollowerSpec, ReadEnvelope
+
+_FAST = dict(poll_seconds=0.005, catchup_timeout_seconds=5.0)
+
+
+def make_follower(directory, **overrides):
+    return FollowerReplica(FollowerSpec(directory=str(directory), **{**_FAST, **overrides}))
+
+
+def test_bootstrap_is_bit_identical_to_primary(tmp_path, corpus, request_for):
+    primary = fresh_primary(corpus, snapshot_dir=tmp_path, snapshot_every_mutations=3)
+    follower = make_follower(tmp_path)
+    assert follower.epoch == primary.corpus.epoch
+    assert follower.platform.corpus.names() == primary.corpus.names()
+    assert result_identity(follower.platform.search(request_for)) == result_identity(
+        primary.search(request_for)
+    )
+
+
+def test_catch_up_across_a_seal(tmp_path, corpus):
+    primary = fresh_primary(corpus, snapshot_dir=tmp_path, snapshot_every_mutations=3)
+    follower = make_follower(tmp_path)
+    # 6 more mutations at cadence 3: two seals (rotations) land mid-tail.
+    for relation in corpus.providers[8:14]:
+        primary.register_dataset(relation)
+    lag = follower.catch_up(primary.corpus.epoch, timeout_seconds=5.0)
+    assert lag == 6
+    assert follower.epoch == primary.corpus.epoch
+    assert follower.platform.corpus.names() == primary.corpus.names()
+    assert follower.reloads == 0  # tailing + segments healed it, no re-bootstrap
+
+
+def test_catch_up_stops_exactly_at_the_target_epoch(tmp_path, corpus):
+    """Records beyond the request's epoch stay buffered: a racing primary
+    mutation must never push the follower past the epoch it was asked for."""
+    primary = fresh_primary(corpus, snapshot_dir=tmp_path, snapshot_every_mutations=50)
+    follower = make_follower(tmp_path)
+    target = primary.corpus.epoch + 2
+    for relation in corpus.providers[8:12]:  # 4 mutations, target is 2 in
+        primary.register_dataset(relation)
+    follower.catch_up(target, timeout_seconds=5.0)
+    assert follower.epoch == target
+    assert [record.epoch for record in follower._pending] == [target + 1, target + 2]
+    # The rest applies on the next request's catch-up.
+    follower.catch_up(primary.corpus.epoch, timeout_seconds=5.0)
+    assert follower.epoch == primary.corpus.epoch
+
+
+def test_pruned_history_heals_by_chain_rebootstrap(tmp_path, corpus):
+    """A follower behind by more than the retained chain: the segments it
+    needs are gone, so it re-bootstraps from the newest snapshot."""
+    primary = fresh_primary(corpus, upto=4)
+    SnapshotManager(primary, tmp_path, every_mutations=2, keep_snapshots=1).attach()
+    follower = make_follower(tmp_path)
+    stranded = follower.epoch
+    # 10 mutations at cadence 2 prune every segment the follower is owed.
+    for relation in corpus.providers[4:14]:
+        primary.register_dataset(relation)
+    lag = follower.catch_up(primary.corpus.epoch, timeout_seconds=5.0)
+    assert lag == primary.corpus.epoch - stranded
+    assert follower.epoch == primary.corpus.epoch
+    assert follower.reloads >= 1
+    assert follower.platform.corpus.names() == primary.corpus.names()
+
+
+def test_bootstrap_skips_corrupt_snapshot_without_quarantining(tmp_path, corpus):
+    """The newest snapshot is garbage: the follower falls back to the
+    retained version + sealed segments — and, being a reader, leaves the
+    corrupt file in place for the primary to quarantine."""
+    primary = fresh_primary(corpus, snapshot_dir=tmp_path, snapshot_every_mutations=3)
+    snapshot = tmp_path / "snapshot.bin"
+    raw = bytearray(snapshot.read_bytes())
+    raw[len(raw) // 2] ^= 0xFF
+    snapshot.write_bytes(bytes(raw))
+
+    follower = make_follower(tmp_path)
+    assert follower.epoch == primary.corpus.epoch
+    assert follower.platform.corpus.names() == primary.corpus.names()
+    assert snapshot.exists()  # not renamed to .corrupt — read-only discipline
+    assert not (tmp_path / "snapshot.bin.corrupt").exists()
+
+
+def test_restart_from_quarantined_directory(tmp_path, corpus):
+    """After the primary quarantined a corrupt snapshot (``.corrupt`` file
+    beside the chain), a restarting follower still catches up from the
+    retained versions."""
+    primary = fresh_primary(corpus, snapshot_dir=tmp_path, snapshot_every_mutations=3)
+    snapshot = tmp_path / "snapshot.bin"
+    snapshot.rename(tmp_path / "snapshot.bin.corrupt")  # what quarantine leaves
+
+    follower = make_follower(tmp_path)
+    for relation in corpus.providers[8:11]:
+        primary.register_dataset(relation)
+    follower.catch_up(primary.corpus.epoch, timeout_seconds=5.0)
+    assert follower.epoch == primary.corpus.epoch
+    assert follower.platform.corpus.names() == primary.corpus.names()
+
+
+def test_epoch_regression_is_rejected(tmp_path, corpus):
+    primary = fresh_primary(corpus, snapshot_dir=tmp_path, snapshot_every_mutations=50)
+    follower = make_follower(tmp_path)
+    with pytest.raises(ReplicationError, match="regression"):
+        follower._extend_pending([WalRecord(follower.epoch - 1, "add", None)])
+
+
+def test_forged_regression_in_the_live_wal_heals_by_rebootstrap(tmp_path, corpus):
+    """A regressing record framed into the shipped stream: the tailer path
+    refuses it (never replays a rewound history), and the follower comes
+    back via the chain — where the epoch guard skips the forgery."""
+    primary = fresh_primary(corpus, snapshot_dir=tmp_path, snapshot_every_mutations=50)
+    follower = make_follower(tmp_path)
+    forge_record(tmp_path / "wal.bin", epoch=2)
+    primary.register_dataset(corpus.providers[8])  # a legit record lands after it
+    follower.catch_up(primary.corpus.epoch, timeout_seconds=5.0)
+    assert follower.reloads >= 1
+    assert follower.epoch == primary.corpus.epoch
+    assert follower.platform.corpus.names() == primary.corpus.names()
+
+
+def test_stale_outcome_on_unreachable_epoch(tmp_path, corpus, request_for):
+    primary = fresh_primary(corpus, snapshot_dir=tmp_path, snapshot_every_mutations=50)
+    follower = make_follower(tmp_path, catchup_timeout_seconds=0.05)
+    envelope = ReadEnvelope(
+        mode="search",
+        request=request_for,
+        budget_seconds=None,
+        expected_epoch=primary.corpus.epoch + 3,  # never journaled
+    )
+    outcome = follower.execute(envelope)
+    assert outcome.stale
+    assert outcome.result is None
+    assert outcome.epoch == primary.corpus.epoch
+    assert outcome.lag == 3
+
+
+def test_execute_serves_at_the_expected_epoch(tmp_path, corpus, request_for):
+    primary = fresh_primary(corpus, snapshot_dir=tmp_path, snapshot_every_mutations=3)
+    follower = make_follower(tmp_path)
+    primary.register_dataset(corpus.providers[8])
+    envelope = ReadEnvelope(
+        mode="search",
+        request=request_for,
+        budget_seconds=None,
+        expected_epoch=primary.corpus.epoch,
+    )
+    outcome = follower.execute(envelope)
+    assert not outcome.stale
+    assert outcome.epoch == primary.corpus.epoch
+    assert outcome.lag == 1
+    assert result_identity(outcome.result) == result_identity(
+        primary.search(request_for)
+    )

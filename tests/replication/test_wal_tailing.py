@@ -1,0 +1,98 @@
+"""WAL segment tailing edge cases: the follower's cursor vs a live primary.
+
+Each scenario recreates one of the file states a follower can observe
+while the primary keeps appending: a mid-append torn tail, a rotation
+(seal) racing the tail, an in-place shrink, and a log that vanishes and
+reappears.  The :class:`~repro.persist.wal.WalTailer` contract is that
+every record is eventually surfaced exactly once per cursor position and
+the cursor never touches the file (read-only, no truncation).
+"""
+
+from repro.persist import MutationWAL, WalTailer, read_wal_records
+
+
+def test_poll_is_incremental(tmp_path):
+    path = tmp_path / "wal.bin"
+    wal = MutationWAL(path)
+    tailer = WalTailer(path)
+    wal.append(1, "add", "a")
+    wal.append(2, "add", "b")
+    assert [r.epoch for r in tailer.poll()] == [1, 2]
+    assert tailer.poll() == []  # nothing new
+    wal.append(3, "remove", "a")
+    assert [(r.epoch, r.op) for r in tailer.poll()] == [(3, "remove")]
+    wal.close()
+
+
+def test_missing_file_is_an_empty_poll(tmp_path):
+    tailer = WalTailer(tmp_path / "wal.bin")
+    assert tailer.poll() == []
+    wal = MutationWAL(tmp_path / "wal.bin")
+    wal.append(1, "add", "a")
+    wal.close()
+    assert [r.epoch for r in tailer.poll()] == [1]
+
+
+def test_torn_tail_stops_then_resumes(tmp_path):
+    """A tear (primary mid-append) parks the cursor; a later poll resumes
+    once the frame is complete — and the tailer never truncates the file."""
+    path = tmp_path / "wal.bin"
+    wal = MutationWAL(path)
+    for epoch in (1, 2, 3):
+        wal.append(epoch, "add", f"payload-{epoch}" * 10)
+    wal.close()
+    complete = path.read_bytes()
+
+    path.write_bytes(complete[:-7])  # primary mid-write of record 3
+    tailer = WalTailer(path)
+    assert [r.epoch for r in tailer.poll()] == [1, 2]
+    parked = tailer.offset
+    assert tailer.poll() == []  # still torn: cursor stays parked
+    assert tailer.offset == parked
+    assert path.stat().st_size == len(complete) - 7  # read-only: no truncation
+
+    path.write_bytes(complete)  # the append completes
+    assert [r.epoch for r in tailer.poll()] == [3]
+
+
+def test_rotation_resets_cursor_and_segment_heals_the_overlap(tmp_path):
+    """A seal racing the tail: records not yet polled from the old live file
+    are found in the sealed segment; the new live file is read from its head."""
+    path = tmp_path / "wal.bin"
+    sealed = tmp_path / "wal-000000000002.bin"
+    wal = MutationWAL(path)
+    wal.append(1, "add", "a")
+    wal.append(2, "add", "b")
+    tailer = WalTailer(path)
+    assert [r.epoch for r in tailer.poll()] == [1, 2]
+
+    wal.append(3, "add", "c")  # never polled before the seal
+    assert wal.rotate(sealed)
+    wal.append(4, "add", "d")  # lands in the fresh live file
+
+    assert [r.epoch for r in tailer.poll()] == [4]
+    assert tailer.rotations == 1
+    # The missed record is exactly where the follower's chain walk looks.
+    assert [r.epoch for r in read_wal_records(sealed)] == [1, 2, 3]
+    wal.close()
+
+
+def test_inplace_shrink_resets_to_head(tmp_path):
+    """A same-inode shrink (outside interference — never produced by the
+    manager) resets the cursor to the head instead of reading past EOF."""
+    path = tmp_path / "wal.bin"
+    wal = MutationWAL(path)
+    wal.append(1, "add", "a")
+    wal.append(2, "add", "b")
+    wal.close()
+    tailer = WalTailer(path)
+    assert [r.epoch for r in tailer.poll()] == [1, 2]
+
+    fresh = MutationWAL(tmp_path / "other.bin")
+    fresh.append(1, "add", "z")
+    fresh.close()
+    shrunk = (tmp_path / "other.bin").read_bytes()
+    with open(path, "r+b") as handle:  # rewrite in place: same inode, smaller
+        handle.truncate(0)
+        handle.write(shrunk)
+    assert [(r.epoch, r.payload) for r in tailer.poll()] == [(1, "z")]

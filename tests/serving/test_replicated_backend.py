@@ -1,0 +1,188 @@
+"""The replicated backend: read scaling over WAL shipping, end to end.
+
+Follower processes warm-start from the snapshot chain and tail the live
+WAL; the gateway keeps mutations on the primary and round-robins reads.
+The contract mirrors the backend parity suite: whatever the topology
+does internally (catch-up, respawn, primary fallback), responses are
+bit-identical to a flat single-process search at the same corpus state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Mileena, SearchRequest
+from repro.datasets import CorpusSpec, generate_corpus
+from repro.exceptions import ReplicationError
+from repro.faults import FaultPlan, armed, disarm
+from repro.relational import Relation
+from repro.serving import Gateway, GatewayConfig
+
+_SPEC = CorpusSpec(num_datasets=14, requester_rows=110, provider_rows=110, seed=17)
+INITIAL = 8
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(_SPEC)
+
+
+@pytest.fixture(scope="module")
+def request_for(corpus):
+    return SearchRequest(
+        train=corpus.train,
+        test=corpus.test,
+        target=corpus.target,
+        max_augmentations=2,
+    )
+
+
+@pytest.fixture(autouse=True)
+def always_disarm():
+    yield
+    disarm()
+
+
+def fresh_platform(corpus, upto=INITIAL, **kwargs):
+    platform = Mileena.sharded(num_shards=2, **kwargs)
+    for relation in corpus.providers[:upto]:
+        platform.register_dataset(relation)
+    return platform
+
+
+def result_identity(result):
+    report = result.final_report
+    return (
+        tuple((c.kind, c.dataset, c.join_key) for c in result.plan.candidates),
+        result.proxy_test_r2,
+        report.model.model_.intercept,
+        report.model.model_.coefficients.tobytes(),
+    )
+
+
+def distinct_request(corpus, index):
+    """A request with a unique requester fingerprint (defeats every cache)."""
+    perturbed = np.asarray(corpus.train.column("local_a"), dtype=np.float64) + (
+        1e-9 * (index + 1)
+    )
+    train = Relation(
+        corpus.train.name,
+        {
+            name: perturbed if name == "local_a" else corpus.train.column(name)
+            for name in corpus.train.schema.names
+        },
+        corpus.train.schema,
+    )
+    return SearchRequest(
+        train=train, test=corpus.test, target=corpus.target, max_augmentations=2
+    )
+
+
+def replicated_config(tmp_path, **overrides):
+    defaults = dict(
+        backend="replicated",
+        snapshot_dir=str(tmp_path),
+        max_workers=2,
+        follower_count=2,
+        follower_poll_seconds=0.005,
+        snapshot_every_mutations=4,
+    )
+    defaults.update(overrides)
+    return GatewayConfig(**defaults)
+
+
+def test_replicated_backend_requires_durable_state(corpus):
+    platform = fresh_platform(corpus)
+    with pytest.raises(ReplicationError, match="snapshot_dir"):
+        Gateway(platform, GatewayConfig(backend="replicated"))
+
+
+def test_reads_are_bit_identical_under_churn(tmp_path, corpus, request_for):
+    """Replicated reads match a flat search before and after mutations that
+    cross a snapshot-cadence seal."""
+    expected_initial = result_identity(fresh_platform(corpus).search(request_for))
+    expected_grown = result_identity(
+        fresh_platform(corpus, upto=14).search(request_for)
+    )
+
+    platform = fresh_platform(corpus)
+    with Gateway(platform, replicated_config(tmp_path)) as gateway:
+        first = gateway.run_many([request_for])[0]
+        assert first.ok, first.error
+        assert result_identity(first.result) == expected_initial
+
+        for relation in corpus.providers[INITIAL:14]:  # crosses the cadence
+            platform.register_dataset(relation)
+        second = gateway.run_many([request_for])[0]
+        assert second.ok, second.error
+        assert result_identity(second.result) == expected_grown
+
+        counters = gateway.metrics.snapshot()["counters"]
+        assert counters.get("replication.reads", 0) >= 2
+        assert counters.get("replication.segments_sealed", 0) >= 1
+        assert gateway.metrics.snapshot()["gauges"]["replication.followers"] == 2
+
+
+def test_distinct_reads_fan_out_across_followers(tmp_path, corpus):
+    requests = [distinct_request(corpus, index) for index in range(4)]
+    platform = fresh_platform(corpus)
+    with Gateway(platform, replicated_config(tmp_path)) as gateway:
+        responses = gateway.run_many(requests)
+        assert all(response.ok for response in responses), [
+            response.error for response in responses
+        ]
+        counters = gateway.metrics.snapshot()["counters"]
+        assert counters.get("replication.reads", 0) >= 4
+        gauges = gateway.metrics.snapshot()["gauges"]
+        # Round-robin: both followers served reads and reported their lag.
+        assert "replication.follower.0.lag" in gauges
+        assert "replication.follower.1.lag" in gauges
+
+
+def test_follower_death_respawns_and_redispatches(tmp_path, corpus, request_for):
+    """A follower killed while holding the read: its breaker records the
+    failure, the process respawns, and a sibling serves the redispatch —
+    the caller sees the full-fidelity answer."""
+    expected = result_identity(fresh_platform(corpus).search(request_for))
+    platform = fresh_platform(corpus)
+    plan = FaultPlan(seed=7).crash("follower.dispatch", on_hit=1)
+    with Gateway(platform, replicated_config(tmp_path)) as gateway:
+        with armed(plan) as injector:
+            response = gateway.run_many([request_for])[0]
+        assert response.ok, response.error
+        assert not response.degraded
+        assert result_identity(response.result) == expected
+        assert injector.fired == [("follower.dispatch", 1, "crash")]
+        counters = gateway.metrics.snapshot()["counters"]
+        assert counters.get("replication.follower_restarts", 0) >= 1
+        assert counters.get("replication.redispatches", 0) >= 1
+
+        # The healed topology still serves correct reads.
+        follow_up = gateway.run_many([request_for])[0]
+        assert follow_up.ok and result_identity(follow_up.result) == expected
+
+
+def test_invisible_wal_record_degrades_to_primary_compute(
+    tmp_path, corpus, request_for
+):
+    """A WAL append that never reaches the disk (injected zero-length
+    write): followers can never see that epoch, report ``stale``, and the
+    primary recomputes locally — the read stays correct throughout."""
+    expected = result_identity(fresh_platform(corpus, upto=9).search(request_for))
+    platform = fresh_platform(corpus)
+    config = replicated_config(
+        tmp_path,
+        follower_count=1,
+        follower_catchup_timeout_seconds=0.1,
+        snapshot_every_mutations=50,
+    )
+    with Gateway(platform, config) as gateway:
+        plan = FaultPlan(seed=7).truncate("wal.append", fraction=0.0, on_hit=1)
+        with armed(plan):
+            platform.register_dataset(corpus.providers[8])  # journaled nowhere
+        response = gateway.run_many([request_for])[0]
+        assert response.ok, response.error
+        assert not response.degraded  # full fidelity, computed on the primary
+        assert result_identity(response.result) == expected
+        counters = gateway.metrics.snapshot()["counters"]
+        assert counters.get("replication.stale_reads", 0) >= 1
+        assert counters.get("replication.primary_fallbacks", 0) >= 1
