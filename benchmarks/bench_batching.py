@@ -1,0 +1,215 @@
+"""Micro-batched discovery kernels: batched vs serial per-query execution.
+
+Measures the latency of answering a burst of *distinct* discovery
+queries two ways against the same registered corpus:
+
+* **serial** — the per-query vectorized path in a loop, exactly what an
+  unbatched gateway does for concurrent requests;
+* **batched** — one ``join_candidates_for_profiles`` /
+  ``union_candidates_for_profiles`` call that stacks every query into a
+  single signature-matrix scan / flat COO scatter.
+
+The workload models the case micro-batching exists for: a burst of
+concurrent requests probing the same hot corpus domain.  The corpus is
+16 key domains of identifier-style values (``dom3k417`` — tokens that do
+not split into cross-domain fragments, so postings stay short and
+per-domain); all queries in a burst are distinct draws from one domain,
+so the batch shares vocabulary that the batched kernel looks up and
+scatters once.  The union threshold sits just below the same-domain
+cosine level, so every query finds a handful of genuine union partners
+(the report records the candidate count — the run is not scoring an
+empty result set).
+
+Every measurement round asserts the batched lists are equal to the
+serial ones (the byte-level identity lives in
+``tests/discovery/test_batch_parity.py``), so the speedup is never
+bought with a semantic change.  The headline ``summary.batched_vs_serial``
+ratio comes from the largest union batch of distinct queries;
+``benchmarks/check_regression.py`` enforces an absolute ≥2x floor on it
+(single-threaded ratio, enforced on any core count).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_batching.py             # full run
+    PYTHONPATH=src python benchmarks/bench_batching.py --datasets 100 --repeats 2
+
+The committed ``BENCH_batching.json`` comes from a full local run; the
+CI smoke run uses the same (seconds-scale) configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.discovery import DiscoveryIndex, profile_relation  # noqa: E402
+from repro.relational import CATEGORICAL, KEY, Relation, Schema  # noqa: E402
+
+BATCH_SIZES = [1, 8, 64]
+JOIN_THRESHOLD = 0.2
+UNION_THRESHOLD = 0.3
+NUM_DOMAINS = 16
+NUM_ROWS = 120
+VALUE_SPAN = 300
+HOT_DOMAIN = "dom0"
+
+SPEC = {"key": KEY, "tag": CATEGORICAL}
+
+
+def make_bench_relation(
+    name: str, rng: random.Random, domain: str, num_rows: int = NUM_ROWS
+) -> Relation:
+    """A relation of identifier-style values drawn from one key domain."""
+    return Relation(
+        name,
+        {
+            "key": [f"{domain}k{rng.randint(0, VALUE_SPAN)}" for _ in range(num_rows)],
+            "tag": [
+                f"{domain}tag{rng.randint(0, VALUE_SPAN)}" for _ in range(num_rows)
+            ],
+        },
+        Schema.from_spec(SPEC),
+    )
+
+
+def build_corpus(num_datasets: int, seed: int) -> list[Relation]:
+    rng = random.Random(seed)
+    domains = [f"dom{i}" for i in range(NUM_DOMAINS)]
+    return [
+        make_bench_relation(f"bench_ds{i}", rng, rng.choice(domains))
+        for i in range(num_datasets)
+    ]
+
+
+def build_queries(index: DiscoveryIndex, count: int, seed: int):
+    """``count`` distinct pre-profiled queries, all probing the hot domain."""
+    rng = random.Random(seed + 1)
+    return [
+        profile_relation(
+            make_bench_relation(f"bench_q{i}", rng, HOT_DOMAIN), index.minhasher
+        )
+        for i in range(count)
+    ]
+
+
+def timed(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall time in milliseconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0
+
+
+def bench_batch(index: DiscoveryIndex, profiles, repeats: int) -> dict:
+    def join_serial():
+        return [index.join_candidates_for_profile(profile) for profile in profiles]
+
+    def join_batched():
+        return index.join_candidates_for_profiles(profiles)
+
+    def union_serial():
+        return [index.union_candidates_for_profile(profile) for profile in profiles]
+
+    def union_batched():
+        return index.union_candidates_for_profiles(profiles)
+
+    union_results = union_batched()
+    parity = join_batched() == join_serial() and union_results == union_serial()
+    join_serial_ms = timed(join_serial, repeats)
+    join_batched_ms = timed(join_batched, repeats)
+    union_serial_ms = timed(union_serial, repeats)
+    union_batched_ms = timed(union_batched, repeats)
+    return {
+        "batch_size": len(profiles),
+        "union_candidates": sum(len(found) for found in union_results),
+        "join_serial_ms": round(join_serial_ms, 4),
+        "join_batched_ms": round(join_batched_ms, 4),
+        "union_serial_ms": round(union_serial_ms, 4),
+        "union_batched_ms": round(union_batched_ms, 4),
+        "speedup": {
+            "join": round(join_serial_ms / join_batched_ms, 2),
+            "union": round(union_serial_ms / union_batched_ms, 2),
+        },
+        "parity": parity,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--datasets", type=int, default=400)
+    parser.add_argument("--batch-sizes", type=int, nargs="+", default=BATCH_SIZES)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_batching.json",
+    )
+    args = parser.parse_args(argv)
+    relations = build_corpus(args.datasets, args.seed)
+    index = DiscoveryIndex(
+        join_threshold=JOIN_THRESHOLD, union_threshold=UNION_THRESHOLD
+    )
+    for relation in relations:
+        index.register(relation)
+    profiles = build_queries(index, max(args.batch_sizes), args.seed)
+    report = {
+        "benchmark": "micro_batching",
+        "config": {
+            "cpu_count": os.cpu_count(),
+            "datasets": args.datasets,
+            "rows_per_dataset": NUM_ROWS,
+            "value_span": VALUE_SPAN,
+            "num_domains": NUM_DOMAINS,
+            "hot_domain": HOT_DOMAIN,
+            "join_threshold": JOIN_THRESHOLD,
+            "union_threshold": UNION_THRESHOLD,
+            "batch_sizes": args.batch_sizes,
+            "repeats": args.repeats,
+            "distinct_queries": True,
+        },
+        "results": [],
+    }
+    ok = True
+    for size in args.batch_sizes:
+        result = bench_batch(index, profiles[:size], args.repeats)
+        report["results"].append(result)
+        ok = ok and result["parity"]
+        print(
+            f"batch {size:>3} | join serial {result['join_serial_ms']:9.3f}ms"
+            f"  batched {result['join_batched_ms']:9.3f}ms"
+            f" ({result['speedup']['join']:5.2f}x)"
+            f" | union serial {result['union_serial_ms']:9.3f}ms"
+            f"  batched {result['union_batched_ms']:9.3f}ms"
+            f" ({result['speedup']['union']:5.2f}x)"
+            f" | candidates={result['union_candidates']}"
+            f" | parity={'ok' if result['parity'] else 'FAIL'}"
+        )
+    largest = report["results"][-1]
+    report["summary"] = {
+        # The headline: a full lane of distinct union queries through one
+        # flat COO scatter vs the same queries served one at a time.
+        "batched_vs_serial": largest["speedup"]["union"],
+        "join_batched_vs_serial": largest["speedup"]["join"],
+        "at_batch_size": largest["batch_size"],
+    }
+    print(
+        f"summary: union batched_vs_serial {report['summary']['batched_vs_serial']:.2f}x"
+        f" at batch {largest['batch_size']}"
+    )
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -53,6 +53,8 @@ _EXPORTS = {
     "AsyncBackend": ("repro.serving.backends", "AsyncBackend"),
     "BACKENDS": ("repro.serving.backends", "BACKENDS"),
     "resolve_backend": ("repro.serving.backends", "resolve_backend"),
+    "MicroBatcher": ("repro.serving.batching", "MicroBatcher"),
+    "BatchedCandidates": ("repro.serving.batching", "BatchedCandidates"),
     "RetryPolicy": ("repro.serving.resilience", "RetryPolicy"),
     "CircuitBreaker": ("repro.serving.resilience", "CircuitBreaker"),
     "ResilientDispatch": ("repro.serving.resilience", "ResilientDispatch"),

@@ -225,6 +225,11 @@ class RequestEnvelope:
     #: worker performs it (crash / delay / raise) deterministically while
     #: handling exactly this envelope.  ``None`` in production.
     fault: object | None = None
+    #: Discovery candidates precomputed by the parent's micro-batcher
+    #: (one shared kernel call across concurrent requests), shipped only
+    #: when they were computed at exactly ``expected_epoch``.  ``None``
+    #: means the replica runs its own solo discovery.
+    candidates: list | None = None
 
 
 class PlatformReplica:
@@ -381,6 +386,10 @@ class PlatformReplica:
             if envelope.mode == "automl":
                 result = self.service.run(
                     envelope.request, time_budget_seconds=envelope.budget_seconds
+                )
+            elif envelope.candidates is not None:
+                result = self.platform.search(
+                    envelope.request, candidates=envelope.candidates
                 )
             else:
                 result = self.platform.search(envelope.request)
@@ -720,7 +729,21 @@ class ProcessPoolBackend:
         self, request: SearchRequest, remaining: float | None
     ) -> ComputeOutcome:
         gateway = self._gateway
+        candidates = None
+        batched_epoch = None
+        if gateway.batcher is not None:
+            # Join a batch lane *before* snapshotting the mutation log so
+            # the ops the replica replays are at least as fresh as the
+            # epoch the batch ran against.
+            batched = gateway.batcher.batch_for(gateway.mode, request, remaining)
+            candidates = batched.candidates
+            batched_epoch = batched.epoch
         ops, expected_epoch, snapshot = self._sync_ops()
+        if candidates is not None and batched_epoch != expected_epoch:
+            # The corpus churned between the batch and this dispatch; the
+            # precomputed candidates describe a stale epoch, so the
+            # replica must run its own solo discovery instead.
+            candidates = None
         # Cross-process trace propagation: the caller is the gateway's
         # ``dispatch`` span (this method runs inside it on the
         # orchestrator thread), so its ids root the replica's span tree.
@@ -737,6 +760,7 @@ class ProcessPoolBackend:
             snapshot=snapshot,
             trace=trace_ref,
             fault=pending_fault("replica.dispatch"),
+            candidates=candidates,
         )
         gateway.metrics.adjust_gauge(f"gateway.backend.{self.name}.inflight_computes", 1)
         started = gateway.clock.now()

@@ -1,0 +1,181 @@
+"""Micro-batching of the discovery stage across concurrent gateway requests.
+
+The discovery kernels (`repro.discovery.engine`) are throughput machines:
+scoring 64 query signatures against the packed matrix in one broadcast, or
+stacking 64 query columns into one CSR product, costs far less than 64
+independent passes.  The gateway exploits that by *micro-batching*: when
+``GatewayConfig.batch_max_size > 1``, concurrent search requests reaching
+the compute stage are collected into **batch lanes** keyed on
+``(mode, corpus epoch, discovery fan-out)``.  The first request into a
+lane becomes the *leader*; it waits up to ``max_wait_seconds`` for
+followers (or until the lane is full), then issues ONE
+:meth:`~repro.core.platform.Mileena.discover_candidates_batch` call and
+scatters the per-request candidate lists to each member's future.
+
+Correctness invariants:
+
+- **Bit-identical results.**  The batched kernels are pure reshapings of
+  the per-query kernels (see ``tests/discovery/test_batch_parity.py``),
+  so a batched request returns byte-identical candidates to a solo one.
+- **Epoch safety.**  The lane key pins the corpus epoch observed at
+  enqueue time; the epoch is re-read when the batch runs and stamped on
+  the :class:`BatchedCandidates` hand-off.  Consumers that dispatch
+  remotely (the process backend) compare the stamp against their
+  replica's expected epoch and fall back to solo discovery on mismatch.
+- **Isolated failures.**  A kernel failure resolves every member with a
+  *solo* marker — each request then computes its own candidates through
+  the unbatched path, so one poisoned batch never fails its neighbours.
+- **Deadlines hold.**  A follower waits on its future only as long as
+  its remaining budget; expiry raises :class:`RequestTimeout`, which the
+  gateway's dispatch-failure ladder turns into the usual EXPIRED path.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+
+from repro.core.request import SearchRequest
+from repro.exceptions import RequestTimeout
+from repro.faults.injector import fault_point
+from repro.obs import span
+
+__all__ = ["BatchedCandidates", "MicroBatcher"]
+
+#: Per-member marker meaning "the batch could not produce candidates for
+#: you — compute them yourself through the solo path".
+_SOLO = object()
+
+
+@dataclass(frozen=True)
+class BatchedCandidates:
+    """The hand-off from a batch lane to one member request.
+
+    ``candidates`` is ``None`` when the member must fall back to solo
+    discovery (kernel failure, or a member the batch skipped).  ``epoch``
+    is the corpus epoch the batch ran against, so dispatchers can detect
+    staleness before shipping the candidates to a replica.
+    """
+
+    candidates: list | None
+    epoch: int
+
+
+class _Lane:
+    """One open batch: its key, enrolled members, and the go signal."""
+
+    __slots__ = ("key", "members", "ready")
+
+    def __init__(self, key: tuple) -> None:
+        self.key = key
+        self.members: list[tuple[SearchRequest, Future]] = []
+        self.ready = threading.Event()
+
+
+class MicroBatcher:
+    """Collects concurrent discovery calls into shared kernel batches.
+
+    Thread-safe; shared by every worker of a gateway backend.  Lanes are
+    keyed on ``(mode, epoch, top_k)`` so requests that would take
+    different discovery paths never share a kernel call.
+    """
+
+    def __init__(
+        self,
+        platform,
+        *,
+        max_size: int,
+        max_wait_seconds: float,
+        metrics=None,
+    ) -> None:
+        self.platform = platform
+        self.max_size = max(2, int(max_size))
+        self.max_wait_seconds = max(0.0, float(max_wait_seconds))
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._lanes: dict[tuple, _Lane] = {}
+
+    @property
+    def depth(self) -> int:
+        """Number of requests currently waiting in open lanes."""
+        with self._lock:
+            return sum(len(lane.members) for lane in self._lanes.values())
+
+    def batch_for(
+        self, mode: str, request: SearchRequest, remaining: float | None
+    ) -> BatchedCandidates:
+        """Enroll ``request`` in a batch lane and wait for its candidates.
+
+        Blocks until the lane runs (the leader waits out ``max_wait`` or a
+        full lane; followers wait on their future within ``remaining``
+        seconds of budget).  Raises :class:`RequestTimeout` if the budget
+        lapses first.
+        """
+        if self.metrics is not None:
+            self.metrics.increment("gateway.batch.requests")
+        future: Future = Future()
+        with self._lock:
+            epoch = self.platform.corpus.epoch
+            key = (mode, epoch, self.platform.discovery_top_k)
+            lane = self._lanes.get(key)
+            if lane is None:
+                lane = _Lane(key)
+                self._lanes[key] = lane
+            lane.members.append((request, future))
+            leader = len(lane.members) == 1
+            if len(lane.members) >= self.max_size:
+                # Full house: close the lane so late arrivals open a new
+                # one, and release the leader immediately.
+                self._lanes.pop(key, None)
+                lane.ready.set()
+        if leader:
+            lane.ready.wait(self.max_wait_seconds)
+            with self._lock:
+                # The lane may already be closed by the size trigger; only
+                # retire it if it is still the open lane for this key.
+                if self._lanes.get(lane.key) is lane:
+                    del self._lanes[lane.key]
+            self._run(lane)
+        try:
+            return future.result(timeout=remaining)
+        except FutureTimeoutError:
+            if self.metrics is not None:
+                self.metrics.increment("gateway.batch.expired")
+            raise RequestTimeout(
+                f"request budget lapsed after {remaining:.3f}s waiting "
+                "for its discovery batch"
+            ) from None
+
+    def _run(self, lane: _Lane) -> None:
+        """Execute one closed lane and scatter results to every member.
+
+        The scatter lives in a ``finally`` so members are *always*
+        released: a kernel failure resolves them with the solo marker
+        instead of leaving followers blocked until their budgets expire.
+        """
+        members = lane.members
+        if self.metrics is not None:
+            self.metrics.increment("gateway.batch.batches")
+            self.metrics.observe("gateway.batch.size", float(len(members)))
+        epoch = self.platform.corpus.epoch
+        candidate_lists: list = [_SOLO] * len(members)
+        try:
+            with span("batch_assemble", size=len(members)):
+                requests = [request for request, _ in members]
+            with span("batch_kernel", size=len(members)):
+                fault_point("gateway.batch_kernel")
+                candidate_lists = self.platform.discover_candidates_batch(requests)
+        except Exception:
+            # Fail open: every member falls back to solo discovery.  The
+            # solo path re-raises any deterministic error per request, so
+            # nothing is masked — only the shared fate is broken up.
+            if self.metrics is not None:
+                self.metrics.increment("gateway.batch.kernel_failures")
+            candidate_lists = [_SOLO] * len(members)
+        finally:
+            with span("batch_scatter", size=len(members)):
+                for (_, future), candidates in zip(members, candidate_lists):
+                    outcome = None if candidates is _SOLO else candidates
+                    future.set_result(BatchedCandidates(outcome, epoch))

@@ -50,6 +50,7 @@ from repro.exceptions import (
 )
 from repro.faults.injector import fault_point
 from repro.obs import TraceBuffer, Tracer, span
+from repro.serving.batching import MicroBatcher
 from repro.serving.cache import CachingProxy, ResultCache, SingleFlight
 from repro.serving.fingerprint import request_fingerprint
 from repro.serving.metrics import MetricsRegistry
@@ -76,6 +77,16 @@ class GatewayConfig:
     max_pending:
         Admission-control bound on submitted-but-unfinished requests;
         submissions beyond it raise :class:`AdmissionError`.
+    batch_max_size / batch_max_wait_ms:
+        Opt-in micro-batching of the discovery stage (search mode only).
+        When ``batch_max_size > 1``, concurrent requests reaching the
+        compute stage are collected into batch lanes keyed on
+        (mode, corpus epoch, discovery fan-out) for up to
+        ``batch_max_wait_ms`` milliseconds — or until the lane is full —
+        and ONE batched signature-matrix / CSR kernel call computes every
+        member's discovery candidates, bit-identical to solo discovery.
+        See :class:`repro.serving.batching.MicroBatcher` and
+        ``docs/TUNING.md``.
     default_time_budget_seconds:
         Deadline applied to requests submitted without an explicit budget
         (``None`` = no deadline).
@@ -196,6 +207,8 @@ class GatewayConfig:
 
     max_workers: int = 4
     max_pending: int = 64
+    batch_max_size: int = 1
+    batch_max_wait_ms: float = 2.0
     default_time_budget_seconds: float | None = None
     cache_capacity: int = 256
     cache_results: bool = True
@@ -398,6 +411,18 @@ class Gateway:
                 metrics=self.metrics,
                 name="lkg_cache",
             )
+        # Opt-in micro-batching of the discovery stage: concurrent search
+        # requests reaching the compute stage share one batched kernel call
+        # (see repro.serving.batching; AutoML requests are never batched —
+        # their compute is dominated by model training, not discovery).
+        self.batcher: MicroBatcher | None = None
+        if self.config.batch_max_size > 1 and not self.config.run_automl:
+            self.batcher = MicroBatcher(
+                platform,
+                max_size=self.config.batch_max_size,
+                max_wait_seconds=self.config.batch_max_wait_ms / 1000.0,
+                metrics=self.metrics,
+            )
         self.backend.start(self)
 
     @property
@@ -421,11 +446,7 @@ class Gateway:
         )
         with self._lock:
             if self._pending >= self.config.max_pending:
-                self.metrics.increment("gateway.rejected")
-                raise AdmissionError(
-                    f"gateway queue is full ({self._pending} pending, "
-                    f"max_pending={self.config.max_pending})"
-                )
+                raise self._reject()
             self._pending += 1
             self.metrics.set_gauge("gateway.pending", self._pending)
             request_id = self._next_request_id
@@ -433,6 +454,22 @@ class Gateway:
         # The deadline starts at admission: queue wait consumes the budget.
         timer = BudgetTimer(self.clock, budget)
         return self.backend.submit(request_id, request, timer)
+
+    def _reject(self) -> AdmissionError:
+        """Rejection bookkeeping shared by single and batch submission.
+
+        Called with ``self._lock`` held.  Emits the rejection counter AND
+        re-publishes the pending gauge, so dashboards see one identical
+        metric series whether the rejection surfaced as a raised
+        :class:`AdmissionError` (``submit``) or as a synthetic ``rejected``
+        response in a ``run_many`` burst.
+        """
+        self.metrics.increment("gateway.rejected")
+        self.metrics.set_gauge("gateway.pending", self._pending)
+        return AdmissionError(
+            f"gateway queue is full ({self._pending} pending, "
+            f"max_pending={self.config.max_pending})"
+        )
 
     def run_many(
         self,
@@ -450,6 +487,8 @@ class Gateway:
             try:
                 futures.append(self.submit(request, time_budget_seconds))
             except AdmissionError as error:
+                # submit() already did the rejection bookkeeping (counter +
+                # pending gauge) via _reject; only the response id is local.
                 with self._lock:
                     request_id = self._next_request_id
                     self._next_request_id += 1
@@ -559,9 +598,16 @@ class Gateway:
         """
         fault_point("gateway.compute")
         scoped = replace(request, time_budget_seconds=remaining)
+        candidates = None
+        if self.batcher is not None:
+            # Join a batch lane for the discovery stage; candidates stays
+            # None (solo discovery inside search) if the batch failed.
+            candidates = self.batcher.batch_for(self.mode, request, remaining).candidates
         with span("compute"):
             if self.config.run_automl:
                 result = self.service.run(scoped, time_budget_seconds=remaining)
+            elif candidates is not None:
+                result = self.platform.search(scoped, candidates=candidates)
             else:
                 result = self.platform.search(scoped)
         return ComputeOutcome(result=result, epoch=self.platform.corpus.epoch)

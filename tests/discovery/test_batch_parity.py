@@ -1,0 +1,311 @@
+"""Differential batch parity: batched kernels vs per-query vectorized vs scalar.
+
+The micro-batching stage is only sound if a batched kernel call is a pure
+reshaping of per-query work: for every query in a batch, the candidate
+list must be **byte-identical** to what a solo vectorized query and the
+scalar oracle produce — same candidates, same order, and bit-equal
+similarity floats (asserted on the IEEE-754 byte encoding, so even a
+`-0.0` vs `0.0` discrepancy would fail).  The harness sweeps batch sizes
+1/2/7/64, duplicate queries, mixed thresholds, LSH pruning, registry
+churn between batches, and the sharded fan-out.
+"""
+
+import math
+import random
+import struct
+
+import numpy as np
+import pytest
+
+from repro.discovery import DiscoveryIndex
+from repro.relational import CATEGORICAL, KEY, NUMERIC, Relation, Schema
+from repro.serving.sharded import ShardedDiscoveryIndex
+
+SPEC = {"key": KEY, "tag": CATEGORICAL, "metric": NUMERIC}
+
+BATCH_SIZES = [1, 2, 7, 64]
+
+
+def make_relation(name, rng, domain, num_rows=40, key_span=50):
+    """A relation whose key/tag columns live in ``domain``'s vocabulary."""
+    columns = {
+        "key": [f"{domain}_{rng.randint(0, key_span)}" for _ in range(num_rows)],
+        "tag": [f"{domain}tag{rng.randint(0, 8)}" for _ in range(num_rows)],
+        "metric": [float(i) for i in range(num_rows)],
+    }
+    return Relation(name, columns, Schema.from_spec(SPEC))
+
+
+def make_corpus(rng, num_datasets, num_domains=7):
+    domains = [f"dom{i}" for i in range(num_domains)]
+    return [
+        make_relation(f"ds{i}", rng, rng.choice(domains)) for i in range(num_datasets)
+    ]
+
+
+def make_batch(rng, size):
+    """``size`` query relations; batches of ≥3 repeat a query verbatim."""
+    queries = [
+        make_relation(f"query{i}", rng, f"dom{rng.randint(0, 6)}")
+        for i in range(size)
+    ]
+    if size >= 3:
+        queries[-1] = queries[0]
+    return queries
+
+
+def build_indexes(relations, **kwargs):
+    """The same corpus registered into scalar, vectorized, and LSH indexes."""
+    scalar = DiscoveryIndex(vectorized=False, **kwargs)
+    vectorized = DiscoveryIndex(vectorized=True, **kwargs)
+    lsh = DiscoveryIndex(vectorized=True, use_lsh=True, **kwargs)
+    for relation in relations:
+        scalar.register(relation)
+        vectorized.register(relation)
+        lsh.register(relation)
+    return scalar, vectorized, lsh
+
+
+def sim_bytes(candidates):
+    """IEEE-754 encodings of every similarity — the byte-level identity."""
+    return [struct.pack("<d", candidate.similarity) for candidate in candidates]
+
+
+def assert_identical(got, want):
+    assert got == want
+    assert sim_bytes(got) == sim_bytes(want)
+
+
+def assert_join_batch_parity(scalar, index, queries, top_k=None):
+    batched = index.join_candidates_batch(queries, top_k)
+    assert len(batched) == len(queries)
+    for query, got in zip(queries, batched):
+        assert_identical(got, index.join_candidates(query, top_k))
+        if not index.use_lsh:
+            assert_identical(got, scalar.join_candidates_scalar(query, top_k))
+
+
+def assert_union_batch_parity(scalar, index, queries, top_k=None):
+    batched = index.union_candidates_batch(queries, top_k)
+    assert len(batched) == len(queries)
+    for query, got in zip(queries, batched):
+        assert_identical(got, index.union_candidates(query, top_k))
+        assert_identical(got, scalar.union_candidates_scalar(query, top_k))
+
+
+@pytest.mark.parametrize("size", BATCH_SIZES)
+@pytest.mark.parametrize("seed", [0, 1])
+def test_batch_parity_across_sizes(seed, size):
+    rng = random.Random(seed)
+    relations = make_corpus(rng, num_datasets=40)
+    scalar, vectorized, lsh = build_indexes(
+        relations, join_threshold=0.1, union_threshold=0.2
+    )
+    queries = make_batch(rng, size)
+    assert_join_batch_parity(scalar, vectorized, queries)
+    assert_union_batch_parity(scalar, vectorized, queries)
+    assert_join_batch_parity(scalar, lsh, queries)
+    # The LSH batch must also match the solo LSH path candidate for
+    # candidate (both prune with the same per-query adaptive sets).
+    assert_union_batch_parity(scalar, lsh, queries)
+
+
+@pytest.mark.parametrize(
+    ("join_threshold", "union_threshold"), [(0.05, 0.15), (0.3, 0.55), (0.6, 0.8)]
+)
+def test_batch_parity_across_thresholds(join_threshold, union_threshold):
+    rng = random.Random(7)
+    relations = make_corpus(rng, num_datasets=30)
+    scalar, vectorized, lsh = build_indexes(
+        relations, join_threshold=join_threshold, union_threshold=union_threshold
+    )
+    queries = make_batch(rng, 7)
+    assert_join_batch_parity(scalar, vectorized, queries)
+    assert_union_batch_parity(scalar, vectorized, queries)
+    assert_join_batch_parity(scalar, lsh, queries)
+
+
+def test_batch_parity_with_top_k():
+    rng = random.Random(2)
+    relations = make_corpus(rng, num_datasets=30)
+    scalar, vectorized, _ = build_indexes(
+        relations, join_threshold=0.1, union_threshold=0.2
+    )
+    queries = make_batch(rng, 7)
+    for top_k in (0, 1, 5, None):
+        assert_join_batch_parity(scalar, vectorized, queries, top_k)
+        assert_union_batch_parity(scalar, vectorized, queries, top_k)
+
+
+@pytest.mark.parametrize("seed", [3, 4])
+def test_batch_parity_under_churn(seed):
+    """Batches stay at parity while the registry churns between them."""
+    rng = random.Random(seed)
+    relations = make_corpus(rng, num_datasets=30)
+    scalar, vectorized, lsh = build_indexes(
+        relations, join_threshold=0.1, union_threshold=0.2
+    )
+    indexes = (scalar, vectorized, lsh)
+    for round_number in range(3):
+        victims = rng.sample([r.name for r in relations], k=6)
+        for name in victims:
+            for index in indexes:
+                index.unregister(name)
+        revived = rng.sample(victims, k=3)
+        for name in revived:
+            relation = next(r for r in relations if r.name == name)
+            for index in indexes:
+                index.register(relation)
+        queries = make_batch(rng, 7)
+        assert_join_batch_parity(scalar, vectorized, queries)
+        assert_union_batch_parity(scalar, vectorized, queries)
+        assert_join_batch_parity(scalar, lsh, queries)
+
+
+def test_batch_parity_sharded_fanout():
+    """The sharded batch fan-out matches sharded solo and the flat oracle."""
+    rng = random.Random(5)
+    relations = make_corpus(rng, num_datasets=30)
+    scalar = DiscoveryIndex(
+        vectorized=False, join_threshold=0.1, union_threshold=0.2
+    )
+    sharded = ShardedDiscoveryIndex(
+        num_shards=3, join_threshold=0.1, union_threshold=0.2
+    )
+    for relation in relations:
+        scalar.register(relation)
+        sharded.register(relation)
+    queries = make_batch(rng, 7)
+    for got, query in zip(sharded.join_candidates_batch(queries), queries):
+        assert_identical(got, sharded.join_candidates(query))
+        assert_identical(got, scalar.join_candidates_scalar(query))
+    for got, query in zip(sharded.union_candidates_batch(queries), queries):
+        assert_identical(got, sharded.union_candidates(query))
+        assert_identical(got, scalar.union_candidates_scalar(query))
+
+
+def test_batch_parity_sharded_fanout_with_cache():
+    """Cached and kernel-computed entries of one batch are identical."""
+    rng = random.Random(6)
+    relations = make_corpus(rng, num_datasets=20)
+    sharded = ShardedDiscoveryIndex(
+        num_shards=2, join_threshold=0.1, union_threshold=0.2, cache_capacity=64
+    )
+    for relation in relations:
+        sharded.register(relation)
+    queries = make_batch(rng, 7)
+    # Warm the cache with a couple of solo queries, then batch over a mix
+    # of warm and cold fingerprints (plus the built-in duplicate).
+    warm_join = [sharded.join_candidates(queries[1]), sharded.join_candidates(queries[4])]
+    batched = sharded.join_candidates_batch(queries)
+    assert_identical(batched[1], warm_join[0])
+    assert_identical(batched[4], warm_join[1])
+    for got, query in zip(batched, queries):
+        assert_identical(got, sharded.join_candidates(query))
+    warm_union = sharded.union_candidates(queries[0])
+    batched = sharded.union_candidates_batch(queries)
+    assert_identical(batched[0], warm_union)
+    assert_identical(batched[-1], warm_union)  # duplicate of queries[0]
+    for got, query in zip(batched, queries):
+        assert_identical(got, sharded.union_candidates(query))
+
+
+def test_empty_index_and_empty_batch():
+    vectorized = DiscoveryIndex()
+    rng = random.Random(0)
+    queries = [make_relation("query", rng, "dom0")]
+    assert vectorized.join_candidates_batch(queries) == [[]]
+    assert vectorized.union_candidates_batch(queries) == [[]]
+    assert vectorized.join_candidates_batch([]) == []
+    assert vectorized.union_candidates_batch([]) == []
+    # A query with no joinable columns inside an otherwise scoring batch.
+    numeric_only = Relation(
+        "numbers",
+        {"metric": [float(i) for i in range(10)]},
+        Schema.from_spec({"metric": NUMERIC}),
+    )
+    scalar, vec, lsh = build_indexes(make_corpus(rng, 10), join_threshold=0.1)
+    mixed = [make_relation("query", rng, "dom0"), numeric_only]
+    assert_join_batch_parity(scalar, vec, mixed)
+    assert_join_batch_parity(scalar, lsh, mixed)
+    assert vec.join_candidates_batch([numeric_only]) == [[]]
+
+
+def test_weighted_dot_many_is_bitwise_stacked_weighted_dot():
+    """The batched CSR kernel row-for-row equals the per-query kernel."""
+    rng = random.Random(8)
+    relations = make_corpus(rng, num_datasets=25)
+    index = DiscoveryIndex(union_threshold=0.2)
+    for relation in relations:
+        index.register(relation)
+    terms = index._terms
+    idf = index.idf_model.idf()
+    size = terms.capacity
+    sketches = [
+        column.tfidf.term_counts
+        for profile in (
+            index.profiles[name] for name in ("ds0", "ds3", "ds7", "ds0")
+        )
+        for column in profile.columns.values()
+        if column.tfidf is not None
+    ]
+    batched = terms.weighted_dot_many(sketches, idf, size)
+    assert batched.shape == (len(sketches), size)
+    for row, term_counts in enumerate(sketches):
+        solo = terms.weighted_dot(term_counts, idf, size)
+        assert batched[row].tobytes() == solo.tobytes()
+    assert terms.weighted_dot_many([], idf, size).shape == (0, size)
+    # Mixed sketch lengths exercise the step-synchronised ragged tail.
+    ragged = [sketches[0], {}, dict(list(sketches[1].items())[:1])]
+    batched = terms.weighted_dot_many(ragged, idf, size)
+    for row, term_counts in enumerate(ragged):
+        assert batched[row].tobytes() == terms.weighted_dot(
+            term_counts, idf, size
+        ).tobytes()
+    assert np.all(batched[1] == 0.0)
+
+
+def test_weighted_dot_many_fused_norms_are_bitwise_sketch_norms():
+    """``with_norms=True`` returns the exact per-sketch TF-IDF norms.
+
+    The fused norm is a single ``bincount`` over the squared usage
+    scales; it must be bit-equal to the solo expression the scalar path
+    evaluates (``TfIdfSketch.norm``), and fusing it must not perturb the
+    dot matrix by a single byte.
+    """
+    rng = random.Random(8)
+    relations = make_corpus(rng, num_datasets=25)
+    index = DiscoveryIndex(union_threshold=0.2)
+    for relation in relations:
+        index.register(relation)
+    terms = index._terms
+    idf = index.idf_model.idf()
+    size = terms.capacity
+    sketches = [
+        column.tfidf.term_counts
+        for profile in (
+            index.profiles[name] for name in ("ds0", "ds3", "ds7", "ds0")
+        )
+        for column in profile.columns.values()
+        if column.tfidf is not None
+    ]
+    # A sketch of purely unindexed terms: zero dot row, nonzero norm.
+    sketches.append({"never_indexed_term": 3})
+    sketches.append({})
+    dots, norms = terms.weighted_dot_many(sketches, idf, size, with_norms=True)
+    assert norms.shape == (len(sketches),)
+    assert dots.tobytes() == terms.weighted_dot_many(sketches, idf, size).tobytes()
+    for row, term_counts in enumerate(sketches):
+        solo = math.sqrt(
+            sum(
+                (count * idf.get(term, 1.0)) ** 2
+                for term, count in term_counts.items()
+            )
+        )
+        assert struct.pack("<d", norms[row]) == struct.pack("<d", solo)
+    assert np.all(dots[-2] == 0.0)
+    assert norms[-2] > 0.0
+    assert norms[-1] == 0.0
+    empty_dots, empty_norms = terms.weighted_dot_many([], idf, size, with_norms=True)
+    assert empty_dots.shape == (0, size)
+    assert empty_norms.shape == (0,)

@@ -1,0 +1,116 @@
+"""Deterministic chaos against the micro-batching stage.
+
+A batch lane couples the fates of several requests; these scenarios
+verify the coupling is severed exactly where it should be.  A worker
+killed while holding a batched envelope is respawned and the envelope
+re-dispatched; an injected compute fault fails only the request it hit;
+a poisoned batch kernel fails open to solo discovery.  In every case the
+response list keeps one response per request, in submission order, and
+every successful answer is bit-identical to the no-fault baseline.
+"""
+
+from chaos_helpers import fresh_platform, result_identity
+
+from repro.core import SearchRequest
+from repro.faults import FaultPlan, armed
+from repro.serving import Gateway, GatewayConfig
+from repro.serving.gateway import FAILED, OK
+
+
+def batch_requests(corpus, count=3):
+    return [
+        SearchRequest(
+            train=corpus.train,
+            test=corpus.test,
+            target=corpus.target,
+            max_augmentations=k,
+        )
+        for k in range(1, count + 1)
+    ]
+
+
+def baselines_for(corpus, requests):
+    platform = fresh_platform(corpus)
+    return [result_identity(platform.search(request)) for request in requests]
+
+
+def assert_no_dup_drop_reorder(responses, requests):
+    assert len(responses) == len(requests)
+    assert len({response.request_id for response in responses}) == len(responses)
+
+
+def test_worker_killed_mid_batch_redispatches_bit_identical(corpus, chaos_seed):
+    """A replica crash while holding a batched envelope: the supervisor
+    respawns the pool and re-dispatches; every member still answers,
+    byte for byte what the no-fault run produces."""
+    requests = batch_requests(corpus, count=2)
+    expected = baselines_for(corpus, requests)
+    platform = fresh_platform(corpus)
+    config = GatewayConfig(
+        max_workers=2,
+        process_workers=1,
+        backend="process",
+        batch_max_size=2,
+        batch_max_wait_ms=250.0,
+    )
+    plan = FaultPlan(seed=chaos_seed).crash("replica.dispatch", on_hit=1)
+    with Gateway(platform, config) as gateway:
+        with armed(plan) as injector:
+            responses = gateway.run_many(requests)
+    assert_no_dup_drop_reorder(responses, requests)
+    assert [response.status for response in responses] == [OK, OK]
+    assert [result_identity(response.result) for response in responses] == expected
+    assert injector.fired == [("replica.dispatch", 1, "crash")]
+    assert gateway.metrics.counter_value("faults.replica_restarts") >= 1
+    assert gateway.metrics.counter_value("gateway.batch.requests") >= len(requests)
+
+
+def test_compute_fault_fails_only_the_hit_member(corpus, chaos_seed):
+    """An injected deterministic fault at the compute stage, no retries
+    left: exactly one member of the burst fails, its lane-mates answer
+    bit-identically, and nothing is duplicated, dropped, or reordered."""
+    requests = batch_requests(corpus, count=3)
+    expected = baselines_for(corpus, requests)
+    platform = fresh_platform(corpus)
+    config = GatewayConfig(
+        max_workers=3,
+        retry_max_attempts=1,
+        degraded_fallback=False,
+        batch_max_size=3,
+        batch_max_wait_ms=100.0,
+    )
+    plan = FaultPlan(seed=chaos_seed).raise_("gateway.compute", on_hit=1)
+    with Gateway(platform, config) as gateway:
+        with armed(plan):
+            responses = gateway.run_many(requests)
+    assert_no_dup_drop_reorder(responses, requests)
+    statuses = [response.status for response in responses]
+    assert statuses.count(FAILED) == 1, statuses
+    assert statuses.count(OK) == len(requests) - 1, statuses
+    for response, baseline in zip(responses, expected):
+        if response.status == OK:
+            assert result_identity(response.result) == baseline
+        else:
+            assert response.error
+
+
+def test_batch_kernel_fault_fails_open_to_solo_discovery(corpus, chaos_seed):
+    """A fault inside the shared kernel call poisons only the batch, not
+    its members: everyone falls back to solo discovery and answers
+    bit-identically, with the failure visible on the kernel counter."""
+    requests = batch_requests(corpus, count=3)
+    expected = baselines_for(corpus, requests)
+    platform = fresh_platform(corpus)
+    config = GatewayConfig(
+        max_workers=3,
+        batch_max_size=3,
+        batch_max_wait_ms=100.0,
+    )
+    plan = FaultPlan(seed=chaos_seed).raise_("gateway.batch_kernel", on_hit=1)
+    with Gateway(platform, config) as gateway:
+        with armed(plan):
+            responses = gateway.run_many(requests)
+    assert_no_dup_drop_reorder(responses, requests)
+    assert [response.status for response in responses] == [OK] * len(requests)
+    assert [result_identity(response.result) for response in responses] == expected
+    assert gateway.metrics.counter_value("gateway.batch.kernel_failures") >= 1

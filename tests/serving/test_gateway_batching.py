@@ -1,0 +1,293 @@
+"""Gateway micro-batching: shared lanes, deadlines, caches, rejections.
+
+Companion to ``tests/discovery/test_batch_parity.py`` (which proves the
+kernels bit-identical): these tests prove the *serving* half — batch
+lanes form and drain correctly, per-request deadlines hold inside a
+shared batch, cache hits never enter a lane, kernel failures fail open
+to solo discovery, and rejection bookkeeping is identical whether a
+request was refused via ``submit`` or inside a ``run_many`` burst.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import Mileena, SearchRequest, WallClock
+from repro.datasets import CorpusSpec, generate_corpus
+from repro.exceptions import AdmissionError
+from repro.relational import KEY, NUMERIC, Relation, Schema
+from repro.serving import Gateway, GatewayConfig
+from repro.serving.batching import MicroBatcher
+from repro.serving.gateway import EXPIRED, OK, REJECTED
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(CorpusSpec(num_datasets=14, requester_rows=200, seed=1))
+
+
+def make_request(corpus, **overrides):
+    defaults = dict(
+        train=corpus.train,
+        test=corpus.test,
+        target=corpus.target,
+        max_augmentations=3,
+    )
+    defaults.update(overrides)
+    return SearchRequest(**defaults)
+
+
+def make_stub_request(value=1.0, **overrides):
+    spec = {"zone": KEY, "x": NUMERIC, "y": NUMERIC}
+    train = Relation(
+        "train",
+        {"zone": ["a", "b"], "x": [value, 2.0], "y": [1.0, 2.0]},
+        Schema.from_spec(spec),
+    )
+    test = Relation(
+        "test",
+        {"zone": ["a", "b"], "x": [1.5, 2.5], "y": [1.5, 2.5]},
+        Schema.from_spec(spec),
+    )
+    return SearchRequest(train=train, test=test, target="y", **overrides)
+
+
+class _StubCorpus:
+    def __init__(self):
+        self.epoch = 0
+
+
+class BatchingPlatform:
+    """A platform stub speaking the batched-discovery protocol, with latches."""
+
+    discovery_top_k = 5
+
+    def __init__(self):
+        self.kernel_release = threading.Event()
+        self.search_release = threading.Event()
+        self.kernel_release.set()
+        self.search_release.set()
+        self.clock = WallClock()
+        self.metrics = None
+        self.cache = None
+        self.corpus = _StubCorpus()
+        self.batch_calls = []
+        self.search_candidates = []
+        self._lock = threading.Lock()
+
+    def discover_candidates_batch(self, requests, top_k=None):
+        if not self.kernel_release.wait(timeout=10.0):
+            raise TimeoutError("batch kernel was never released")
+        with self._lock:
+            self.batch_calls.append(len(requests))
+        return [[("cand", request.max_augmentations)] for request in requests]
+
+    def search(self, request, candidates=None, train_final_model=True):
+        if not self.search_release.wait(timeout=10.0):
+            raise TimeoutError("search was never released")
+        with self._lock:
+            self.search_candidates.append(candidates)
+        return (request.max_augmentations, candidates)
+
+
+class FailingKernelPlatform(BatchingPlatform):
+    def discover_candidates_batch(self, requests, top_k=None):
+        raise RuntimeError("kernel exploded")
+
+
+def stub_config(**overrides):
+    defaults = dict(cache_results=False, cache_proxy_scores=False)
+    defaults.update(overrides)
+    return GatewayConfig(**defaults)
+
+
+def batching_config(**overrides):
+    defaults = dict(batch_max_size=2, batch_max_wait_ms=2000.0, max_workers=2)
+    defaults.update(overrides)
+    return stub_config(**defaults)
+
+
+def test_concurrent_requests_share_one_kernel_call():
+    platform = BatchingPlatform()
+    with Gateway(platform, batching_config()) as gateway:
+        requests = [make_stub_request(max_augmentations=k) for k in (1, 2)]
+        responses = gateway.run_many(requests)
+        assert [response.status for response in responses] == [OK, OK]
+        # Both members got their own slice of the single kernel call.
+        assert [response.result for response in responses] == [
+            (1, [("cand", 1)]),
+            (2, [("cand", 2)]),
+        ]
+        assert platform.batch_calls == [2]
+        metrics = gateway.metrics
+        assert metrics.counter_value("gateway.batch.requests") == 2
+        assert metrics.counter_value("gateway.batch.batches") == 1
+        assert metrics.counter_value("gateway.batch.kernel_failures") == 0
+        assert metrics.histogram("gateway.batch.size").count == 1
+
+
+def test_run_many_ordering_with_interleaved_rejections():
+    platform = BatchingPlatform()
+    platform.search_release.clear()
+    gateway = Gateway(platform, batching_config(max_pending=2))
+    try:
+        threading.Timer(0.3, platform.search_release.set).start()
+        requests = [make_stub_request(max_augmentations=k) for k in (1, 2, 3, 4)]
+        responses = gateway.run_many(requests)
+        statuses = [response.status for response in responses]
+        # Responses stay in submission order: the two admitted requests
+        # (which shared one batch lane) first, the overflow rejected.
+        assert statuses == [OK, OK, REJECTED, REJECTED]
+        assert [response.result for response in responses[:2]] == [
+            (1, [("cand", 1)]),
+            (2, [("cand", 2)]),
+        ]
+        assert all(response.error for response in responses[2:])
+        assert platform.batch_calls == [2]
+        assert gateway.metrics.counter_value("gateway.rejected") == 2
+    finally:
+        platform.search_release.set()
+        gateway.shutdown()
+
+
+def test_rejection_metrics_identical_for_submit_and_run_many():
+    """The fix: submit and run_many do the exact same rejection bookkeeping."""
+
+    def series(metrics):
+        return (
+            metrics.counter_value("gateway.rejected"),
+            metrics.gauge("gateway.pending").value,
+        )
+
+    via_submit = Gateway(BatchingPlatform(), batching_config(max_pending=0))
+    via_run_many = Gateway(BatchingPlatform(), batching_config(max_pending=0))
+    try:
+        for _ in range(3):
+            with pytest.raises(AdmissionError):
+                via_submit.submit(make_stub_request())
+        responses = via_run_many.run_many([make_stub_request() for _ in range(3)])
+        assert [response.status for response in responses] == [REJECTED] * 3
+        assert series(via_submit.metrics) == series(via_run_many.metrics) == (3, 0)
+    finally:
+        via_submit.shutdown()
+        via_run_many.shutdown()
+
+
+def test_budget_expiry_inside_shared_batch():
+    """One member's deadline lapsing mid-batch expires only that member."""
+    platform = BatchingPlatform()
+    platform.kernel_release.clear()
+    gateway = Gateway(
+        platform,
+        batching_config(batch_max_wait_ms=5000.0, degraded_fallback=False),
+    )
+    try:
+        generous = gateway.submit(
+            make_stub_request(value=1.0, max_augmentations=3), 10.0
+        )
+        # Wait until the leader is parked in its lane, then join it with a
+        # request whose budget is far shorter than the (held) kernel.
+        deadline = time.monotonic() + 5.0
+        while gateway.batcher.depth < 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert gateway.batcher.depth == 1
+        tight = gateway.submit(make_stub_request(value=2.0), 0.2)
+        expired = tight.result(timeout=10.0)
+        assert expired.status == EXPIRED
+        assert gateway.metrics.counter_value("gateway.batch.expired") == 1
+        platform.kernel_release.set()
+        survived = generous.result(timeout=10.0)
+        assert survived.status == OK
+        assert survived.result == (3, [("cand", 3)])
+        assert platform.batch_calls == [2]
+    finally:
+        platform.kernel_release.set()
+        gateway.shutdown()
+
+
+def test_cache_hit_short_circuits_batch_lane():
+    """Cached fingerprints are served before they ever reach a lane."""
+    platform = BatchingPlatform()
+    with Gateway(
+        platform,
+        batching_config(cache_results=True, batch_max_size=4, batch_max_wait_ms=20.0),
+    ) as gateway:
+        warm = gateway.submit(make_stub_request(value=1.0)).result(timeout=10.0)
+        assert warm.status == OK
+        assert gateway.metrics.counter_value("gateway.batch.requests") == 1
+        repeats = gateway.run_many([make_stub_request(value=1.0) for _ in range(3)])
+        assert all(response.status == OK for response in repeats)
+        assert all(response.cache_hit for response in repeats)
+        assert all(response.result == warm.result for response in repeats)
+        # No repeat entered a lane; only a genuinely cold request does.
+        assert gateway.metrics.counter_value("gateway.batch.requests") == 1
+        cold = gateway.submit(make_stub_request(value=9.0)).result(timeout=10.0)
+        assert cold.status == OK
+        assert gateway.metrics.counter_value("gateway.batch.requests") == 2
+
+
+def test_kernel_failure_falls_back_to_solo_discovery():
+    """A poisoned batch fails open: members solve solo, nobody fails."""
+    platform = FailingKernelPlatform()
+    with Gateway(platform, batching_config()) as gateway:
+        requests = [make_stub_request(max_augmentations=k) for k in (1, 2)]
+        responses = gateway.run_many(requests)
+        assert [response.status for response in responses] == [OK, OK]
+        # Solo fallback: search received no precomputed candidates.
+        assert [response.result for response in responses] == [(1, None), (2, None)]
+        assert gateway.metrics.counter_value("gateway.batch.kernel_failures") >= 1
+
+
+def test_automl_gateways_never_batch(corpus):
+    platform = Mileena()
+    gateway = Gateway(
+        platform, stub_config(run_automl=True, batch_max_size=8)
+    )
+    try:
+        assert gateway.batcher is None
+    finally:
+        gateway.shutdown()
+
+
+def test_micro_batcher_lanes_are_epoch_keyed():
+    """A corpus epoch bump lands later requests in a fresh lane."""
+    platform = BatchingPlatform()
+    batcher = MicroBatcher(platform, max_size=4, max_wait_seconds=0.0, metrics=None)
+    before = batcher.batch_for("search", make_stub_request(), None)
+    platform.corpus.epoch = 1
+    after = batcher.batch_for("search", make_stub_request(), None)
+    assert before.epoch == 0
+    assert after.epoch == 1
+    assert platform.batch_calls == [1, 1]
+    assert batcher.depth == 0
+
+
+@pytest.mark.parametrize("backend", ["thread", "async"])
+def test_batched_results_match_sequential(corpus, backend):
+    """End-to-end: batched serving returns exactly the sequential answers."""
+    requests = [
+        make_request(corpus, max_augmentations=k, min_improvement=delta)
+        for k in (1, 2, 3)
+        for delta in (1e-3, 5e-2)
+    ]
+    sequential_platform = Mileena()
+    batched_platform = Mileena()
+    for relation in corpus.providers:
+        sequential_platform.register_dataset(relation)
+        batched_platform.register_dataset(relation)
+    sequential = [sequential_platform.search(request) for request in requests]
+    config = GatewayConfig(
+        max_workers=4, backend=backend, batch_max_size=4, batch_max_wait_ms=50.0
+    )
+    with Gateway(batched_platform, config) as gateway:
+        responses = gateway.run_many(requests)
+    assert [response.status for response in responses] == [OK] * len(requests)
+    assert gateway.metrics.counter_value("gateway.batch.requests") == len(requests)
+    for expected, response in zip(sequential, responses):
+        got = response.result
+        assert [c.dataset for c in got.plan.candidates] == [
+            c.dataset for c in expected.plan.candidates
+        ]
+        assert got.proxy_test_r2 == expected.proxy_test_r2
+        assert got.final_test_r2 == expected.final_test_r2
