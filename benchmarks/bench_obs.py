@@ -1,0 +1,219 @@
+"""Observability overhead: OpenMetrics exposition cost and exemplar tax.
+
+Two questions the ops server raises and this benchmark answers with
+numbers:
+
+* **What does a scrape cost at full registry size?**  A registry shaped
+  like a long-running gateway's (default 64 counters, 8 gauges, 6
+  populated histograms) is rendered both ways — the legacy
+  ``MetricsRegistry.render()`` text dump and the OpenMetrics exposition
+  ``repro.obs.export.render_openmetrics`` (HELP lookup against the real
+  ``docs/OBSERVABILITY.md`` catalog, cumulative bucket series,
+  exemplars) — and the per-render time is compared.  The
+  ``summary.exposition_vs_render`` ratio (render / openmetrics, higher
+  means the exposition is comparatively cheaper) is dimensionless and
+  within-run, so ``check_regression.py`` can gate on it.
+
+* **What does arming exemplars cost the hot path?**  ``Histogram.observe``
+  is on every request; exemplar capture must be invisible when it does
+  not fire.  The benchmark times a tight observe loop three ways:
+  exemplars disarmed (the default), armed with no active span (the
+  common case — one attribute check plus one contextvar read), and armed
+  inside a live span (capture actually fires).
+  ``summary.armed_idle_efficiency`` (disarmed ns / armed-idle ns, ~1.0
+  when arming is free) is the second gated ratio.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py             # full run
+    PYTHONPATH=src python benchmarks/bench_obs.py --repeats 3
+
+The committed ``BENCH_obs.json`` comes from a full local run; the CI
+smoke run uses the same (seconds-scale) configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import Tracer, parse_openmetrics, render_openmetrics  # noqa: E402
+from repro.serving.metrics import MetricsRegistry  # noqa: E402
+
+NUM_COUNTERS = 64
+NUM_GAUGES = 8
+NUM_HISTOGRAMS = 6
+OBSERVATIONS_PER_HISTOGRAM = 1000
+RENDER_ITERATIONS = 100
+OBSERVE_ITERATIONS = 50_000
+
+
+def build_registry(armed: bool = False) -> MetricsRegistry:
+    """A registry shaped like a long-running gateway's.
+
+    Names are dotted multi-segment like the real telemetry; histogram
+    observations sweep the full bucket range so every cumulative series
+    has content (an empty histogram renders in constant time and would
+    flatter the exposition).
+    """
+    registry = MetricsRegistry()
+    if armed:
+        registry.arm_exemplars()
+    for index in range(NUM_COUNTERS):
+        registry.increment(f"bench.layer{index % 8}.counter{index}", 3 + index)
+    for index in range(NUM_GAUGES):
+        registry.set_gauge(f"bench.gauge{index}", float(index))
+    for index in range(NUM_HISTOGRAMS):
+        for step in range(OBSERVATIONS_PER_HISTOGRAM):
+            # 0.1ms .. ~100s on a log-ish sweep: every bucket fills.
+            registry.observe(
+                f"bench.histogram{index}.seconds",
+                0.0001 * (1.26 ** (step % 50)),
+            )
+    return registry
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+def time_render(registry: MetricsRegistry, repeats: int) -> dict[str, float]:
+    """Per-render milliseconds for both expositions, plus their ratio.
+
+    Both renders are timed back-to-back inside each repeat round and the
+    gated ratio is the *median of per-round ratios* — a machine-load
+    wobble slows both sides of a round together and cancels out of the
+    quotient, where min-of-independent-minima would let it land on one
+    side only and swing the ratio run to run.
+    """
+
+    def timed(fn) -> float:
+        start = time.perf_counter()
+        for _ in range(RENDER_ITERATIONS):
+            fn()
+        return (time.perf_counter() - start) * 1000.0 / RENDER_ITERATIONS
+
+    text = render_openmetrics(registry)
+    families = parse_openmetrics(text)
+    expected = NUM_COUNTERS + NUM_GAUGES + NUM_HISTOGRAMS
+    assert len(families) == expected, f"{len(families)} families != {expected}"
+
+    render_samples, open_samples, ratios = [], [], []
+    for _ in range(repeats):
+        render_ms = timed(registry.render)
+        open_ms = timed(lambda: render_openmetrics(registry))
+        render_samples.append(render_ms)
+        open_samples.append(open_ms)
+        ratios.append(render_ms / open_ms)
+
+    return {
+        "render_ms": min(render_samples),
+        "openmetrics_ms": min(open_samples),
+        "exposition_vs_render": _median(ratios),
+        "exposition_bytes": float(len(text)),
+        "families": float(len(families)),
+    }
+
+
+def time_observe(repeats: int) -> dict[str, float]:
+    """Per-observe ns (disarmed / armed-idle / armed-traced) and the ratio.
+
+    Same shape as :func:`time_render`: the three variants run
+    back-to-back per round and ``armed_idle_efficiency`` is the median
+    per-round disarmed/armed-idle quotient.
+    """
+
+    def timed(histogram) -> float:
+        start = time.perf_counter()
+        for _ in range(OBSERVE_ITERATIONS):
+            histogram.observe(0.05)
+        return (time.perf_counter() - start) * 1e9 / OBSERVE_ITERATIONS
+
+    disarmed_registry = MetricsRegistry()
+    armed_registry = MetricsRegistry()
+    armed_registry.arm_exemplars()
+    disarmed_hist = disarmed_registry.histogram("bench.observe.seconds")
+    armed_hist = armed_registry.histogram("bench.observe.seconds")
+    tracer = Tracer(sample_rate=0.0, metrics=None)
+
+    disarmed_samples, idle_samples, traced_samples, ratios = [], [], [], []
+    for _ in range(repeats):
+        disarmed_ns = timed(disarmed_hist)
+        idle_ns = timed(armed_hist)
+        with tracer.trace("bench-observe"):
+            traced_ns = timed(armed_hist)
+        disarmed_samples.append(disarmed_ns)
+        idle_samples.append(idle_ns)
+        traced_samples.append(traced_ns)
+        ratios.append(disarmed_ns / idle_ns)
+
+    return {
+        "observe_disarmed_ns": min(disarmed_samples),
+        "observe_armed_idle_ns": min(idle_samples),
+        "observe_armed_traced_ns": min(traced_samples),
+        "armed_idle_efficiency": _median(ratios),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--out", type=Path, default=None)
+    args = parser.parse_args()
+
+    registry = build_registry()
+    render = time_render(registry, args.repeats)
+    observe = time_observe(args.repeats)
+
+    summary = {
+        "exposition_vs_render": render["exposition_vs_render"],
+        "armed_idle_efficiency": observe["armed_idle_efficiency"],
+    }
+    report = {
+        "benchmark": "observability overhead",
+        "config": {
+            "repeats": args.repeats,
+            "counters": NUM_COUNTERS,
+            "gauges": NUM_GAUGES,
+            "histograms": NUM_HISTOGRAMS,
+            "observations_per_histogram": OBSERVATIONS_PER_HISTOGRAM,
+            "render_iterations": RENDER_ITERATIONS,
+            "observe_iterations": OBSERVE_ITERATIONS,
+            "python": sys.version.split()[0],
+            "cpu_count": os.cpu_count(),
+        },
+        "results": [{"render": render, "observe": observe}],
+        "summary": summary,
+    }
+
+    print(f"render():          {render['render_ms']:.3f} ms")
+    print(
+        f"render_openmetrics: {render['openmetrics_ms']:.3f} ms "
+        f"({render['exposition_bytes']:.0f} bytes, "
+        f"{render['families']:.0f} families)"
+    )
+    print(f"observe disarmed:     {observe['observe_disarmed_ns']:.0f} ns")
+    print(f"observe armed idle:   {observe['observe_armed_idle_ns']:.0f} ns")
+    print(f"observe armed traced: {observe['observe_armed_traced_ns']:.0f} ns")
+    print(f"exposition_vs_render:  {summary['exposition_vs_render']:.2f}")
+    print(f"armed_idle_efficiency: {summary['armed_idle_efficiency']:.2f}")
+
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

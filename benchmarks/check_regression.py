@@ -242,6 +242,24 @@ def replication_floor_failures(report: dict) -> tuple[list[str], list[str]]:
     return lines, failures
 
 
+def obs_ratios(report: dict) -> dict[str, float]:
+    """Exposition-cost and exemplar-overhead ratios from the obs bench."""
+    summary = report.get("summary", {})
+    return {f"obs.{name}": value for name, value in summary.items()}
+
+
+def obs_enforceable(baseline_report: dict, current_report: dict):
+    """Both obs ratios compare single-threaded constant factors (string
+    rendering vs string rendering, attribute checks vs dict updates)
+    that shift between CPU generations and Python builds, so the
+    baseline comparison holds only between machines with the same
+    cpu_count — the same guard the batching ratio uses."""
+    base_cpus = baseline_report.get("config", {}).get("cpu_count")
+    now_cpus = current_report.get("config", {}).get("cpu_count")
+    same_cores = base_cpus is not None and base_cpus == now_cpus
+    return lambda name: same_cores
+
+
 def gateway_ratios(report: dict) -> dict[str, float]:
     ratios: dict[str, float] = {}
     for entry in report.get("results", []):
@@ -387,6 +405,18 @@ def main(argv: list[str] | None = None) -> int:
             args.out_dir / "bench_batching_smoke.json",
             batching_ratios,
         ),
+        # OpenMetrics exposition cost and the exemplar observe tax.  Both
+        # ratios are within-round quotients (median across rounds), so
+        # they survive machine-load wobble; like batching they compare
+        # constant factors and are enforced only on a matching machine.
+        (
+            "obs",
+            "bench_obs.py",
+            ["--repeats", "5"],
+            REPO_ROOT / "BENCH_obs.json",
+            args.out_dir / "bench_obs_smoke.json",
+            obs_ratios,
+        ),
         # Primary/follower read scaling.  Spawns follower process fleets,
         # so it runs in its own CI job via --only replication; the
         # distinct-workload ratio additionally carries the absolute ≥2x
@@ -436,6 +466,8 @@ def main(argv: list[str] | None = None) -> int:
             enforce = replication_enforceable(baseline_report, current_report)
         elif extract is batching_ratios:
             enforce = batching_enforceable(baseline_report, current_report)
+        elif extract is obs_ratios:
+            enforce = obs_enforceable(baseline_report, current_report)
         else:
             enforce = lambda name: True  # noqa: E731
         print(f"\n-- {script} vs {baseline_path.name} (tolerance {args.tolerance:.0%})")

@@ -17,14 +17,33 @@ The pieces:
   with a JSONL exporter for offline analysis;
 * :mod:`repro.obs.report` — ``Gateway.stats()`` / ``ops_report()``
   rendering: metrics snapshot, per-layer cache hit rates, backend queue
-  depths, and the N slowest recent traces.
+  depths, and the N slowest recent traces;
+* :mod:`repro.obs.export` — OpenMetrics text exposition of the metrics
+  registry (HELP lines sourced from ``docs/OBSERVABILITY.md``, histogram
+  bucket series with trace exemplars) plus the validating parser;
+* :mod:`repro.obs.history` — the pull-driven :class:`MetricsHistory`
+  snapshot ring with windowed deltas, rates, and latency quantiles;
+* :mod:`repro.obs.slo` — declarative :class:`SloSpec` objectives
+  evaluated as fast/slow-window burn rates (``ok`` / ``warn`` / ``page``);
+* :mod:`repro.obs.server` — the threaded stdlib HTTP :class:`OpsServer`
+  (``/metrics`` ``/health`` ``/ops`` ``/slo`` ``/traces``), opt-in via
+  ``GatewayConfig(ops_port=...)``.
 
 ``docs/OBSERVABILITY.md`` catalogues every metric and span name
 (``tools/check_metrics.py`` keeps it honest in CI).
 """
 
 from repro.obs.buffer import CompletedTrace, TraceBuffer
+from repro.obs.export import (
+    OpenMetricsParseError,
+    parse_openmetrics,
+    render_openmetrics,
+    sanitize_name,
+)
+from repro.obs.history import HistogramWindow, HistorySnapshot, MetricsHistory
 from repro.obs.report import gateway_stats, ops_report, render_trace
+from repro.obs.server import OpsServer
+from repro.obs.slo import SloEngine, SloSpec, SloStatus, default_slos
 from repro.obs.trace import (
     RemoteTrace,
     Span,
@@ -38,7 +57,15 @@ from repro.obs.trace import (
 
 __all__ = [
     "CompletedTrace",
+    "HistogramWindow",
+    "HistorySnapshot",
+    "MetricsHistory",
+    "OpenMetricsParseError",
+    "OpsServer",
     "RemoteTrace",
+    "SloEngine",
+    "SloSpec",
+    "SloStatus",
     "Span",
     "SpanRecord",
     "Trace",
@@ -46,8 +73,12 @@ __all__ = [
     "Tracer",
     "attach_records",
     "current_span",
+    "default_slos",
     "gateway_stats",
     "ops_report",
+    "parse_openmetrics",
+    "render_openmetrics",
     "render_trace",
+    "sanitize_name",
     "span",
 ]

@@ -56,6 +56,19 @@ class TraceBuffer:
         """The ``n`` slowest retained traces, slowest first."""
         return sorted(self.snapshot(), key=lambda trace: -trace.duration)[:n]
 
+    def get(self, trace_id: str) -> CompletedTrace | None:
+        """The retained trace with this id, or ``None`` (evicted / never kept).
+
+        The ops server's ``/traces/<id>`` endpoint resolves exposition
+        exemplars through this — an exemplar may outlive its trace's spot
+        in the ring, in which case the lookup (correctly) misses.
+        """
+        with self._lock:
+            for trace in reversed(self._traces):
+                if trace.trace_id == trace_id:
+                    return trace
+        return None
+
     def clear(self) -> None:
         with self._lock:
             self._traces.clear()

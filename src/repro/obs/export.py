@@ -1,0 +1,343 @@
+"""OpenMetrics/Prometheus text exposition for the metrics registry.
+
+Renders every counter, gauge, and histogram a
+``repro.serving.metrics.MetricsRegistry`` (duck-typed: anything with a
+compatible ``snapshot()``) holds into the OpenMetrics text format —
+sanitized names, ``# HELP`` / ``# TYPE`` headers, cumulative
+``_bucket{le=...}`` series with ``_sum`` / ``_count``, per-bucket trace
+exemplars when the registry has them armed, and a closing ``# EOF``.
+The output is deterministic for a fixed snapshot (families sorted by
+name), so tests can diff it and scrapes can be compared line by line.
+
+``HELP`` text is sourced from the metric catalog tables in
+``docs/OBSERVABILITY.md`` — the same tables ``tools/check_metrics.py``
+lints against the source — so the exposition self-documents without a
+second copy of the catalog.  A metric missing from the catalog still
+renders (with a placeholder HELP line); the lint is what fails CI.
+
+:func:`parse_openmetrics` is the matching validating parser used by the
+acceptance tests and the exposition lint: it enforces the line grammar,
+one HELP/TYPE header pair per family, suffix rules per type, and
+cumulative bucket monotonicity.
+"""
+
+from __future__ import annotations
+
+import re
+from fnmatch import fnmatch
+from pathlib import Path
+
+#: A legal OpenMetrics metric name.
+VALID_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_PLACEHOLDER = re.compile(r"<[^<>]+>")
+_TABLE_ROW = re.compile(r"^\|\s*`([^`]+)`\s*\|[^|]*\|([^|]*)\|")
+_HEADING = re.compile(r"^#{2,3}\s+(.*)$")
+
+#: docs/OBSERVABILITY.md sections whose tables carry metric rows.
+_METRIC_SECTIONS = ("Counters", "Gauges", "Histograms")
+
+_DEFAULT_CATALOG = Path(__file__).resolve().parents[3] / "docs" / "OBSERVABILITY.md"
+FALLBACK_HELP = "(no catalog entry)"
+
+_catalog_cache: dict[Path, tuple[tuple[str, str], ...]] = {}
+
+
+def sanitize_name(name: str) -> str:
+    """Collapse a dotted registry name to a legal OpenMetrics name.
+
+    Dots (and any other illegal character) become underscores; a leading
+    digit gains an underscore prefix.  ``gateway.breaker.open_total``
+    → ``gateway_breaker_open`` is *not* attempted — only characters are
+    rewritten, never semantics, so distinct registry names stay distinct.
+    """
+    sanitized = _INVALID_CHARS.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def load_help_catalog(path=None) -> tuple[tuple[str, str], ...]:
+    """(name pattern, help text) rows from the OBSERVABILITY.md tables.
+
+    ``<placeholder>`` segments become ``*`` so one row covers a templated
+    family.  Markdown backticks are stripped from the meaning column.
+    Returns an empty tuple when the docs file is absent (an installed
+    package without the repo checkout) — exposition then falls back to
+    placeholder HELP text rather than failing.
+    """
+    path = Path(path) if path is not None else _DEFAULT_CATALOG
+    cached = _catalog_cache.get(path)
+    if cached is not None:
+        return cached
+    rows: list[tuple[str, str]] = []
+    if path.exists():
+        section = None
+        for line in path.read_text().splitlines():
+            heading = _HEADING.match(line)
+            if heading:
+                section = heading.group(1).strip()
+                continue
+            if section not in _METRIC_SECTIONS:
+                continue
+            row = _TABLE_ROW.match(line)
+            if not row:
+                continue
+            pattern = _PLACEHOLDER.sub("*", row.group(1).strip())
+            meaning = row.group(2).strip().replace("`", "")
+            if meaning and meaning != "meaning":
+                rows.append((pattern, meaning))
+    result = tuple(rows)
+    _catalog_cache[path] = result
+    return result
+
+
+#: Per-catalog lookup index: id(catalog) → (catalog, exact dict, wildcard rows).
+#: The catalog tuple is held strongly so the id cannot be reused.
+_index_cache: dict[int, tuple[tuple, dict, list]] = {}
+
+
+def _catalog_index(catalog) -> tuple[dict, list]:
+    entry = _index_cache.get(id(catalog))
+    if entry is not None and entry[0] is catalog:
+        return entry[1], entry[2]
+    exact: dict[str, str] = {}
+    wildcards: list[tuple[str, str]] = []
+    for pattern, text in catalog:
+        if any(char in pattern for char in "*?["):
+            wildcards.append((pattern, text))
+        else:
+            exact.setdefault(pattern, text)
+    _index_cache[id(catalog)] = (catalog, exact, wildcards)
+    return exact, wildcards
+
+
+def help_for(name: str, catalog=None) -> str | None:
+    """The catalog HELP text for ``name`` (dotted form), or ``None``.
+
+    Exact rows win over wildcard rows; wildcard rows match in table
+    order.  The split index makes the common exact hit one dict lookup
+    instead of an fnmatch scan — a full-registry scrape resolves ~80
+    names per render.
+    """
+    if catalog is None:
+        catalog = load_help_catalog()
+    exact, wildcards = _catalog_index(catalog)
+    hit = exact.get(name)
+    if hit is not None:
+        return hit
+    for pattern, text in wildcards:
+        if fnmatch(name, pattern):
+            return text
+    return None
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    """Bucket bounds rendered without float noise (``0.05`` not ``0.05000...1``)."""
+    text = f"{bound:.10g}"
+    return text
+
+
+def _header(lines: list[str], name: str, kind: str, help_text: str) -> None:
+    lines.append(f"# HELP {name} {_escape_help(help_text)}")
+    lines.append(f"# TYPE {name} {kind}")
+
+
+def render_openmetrics(registry, catalog=None) -> str:
+    """The registry's current state in OpenMetrics text format.
+
+    Families are sorted by sanitized name across all three kinds, each
+    introduced by a HELP line (catalog-sourced) and a TYPE line.
+    Counters expose one ``_total`` sample; gauges one bare sample;
+    histograms the cumulative ``_bucket{le=...}`` series (``+Inf`` last),
+    then ``_sum`` and ``_count``.  Armed exemplars are attached to the
+    bucket they landed in using OpenMetrics exemplar syntax
+    (``# {trace_id="..."} value timestamp``).
+    """
+    if catalog is None:
+        catalog = load_help_catalog()
+    snapshot = registry.snapshot()
+    families: list[tuple[str, str, str, object]] = []
+    for name, value in snapshot["counters"].items():
+        families.append((sanitize_name(name), "counter", name, value))
+    for name, value in snapshot["gauges"].items():
+        families.append((sanitize_name(name), "gauge", name, value))
+    for name, state in snapshot["histograms"].items():
+        families.append((sanitize_name(name), "histogram", name, state))
+    families.sort(key=lambda family: family[0])
+
+    lines: list[str] = []
+    for sanitized, kind, raw_name, payload in families:
+        help_text = help_for(raw_name, catalog) or FALLBACK_HELP
+        _header(lines, sanitized, kind, help_text)
+        if kind == "counter":
+            lines.append(f"{sanitized}_total {_format_value(payload)}")
+        elif kind == "gauge":
+            lines.append(f"{sanitized} {_format_value(payload)}")
+        else:
+            bounds = list(payload["buckets"])
+            counts = list(payload["bucket_counts"])
+            exemplars = payload.get("exemplars") or [None] * len(counts)
+            cumulative = 0
+            for index, bound in enumerate([*bounds, float("inf")]):
+                cumulative += counts[index]
+                label = "+Inf" if bound == float("inf") else _format_bound(bound)
+                line = f'{sanitized}_bucket{{le="{label}"}} {cumulative}'
+                exemplar = exemplars[index]
+                if exemplar is not None:
+                    trace_id, value, stamp = exemplar
+                    line += (
+                        f' # {{trace_id="{_escape_label(str(trace_id))}"}} '
+                        f"{_format_value(float(value))} {_format_value(float(stamp))}"
+                    )
+                lines.append(line)
+            lines.append(f"{sanitized}_sum {_format_value(float(payload['sum']))}")
+            lines.append(f"{sanitized}_count {int(payload['count'])}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+# -- the validating parser ----------------------------------------------------
+
+_HELP_LINE = re.compile(r"^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)$")
+_TYPE_LINE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$")
+_SAMPLE_LINE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"  # sample name
+    r"(?:\{([^}]*)\})?"  # optional label set
+    r" (-?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|\+?Inf|NaN))"  # value
+    r"(?: # \{([^}]*)\} (\S+)(?: (\S+))?)?$"  # optional exemplar
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+_SUFFIXES = {
+    "counter": ("_total",),
+    "gauge": ("",),
+    "histogram": ("_bucket", "_sum", "_count"),
+}
+
+
+class OpenMetricsParseError(ValueError):
+    """The exposition text violated the OpenMetrics grammar."""
+
+
+def parse_openmetrics(text: str) -> dict[str, dict]:
+    """Parse (and validate) an OpenMetrics exposition.
+
+    Returns ``{family name: {"type", "help", "samples", "exemplars"}}``
+    where ``samples`` maps ``(sample name, labels tuple)`` to a float
+    value and ``exemplars`` maps the same key to ``(labels, value)``
+    pairs.  Raises :class:`OpenMetricsParseError` on: a malformed line,
+    a sample outside any family or with an illegal suffix for its type,
+    a duplicate family, a missing ``# EOF`` terminator, a non-monotone
+    cumulative bucket series, or a negative counter.
+    """
+    families: dict[str, dict] = {}
+    current: str | None = None
+    pending_help: tuple[str, str] | None = None
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        raise OpenMetricsParseError("exposition must end with '# EOF'")
+    for lineno, line in enumerate(lines[:-1], start=1):
+        if not line:
+            raise OpenMetricsParseError(f"line {lineno}: blank line in exposition")
+        help_match = _HELP_LINE.match(line)
+        if help_match:
+            if pending_help is not None:
+                raise OpenMetricsParseError(
+                    f"line {lineno}: HELP without a following TYPE"
+                )
+            pending_help = (help_match.group(1), help_match.group(2))
+            continue
+        type_match = _TYPE_LINE.match(line)
+        if type_match:
+            name, kind = type_match.group(1), type_match.group(2)
+            if pending_help is None or pending_help[0] != name:
+                raise OpenMetricsParseError(
+                    f"line {lineno}: TYPE for {name} not preceded by its HELP"
+                )
+            if name in families:
+                raise OpenMetricsParseError(f"line {lineno}: duplicate family {name}")
+            families[name] = {
+                "type": kind,
+                "help": pending_help[1],
+                "samples": {},
+                "exemplars": {},
+            }
+            current = name
+            pending_help = None
+            continue
+        if line.startswith("#"):
+            raise OpenMetricsParseError(f"line {lineno}: unrecognised comment {line!r}")
+        sample = _SAMPLE_LINE.match(line)
+        if not sample:
+            raise OpenMetricsParseError(f"line {lineno}: malformed sample {line!r}")
+        if pending_help is not None:
+            raise OpenMetricsParseError(f"line {lineno}: HELP without a TYPE")
+        sample_name, labels_text, value_text = sample.group(1, 2, 3)
+        if current is None:
+            raise OpenMetricsParseError(
+                f"line {lineno}: sample {sample_name} outside any family"
+            )
+        family = families[current]
+        suffixes = _SUFFIXES[family["type"]]
+        if not any(
+            sample_name == current + suffix for suffix in suffixes
+        ):
+            raise OpenMetricsParseError(
+                f"line {lineno}: sample {sample_name} does not belong to "
+                f"{family['type']} family {current}"
+            )
+        labels = tuple(_LABEL.findall(labels_text)) if labels_text else ()
+        value = float(value_text.replace("Inf", "inf"))
+        if family["type"] == "counter" and value < 0:
+            raise OpenMetricsParseError(
+                f"line {lineno}: counter {sample_name} is negative"
+            )
+        key = (sample_name, labels)
+        if key in family["samples"]:
+            raise OpenMetricsParseError(f"line {lineno}: duplicate sample {key}")
+        family["samples"][key] = value
+        if sample.group(4) is not None:
+            exemplar_labels = tuple(_LABEL.findall(sample.group(4)))
+            family["exemplars"][key] = (exemplar_labels, float(sample.group(5)))
+    if pending_help is not None:
+        raise OpenMetricsParseError("trailing HELP without a TYPE")
+    for name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        buckets = [
+            (labels, value)
+            for (sample_name, labels), value in family["samples"].items()
+            if sample_name == name + "_bucket"
+        ]
+        previous = 0.0
+        for _, value in buckets:
+            if value < previous:
+                raise OpenMetricsParseError(
+                    f"{name}: cumulative bucket series decreases"
+                )
+            previous = value
+        if buckets and f"{name}_count" in {k for k, _ in family["samples"]}:
+            count = family["samples"][(f"{name}_count", ())]
+            if buckets[-1][1] != count:
+                raise OpenMetricsParseError(
+                    f"{name}: +Inf bucket {buckets[-1][1]} != _count {count}"
+                )
+    return families

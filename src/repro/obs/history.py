@@ -1,0 +1,221 @@
+"""A pull-driven metric time-series ring with windowed delta math.
+
+Counters and histograms are cumulative: one snapshot tells you totals
+since boot, not what is happening *now*.  :class:`MetricsHistory` fixes
+that without any background thread and without touching the hot-path
+locks more than a plain ``snapshot()`` does: every :meth:`tick` —
+typically one per ``/metrics`` scrape — captures the registry into a
+bounded ring, and windowed reads subtract the snapshot closest to the
+window's far edge from the newest one.  From those deltas come rates
+(requests/s), ratios (error fraction, cache hit-rate trend), and
+windowed latency quantiles (bucket-count deltas re-interpolated), which
+is exactly what the :mod:`repro.obs.slo` burn-rate engine consumes.
+
+Everything is stdlib-only and clock-injectable (``now`` is any
+zero-argument callable returning seconds) for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HistorySnapshot:
+    """One captured registry state: a timestamp plus the plain-data dicts."""
+
+    timestamp: float
+    counters: dict
+    gauges: dict
+    histograms: dict
+
+
+@dataclass(frozen=True)
+class HistogramWindow:
+    """A histogram's activity within one time window (bucket-count deltas)."""
+
+    buckets: tuple[float, ...]
+    counts: tuple[int, ...]  # per-bucket deltas, overflow bucket last
+    count: int
+    sum: float
+    seconds: float
+
+    def quantile(self, quantile: float) -> float:
+        """A bucket-interpolated quantile of the *windowed* observations.
+
+        Linear within the bucket holding the target rank.  The overflow
+        bucket has no upper edge inside a window (min/max are not
+        windowable), so ranks landing there report the highest finite
+        bound — a deliberately conservative floor for SLO math.  Returns
+        0.0 for an empty window.
+        """
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError("quantile must be within (0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = quantile * self.count
+        cumulative = 0
+        lower = 0.0
+        for index, bound in enumerate(self.buckets):
+            bucket = self.counts[index]
+            if bucket and cumulative + bucket >= target:
+                fraction = (target - cumulative) / bucket
+                return lower + fraction * (bound - lower)
+            cumulative += bucket
+            lower = bound
+        return self.buckets[-1] if self.buckets else 0.0
+
+
+class MetricsHistory:
+    """A bounded ring of registry snapshots with windowed delta reads.
+
+    ``capacity`` bounds memory; ``now`` injects the clock.  All reads are
+    against ticked snapshots only — nothing here re-reads the registry,
+    so a windowed query costs dictionary subtraction, never a hot-path
+    lock.  With fewer than two snapshots every windowed read reports
+    "no data" (``None`` / zero), which the SLO engine treats as
+    insufficient evidence rather than health.
+    """
+
+    def __init__(self, registry, capacity: int = 512, now=time.time) -> None:
+        if capacity < 2:
+            raise ValueError("history capacity must be at least 2")
+        self.registry = registry
+        self.capacity = capacity
+        self._now = now
+        self._snapshots: deque[HistorySnapshot] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def tick(self) -> HistorySnapshot:
+        """Capture the registry now; returns (and retains) the snapshot."""
+        raw = self.registry.snapshot()
+        snapshot = HistorySnapshot(
+            timestamp=float(self._now()),
+            counters=raw["counters"],
+            gauges=raw["gauges"],
+            histograms=raw["histograms"],
+        )
+        with self._lock:
+            self._snapshots.append(snapshot)
+        return snapshot
+
+    def latest(self) -> HistorySnapshot | None:
+        with self._lock:
+            return self._snapshots[-1] if self._snapshots else None
+
+    def window_pair(
+        self, seconds: float
+    ) -> tuple[HistorySnapshot, HistorySnapshot] | None:
+        """(old, new) snapshots spanning roughly ``seconds``, or ``None``.
+
+        ``new`` is the latest tick; ``old`` is the most recent snapshot at
+        least ``seconds`` older than it, falling back to the oldest
+        retained one when the ring does not reach back that far (a young
+        server reports over its whole observed life).  ``None`` until two
+        ticks exist or when the pair has no elapsed time between it.
+        """
+        with self._lock:
+            if len(self._snapshots) < 2:
+                return None
+            snapshots = list(self._snapshots)
+        new = snapshots[-1]
+        old = snapshots[0]
+        for candidate in reversed(snapshots[:-1]):
+            if new.timestamp - candidate.timestamp >= seconds:
+                old = candidate
+                break
+        if new.timestamp <= old.timestamp:
+            return None
+        return old, new
+
+    # -- windowed reads --------------------------------------------------------
+    def counter_delta(self, name: str, seconds: float) -> int:
+        """How much counter ``name`` grew across the window (0 with no data)."""
+        pair = self.window_pair(seconds)
+        if pair is None:
+            return 0
+        old, new = pair
+        return max(0, new.counters.get(name, 0) - old.counters.get(name, 0))
+
+    def counter_rate(self, name: str, seconds: float) -> float:
+        """The counter's per-second growth rate across the window."""
+        pair = self.window_pair(seconds)
+        if pair is None:
+            return 0.0
+        old, new = pair
+        elapsed = new.timestamp - old.timestamp
+        delta = max(0, new.counters.get(name, 0) - old.counters.get(name, 0))
+        return delta / elapsed
+
+    def ratio(
+        self, numerators: tuple[str, ...], denominators: tuple[str, ...], seconds: float
+    ) -> float | None:
+        """Windowed sum(numerator deltas) / sum(denominator deltas).
+
+        ``None`` when the denominator saw no events in the window (no
+        evidence either way) — callers must not conflate that with 0.0.
+        """
+        pair = self.window_pair(seconds)
+        if pair is None:
+            return None
+        old, new = pair
+        numerator = sum(
+            max(0, new.counters.get(name, 0) - old.counters.get(name, 0))
+            for name in numerators
+        )
+        denominator = sum(
+            max(0, new.counters.get(name, 0) - old.counters.get(name, 0))
+            for name in denominators
+        )
+        if denominator <= 0:
+            return None
+        return numerator / denominator
+
+    def hit_rate(self, prefix: str, seconds: float) -> float | None:
+        """Windowed cache hit-rate trend for a ``<cache>`` layer prefix."""
+        return self.ratio(
+            (f"{prefix}.hits",), (f"{prefix}.hits", f"{prefix}.misses"), seconds
+        )
+
+    def histogram_window(self, name: str, seconds: float) -> HistogramWindow | None:
+        """The histogram's bucket-count deltas across the window.
+
+        ``None`` with no data or when the histogram (or its bucket
+        layout) is absent from either snapshot edge.
+        """
+        pair = self.window_pair(seconds)
+        if pair is None:
+            return None
+        old, new = pair
+        new_state = new.histograms.get(name)
+        if new_state is None:
+            return None
+        bounds = tuple(new_state.get("buckets", ()))
+        new_counts = list(new_state.get("bucket_counts", ()))
+        if not new_counts:
+            return None
+        old_state = old.histograms.get(name)
+        if old_state is not None and tuple(old_state.get("buckets", ())) == bounds:
+            old_counts = list(old_state.get("bucket_counts", new_counts))
+            old_count = int(old_state.get("count", 0))
+            old_sum = float(old_state.get("sum", 0.0))
+        else:
+            old_counts = [0] * len(new_counts)
+            old_count = 0
+            old_sum = 0.0
+        deltas = tuple(
+            max(0, after - before) for after, before in zip(new_counts, old_counts)
+        )
+        return HistogramWindow(
+            buckets=bounds,
+            counts=deltas,
+            count=max(0, int(new_state.get("count", 0)) - old_count),
+            sum=max(0.0, float(new_state.get("sum", 0.0)) - old_sum),
+            seconds=new.timestamp - old.timestamp,
+        )

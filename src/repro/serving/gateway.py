@@ -148,6 +148,31 @@ class GatewayConfig:
         evicted first); ``Gateway.ops_report()`` renders the slowest of
         them and ``gateway.tracer.buffer.export_jsonl(path)`` dumps the
         window for offline analysis.  See ``docs/OBSERVABILITY.md``.
+    ops_port:
+        Opt-in HTTP ops surface: when set, the gateway starts a threaded
+        stdlib :class:`~repro.obs.server.OpsServer` on
+        ``(ops_host, ops_port)`` serving ``/metrics`` (OpenMetrics
+        exposition), ``/health`` (SLO/breaker readiness, 200/503),
+        ``/ops``, ``/slo``, and ``/traces[/<id>]``; ``0`` binds an
+        ephemeral port (read it from ``gateway.ops_server.port``).  The
+        server stops with the gateway.  ``None`` (default) starts
+        nothing.  See ``docs/OBSERVABILITY.md``.
+    ops_host:
+        Bind address for the ops server (default loopback; widen
+        deliberately — the surface is unauthenticated).
+    ops_exemplars:
+        Arm per-bucket trace exemplars on every histogram when the ops
+        server is enabled, so ``/metrics`` bucket series link to retained
+        traces in ``/traces/<id>``.  Disarmed histograms pay one
+        attribute check per observation.
+    slo_specs:
+        The SLO objectives the ops server evaluates
+        (:class:`~repro.obs.slo.SloSpec` tuple); ``None`` uses
+        :func:`~repro.obs.slo.default_slos` (error ratio, degraded
+        ratio, p95 service latency).
+    metrics_history_capacity:
+        Bound on the ops server's pull-driven metric snapshot ring (one
+        snapshot per scrape/tick; windowed burn rates read from it).
     retry_max_attempts:
         Total dispatch attempts (first try included) for *transient*
         failures (:class:`~repro.exceptions.TransientError` subclasses);
@@ -225,6 +250,11 @@ class GatewayConfig:
     trace_sample_rate: float = 0.1
     slow_trace_seconds: float = 1.0
     trace_buffer_capacity: int = 256
+    ops_port: int | None = None
+    ops_host: str = "127.0.0.1"
+    ops_exemplars: bool = True
+    slo_specs: tuple | None = None
+    metrics_history_capacity: int = 512
     retry_max_attempts: int = 2
     retry_backoff_seconds: float = 0.05
     retry_jitter: float = 0.5
@@ -424,6 +454,30 @@ class Gateway:
                 metrics=self.metrics,
             )
         self.backend.start(self)
+        # Opt-in HTTP ops surface: OpenMetrics exposition, SLO burn-rate
+        # evaluation, health probes, and trace lookup over stdlib HTTP
+        # (see repro.obs.server and docs/OBSERVABILITY.md).
+        self.ops_server = None
+        if self.config.ops_port is not None:
+            from repro.obs.history import MetricsHistory
+            from repro.obs.server import OpsServer
+            from repro.obs.slo import SloEngine
+
+            if self.config.ops_exemplars:
+                self.metrics.arm_exemplars()
+            history = MetricsHistory(
+                self.metrics, capacity=self.config.metrics_history_capacity
+            )
+            self.ops_server = OpsServer(
+                self,
+                host=self.config.ops_host,
+                port=self.config.ops_port,
+                history=history,
+                slo=SloEngine(
+                    history, specs=self.config.slo_specs, metrics=self.metrics
+                ),
+            )
+            self.ops_server.start()
 
     @property
     def mode(self) -> str:
@@ -502,6 +556,8 @@ class Gateway:
 
     # -- lifecycle -------------------------------------------------------------
     def shutdown(self, wait: bool = True) -> None:
+        if self.ops_server is not None:
+            self.ops_server.stop()
         self.resilience.shutdown()
         self.backend.shutdown(wait=wait)
 

@@ -11,7 +11,10 @@ exposition, so benchmarks and operators can read it directly.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
+
+from repro.obs.trace import current_span
 
 # Upper bucket bounds in seconds, spanning sub-millisecond sketch lookups to
 # multi-minute AutoML runs.
@@ -60,7 +63,16 @@ class Gauge:
 
 class Histogram:
     """A fixed-bucket latency histogram with count/sum/min/max and
-    bucket-interpolated percentile estimates (p50/p95/p99)."""
+    bucket-interpolated percentile estimates (p50/p95/p99).
+
+    With exemplars *armed* (:meth:`enable_exemplars`, or registry-wide via
+    :meth:`MetricsRegistry.arm_exemplars`), every observation made inside
+    an active trace also records ``(trace_id, value, wall-clock time)``
+    against the bucket it landed in — the OpenMetrics exposition attaches
+    these so a slow bucket links straight to a retained trace in the
+    :class:`~repro.obs.buffer.TraceBuffer`.  Disarmed (the default), the
+    cost is a single attribute check on the hot path.
+    """
 
     def __init__(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
         self.name = name
@@ -70,7 +82,14 @@ class Histogram:
         self._sum = 0.0
         self._min = float("inf")
         self._max = 0.0
+        self._exemplars: list[tuple[str, float, float] | None] | None = None
         self._lock = threading.Lock()
+
+    def enable_exemplars(self) -> None:
+        """Arm per-bucket trace-exemplar capture (idempotent)."""
+        with self._lock:
+            if self._exemplars is None:
+                self._exemplars = [None] * (len(self.buckets) + 1)
 
     def observe(self, value: float) -> None:
         with self._lock:
@@ -84,6 +103,14 @@ class Histogram:
             self._sum += value
             self._min = min(self._min, value)
             self._max = max(self._max, value)
+            if self._exemplars is not None:
+                active = current_span()
+                if active is not None:
+                    self._exemplars[index] = (
+                        active.trace.trace_id,
+                        value,
+                        time.time(),
+                    )
 
     @property
     def count(self) -> int:
@@ -152,6 +179,16 @@ class Histogram:
             total = self._sum
             minimum = self._min if self._count else 0.0
             maximum = self._max
+        return self._summarise(counts, count, total, minimum, maximum)
+
+    def _summarise(
+        self,
+        counts: list[int],
+        count: int,
+        total: float,
+        minimum: float,
+        maximum: float,
+    ) -> dict[str, float]:
         summary = {
             "count": count,
             "sum": total,
@@ -162,6 +199,32 @@ class Histogram:
         for label, quantile in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
             summary[label] = self._interpolate(quantile, counts, count, minimum, maximum)
         return summary
+
+    def state(self) -> dict[str, object]:
+        """The summary plus the raw bucket layout, captured under one lock.
+
+        The exposition layer and the metrics-history ring both need the
+        per-bucket counts (cumulative buckets, windowed delta math) — the
+        percentile summary alone cannot reconstruct them.  Keys on top of
+        :meth:`summary`: ``buckets`` (the upper bounds), ``bucket_counts``
+        (per-bucket observation counts, overflow last — same length as
+        ``buckets`` plus one), and ``exemplars`` (per-bucket
+        ``(trace_id, value, timestamp)`` or ``None``; absent entirely when
+        exemplars are disarmed).
+        """
+        with self._lock:
+            counts = list(self._counts)
+            count = self._count
+            total = self._sum
+            minimum = self._min if self._count else 0.0
+            maximum = self._max
+            exemplars = list(self._exemplars) if self._exemplars is not None else None
+        state = self._summarise(counts, count, total, minimum, maximum)
+        state["buckets"] = list(self.buckets)
+        state["bucket_counts"] = counts
+        if exemplars is not None:
+            state["exemplars"] = exemplars
+        return state
 
 
 @dataclass(frozen=True)
@@ -185,7 +248,16 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
         self._gauges: dict[str, Gauge] = {}
+        self._exemplars_armed = False
         self._lock = threading.Lock()
+
+    def arm_exemplars(self) -> None:
+        """Enable trace-exemplar capture on every current and future histogram."""
+        with self._lock:
+            self._exemplars_armed = True
+            histograms = list(self._histograms.values())
+        for histogram in histograms:
+            histogram.enable_exemplars()
 
     def counter(self, name: str) -> Counter:
         with self._lock:
@@ -202,7 +274,10 @@ class MetricsRegistry:
     def histogram(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
         with self._lock:
             if name not in self._histograms:
-                self._histograms[name] = Histogram(name, buckets)
+                created = Histogram(name, buckets)
+                if self._exemplars_armed:
+                    created.enable_exemplars()
+                self._histograms[name] = created
             return self._histograms[name]
 
     def increment(self, name: str, amount: int = 1) -> None:
@@ -242,7 +317,14 @@ class MetricsRegistry:
         )
 
     def snapshot(self) -> dict[str, object]:
-        """All current values as plain data."""
+        """All current values as plain data.
+
+        Histogram entries carry the full :meth:`Histogram.state` — the
+        percentile summary plus ``buckets`` / ``bucket_counts`` (and
+        ``exemplars`` when armed) — so the OpenMetrics exposition and the
+        :class:`~repro.obs.history.MetricsHistory` ring's windowed delta
+        math read raw buckets from the same consistent capture.
+        """
         with self._lock:
             counters = dict(self._counters)
             histograms = dict(self._histograms)
@@ -250,7 +332,7 @@ class MetricsRegistry:
         return {
             "counters": {name: counter.value for name, counter in counters.items()},
             "gauges": {name: gauge.value for name, gauge in gauges.items()},
-            "histograms": {name: histogram.summary() for name, histogram in histograms.items()},
+            "histograms": {name: histogram.state() for name, histogram in histograms.items()},
         }
 
     def render(self) -> str:

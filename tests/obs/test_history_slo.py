@@ -1,0 +1,299 @@
+"""MetricsHistory windowed reads and the SLO burn-rate engine (fake clock)."""
+
+import pytest
+
+from repro.obs import MetricsHistory, SloEngine, SloSpec, default_slos
+from repro.obs.slo import LATENCY, OK, PAGE, RATIO, WARN
+from repro.serving.metrics import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self, value: float = 1000.0) -> None:
+        self.value = value
+
+    def __call__(self) -> float:
+        return self.value
+
+    def advance(self, seconds: float) -> None:
+        self.value += seconds
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def history(registry, clock):
+    return MetricsHistory(registry, capacity=8, now=clock)
+
+
+class TestMetricsHistory:
+    def test_requires_two_snapshots(self, history, registry, clock):
+        assert history.window_pair(10.0) is None
+        assert history.counter_delta("gateway.requests", 10.0) == 0
+        history.tick()
+        assert history.window_pair(10.0) is None
+        clock.advance(5.0)
+        registry.increment("gateway.requests", 3)
+        history.tick()
+        assert history.window_pair(10.0) is not None
+
+    def test_counter_delta_and_rate(self, history, registry, clock):
+        history.tick()
+        clock.advance(10.0)
+        registry.increment("gateway.requests", 30)
+        history.tick()
+        assert history.counter_delta("gateway.requests", 10.0) == 30
+        assert history.counter_rate("gateway.requests", 10.0) == pytest.approx(3.0)
+
+    def test_window_picks_closest_snapshot_to_far_edge(self, history, registry, clock):
+        for step in range(4):
+            registry.increment("gateway.requests", 10)
+            history.tick()
+            clock.advance(10.0)
+        # Ticks at t=1000(10), 1010(20), 1020(30), 1030(40); a 20s window
+        # from the newest (1030) reaches back to the tick at 1010.
+        assert history.counter_delta("gateway.requests", 20.0) == 20
+
+    def test_window_falls_back_to_oldest_snapshot(self, history, registry, clock):
+        history.tick()
+        clock.advance(5.0)
+        registry.increment("gateway.requests", 7)
+        history.tick()
+        # Asking for a 300s window on 5s of history reports whole-life.
+        assert history.counter_delta("gateway.requests", 300.0) == 7
+
+    def test_ring_is_bounded(self, registry, clock):
+        history = MetricsHistory(registry, capacity=3, now=clock)
+        for _ in range(10):
+            clock.advance(1.0)
+            history.tick()
+        assert len(history) == 3
+
+    def test_capacity_floor(self, registry, clock):
+        with pytest.raises(ValueError):
+            MetricsHistory(registry, capacity=1, now=clock)
+
+    def test_ratio_and_hit_rate(self, history, registry, clock):
+        history.tick()
+        clock.advance(10.0)
+        registry.increment("gateway.failed", 1)
+        registry.increment("gateway.requests", 4)
+        registry.increment("gateway_cache.hits", 3)
+        registry.increment("gateway_cache.misses", 1)
+        history.tick()
+        assert history.ratio(
+            ("gateway.failed",), ("gateway.requests",), 10.0
+        ) == pytest.approx(0.25)
+        assert history.hit_rate("gateway_cache", 10.0) == pytest.approx(0.75)
+
+    def test_ratio_without_denominator_events_is_none(self, history, clock):
+        history.tick()
+        clock.advance(10.0)
+        history.tick()
+        assert history.ratio(("gateway.failed",), ("gateway.requests",), 10.0) is None
+
+    def test_histogram_window_deltas_old_observations_out(
+        self, history, registry, clock
+    ):
+        registry.observe("gateway.service_seconds", 100.0)  # before the window
+        history.tick()
+        clock.advance(10.0)
+        for _ in range(20):
+            registry.observe("gateway.service_seconds", 0.3)
+        history.tick()
+        window = history.histogram_window("gateway.service_seconds", 10.0)
+        assert window.count == 20
+        assert window.seconds == pytest.approx(10.0)
+        # The old 100s observation is outside the window, so the windowed
+        # p95 reflects only the 0.3s burst.
+        assert window.quantile(0.95) <= 0.5
+
+    def test_histogram_window_absent_histogram_is_none(self, history, clock):
+        history.tick()
+        clock.advance(10.0)
+        history.tick()
+        assert history.histogram_window("never.observed", 10.0) is None
+
+    def test_empty_window_quantile_is_zero(self, history, registry, clock):
+        registry.observe("gateway.service_seconds", 0.3)
+        history.tick()
+        clock.advance(10.0)
+        history.tick()
+        window = history.histogram_window("gateway.service_seconds", 10.0)
+        assert window.count == 0
+        assert window.quantile(0.95) == 0.0
+
+
+def ratio_spec(**overrides) -> SloSpec:
+    spec = dict(
+        name="error_ratio",
+        kind=RATIO,
+        threshold=0.05,
+        numerators=("gateway.failed",),
+        denominators=("gateway.requests",),
+        fast_window_seconds=10.0,
+        slow_window_seconds=30.0,
+        warn_burn=1.0,
+        page_burn=2.0,
+        min_events=1,
+    )
+    spec.update(overrides)
+    return SloSpec(**spec)
+
+
+class TestSloSpecValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            SloSpec(name="x", kind="nope", threshold=1.0)
+
+    def test_ratio_needs_counters(self):
+        with pytest.raises(ValueError):
+            SloSpec(name="x", kind=RATIO, threshold=1.0)
+
+    def test_latency_needs_histogram(self):
+        with pytest.raises(ValueError):
+            SloSpec(name="x", kind=LATENCY, threshold=1.0)
+
+    def test_duplicate_names_rejected(self, history):
+        with pytest.raises(ValueError):
+            SloEngine(history, specs=(ratio_spec(), ratio_spec()))
+
+    def test_default_slos_are_valid(self):
+        names = [spec.name for spec in default_slos()]
+        assert names == ["error_ratio", "degraded_ratio", "latency_p95"]
+
+
+class TestSloEngine:
+    def test_idle_history_is_ok_not_breaching(self, history, registry):
+        engine = SloEngine(history, specs=(ratio_spec(),), metrics=registry)
+        statuses = engine.evaluate()
+        assert [status.state for status in statuses] == [OK]
+        assert statuses[0].events == 0
+
+    def test_healthy_traffic_stays_ok(self, history, registry, clock):
+        engine = SloEngine(history, specs=(ratio_spec(),), metrics=registry)
+        history.tick()
+        clock.advance(10.0)
+        registry.increment("gateway.requests", 100)
+        registry.increment("gateway.failed", 1)  # 1% < 5% threshold
+        history.tick()
+        statuses = engine.evaluate()
+        assert statuses[0].state == OK
+        assert statuses[0].slow_burn == pytest.approx(0.2)
+
+    def test_sustained_burn_pages_and_counts_transition_once(
+        self, history, registry, clock
+    ):
+        engine = SloEngine(history, specs=(ratio_spec(),), metrics=registry)
+        history.tick()
+        for _ in range(4):
+            clock.advance(10.0)
+            registry.increment("gateway.requests", 10)
+            registry.increment("gateway.failed", 2)  # 20% = burn 4.0
+            history.tick()
+        assert engine.evaluate()[0].state == PAGE
+        assert engine.evaluate()[0].state == PAGE  # still paging
+        counters = registry.snapshot()["counters"]
+        assert counters["obs.slo.page"] == 1  # transition, not held state
+        assert counters["obs.slo.evaluations"] == 2
+        assert engine.page_active()
+
+    def test_fast_spike_alone_warns_not_pages(self, history, registry, clock):
+        engine = SloEngine(history, specs=(ratio_spec(),), metrics=registry)
+        history.tick()
+        # 20s of clean traffic fills the slow window with health...
+        for _ in range(2):
+            clock.advance(10.0)
+            registry.increment("gateway.requests", 100)
+            history.tick()
+        # ...then a spike of pure failures filling the whole fast window.
+        clock.advance(10.0)
+        registry.increment("gateway.requests", 10)
+        registry.increment("gateway.failed", 10)
+        history.tick()
+        status = engine.evaluate()[0]
+        assert status.fast_burn >= 2.0
+        assert status.slow_burn < 2.0
+        assert status.state == WARN
+
+    def test_slow_budget_burn_warns(self, history, registry, clock):
+        engine = SloEngine(history, specs=(ratio_spec(),), metrics=registry)
+        history.tick()
+        for _ in range(3):
+            clock.advance(10.0)
+            registry.increment("gateway.requests", 100)
+            registry.increment("gateway.failed", 7)  # 7% = burn 1.4: over budget
+            history.tick()
+        status = engine.evaluate()[0]
+        assert status.state == WARN
+        assert registry.snapshot()["counters"]["obs.slo.warn"] == 1
+
+    def test_min_events_suppresses_thin_evidence(self, history, registry, clock):
+        engine = SloEngine(
+            history, specs=(ratio_spec(min_events=50),), metrics=registry
+        )
+        history.tick()
+        clock.advance(30.0)
+        registry.increment("gateway.requests", 2)
+        registry.increment("gateway.failed", 2)  # 100% failure, but 2 events
+        history.tick()
+        assert engine.evaluate()[0].state == OK
+
+    def test_recovery_returns_to_ok(self, history, registry, clock):
+        engine = SloEngine(history, specs=(ratio_spec(),), metrics=registry)
+        history.tick()
+        for _ in range(3):
+            clock.advance(10.0)
+            registry.increment("gateway.requests", 10)
+            registry.increment("gateway.failed", 5)
+            history.tick()
+        assert engine.evaluate()[0].state == PAGE
+        # 40s of clean traffic pushes the breach out of both windows.
+        for _ in range(4):
+            clock.advance(10.0)
+            registry.increment("gateway.requests", 100)
+            history.tick()
+        assert engine.evaluate()[0].state == OK
+        assert not engine.page_active()
+
+    def test_latency_quantile_slo(self, history, registry, clock):
+        spec = SloSpec(
+            name="latency_p95",
+            kind=LATENCY,
+            threshold=0.5,
+            histogram="gateway.service_seconds",
+            quantile=0.95,
+            fast_window_seconds=10.0,
+            slow_window_seconds=30.0,
+        )
+        engine = SloEngine(history, specs=(spec,), metrics=registry)
+        history.tick()
+        for _ in range(3):
+            clock.advance(10.0)
+            for _ in range(10):
+                registry.observe("gateway.service_seconds", 3.0)  # burn 6.0
+            history.tick()
+        status = engine.evaluate()[0]
+        assert status.state == PAGE
+        assert status.slow_value > 0.5
+
+    def test_publishes_per_slo_gauges(self, history, registry):
+        engine = SloEngine(history, specs=(ratio_spec(),), metrics=registry)
+        engine.evaluate()
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["obs.slo.error_ratio.state"] == 0
+        assert "obs.slo.error_ratio.burn_fast" in gauges
+        assert "obs.slo.error_ratio.burn_slow" in gauges
+
+    def test_last_is_retained(self, history, registry):
+        engine = SloEngine(history, specs=(ratio_spec(),), metrics=registry)
+        assert engine.last == ()
+        result = engine.evaluate()
+        assert engine.last == result

@@ -1,0 +1,105 @@
+"""Roundtrip: TraceBuffer.export_jsonl → tools/trace_load.py → rendered tree."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs import Tracer, render_trace, span
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+
+from trace_load import load_traces, main  # noqa: E402
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(sample_rate=1.0, slow_threshold_seconds=0.05)
+
+
+def run_workload(tracer, requests: int = 3) -> None:
+    for index in range(requests):
+        with tracer.trace("request", request_id=index):
+            with span("dispatch"):
+                with span("compute", worker=index % 2):
+                    pass
+            with span("cache_store"):
+                pass
+
+
+def test_roundtrip_preserves_traces_and_renders(tracer, tmp_path):
+    run_workload(tracer)
+    originals = tracer.buffer.snapshot()
+    path = tmp_path / "traces.jsonl"
+    written = tracer.buffer.export_jsonl(path)
+    assert written == sum(len(trace.records) for trace in originals)
+
+    loaded = load_traces(path)
+    assert len(loaded) == len(originals)
+    by_id = {trace.trace_id: trace for trace in loaded}
+    for original in originals:
+        restored = by_id[original.trace_id]
+        assert restored.name == original.name
+        assert restored.sampled == original.sampled
+        assert restored.slow == original.slow
+        assert restored.duration == pytest.approx(original.duration)
+        assert {record.span_id for record in restored.records} == {
+            record.span_id for record in original.records
+        }
+        # The offline render matches the live render exactly.
+        assert render_trace(restored) == render_trace(original)
+
+
+def test_partial_trace_falls_back_to_longest_record(tracer, tmp_path):
+    run_workload(tracer, requests=1)
+    trace = tracer.buffer.snapshot()[0]
+    path = tmp_path / "partial.jsonl"
+    # Ship only the non-root records, as a truncated export would.
+    import json
+
+    with open(path, "w") as handle:
+        for record in trace.records:
+            if record.parent_id is None:
+                continue
+            row = record.as_dict()
+            row["sampled"] = trace.sampled
+            row["slow"] = trace.slow
+            handle.write(json.dumps(row) + "\n")
+    loaded = load_traces(path)
+    assert len(loaded) == 1
+    # dispatch wraps compute and cache_store, so it is the longest record.
+    assert loaded[0].name == "dispatch"
+
+
+def test_cli_renders_and_filters(tracer, tmp_path, capsys):
+    run_workload(tracer)
+    path = tmp_path / "traces.jsonl"
+    tracer.buffer.export_jsonl(path)
+    target = tracer.buffer.snapshot()[0].trace_id
+
+    assert main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "3 trace(s)" in out
+    assert "request" in out and "compute" in out
+
+    assert main([str(path), "--trace", target]) == 0
+    out = capsys.readouterr().out
+    assert "1 trace(s)" in out
+    assert target in out
+
+    assert main([str(path), "--slowest", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "2 trace(s)" in out
+
+
+def test_cli_fails_on_empty_or_missing_trace(tracer, tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main([str(empty)]) == 1
+    assert "no span records" in capsys.readouterr().err
+
+    run_workload(tracer)
+    path = tmp_path / "traces.jsonl"
+    tracer.buffer.export_jsonl(path)
+    assert main([str(path), "--trace", "nope"]) == 1
+    assert "not found" in capsys.readouterr().err

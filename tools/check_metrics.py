@@ -19,6 +19,15 @@ catalog row covers a templated family.  Only dotted names count as
 metrics (``_record("suggest")`` in the agents layer is an LLM call
 counter, not registry telemetry); span names are taken verbatim.
 
+The check then lints the *exposition*: every emitted metric is replayed
+into a synthetic registry (typed by its emission method — ``increment``
+is a counter, ``observe`` a histogram, the gauge setters a gauge),
+rendered with :func:`repro.obs.export.render_openmetrics`, and re-read
+with the validating parser.  Every family must carry a real catalog HELP
+line (not the fallback placeholder) and a legal sanitized name — so a
+metric that would scrape as undocumented or malformed fails here, not in
+Prometheus.
+
 Run locally::
 
     python tools/check_metrics.py
@@ -27,18 +36,31 @@ Run locally::
 from __future__ import annotations
 
 import re
+import sys
 from fnmatch import fnmatch
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 CATALOG = REPO_ROOT / "docs" / "OBSERVABILITY.md"
 
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
 # Emission calls whose first string argument is a metric name.  The name
 # may sit on the line after the call (black wraps long calls), so the
-# pattern crosses newlines.
+# pattern crosses newlines.  The method is captured: it types the metric
+# for the exposition lint.
 METRIC_CALL = re.compile(
-    r"\.(?:increment|observe|set_gauge|adjust_gauge|_record)\(\s*(f?)\"([^\"]+)\"",
+    r"\.(increment|observe|set_gauge|adjust_gauge|_record)\(\s*(f?)\"([^\"]+)\"",
 )
+
+#: Emission method → OpenMetrics family type.
+METHOD_KIND = {
+    "increment": "counter",
+    "_record": "counter",
+    "observe": "histogram",
+    "set_gauge": "gauge",
+    "adjust_gauge": "gauge",
+}
 
 # Span-opening calls whose string argument is a span name.
 SPAN_CALL = re.compile(
@@ -60,16 +82,16 @@ def normalise(name: str) -> str:
     return PLACEHOLDER.sub("*", FSTRING_FIELD.sub("*", name))
 
 
-def emitted_names() -> tuple[set[str], set[str]]:
-    """(metric names, span names) actually emitted under ``src/``."""
-    metrics: set[str] = set()
+def emitted_names() -> tuple[dict[str, str], set[str]]:
+    """({metric name: family type}, span names) emitted under ``src/``."""
+    metrics: dict[str, str] = {}
     spans: set[str] = set()
     for path in sorted((REPO_ROOT / "src").rglob("*.py")):
         text = path.read_text()
-        for _, name in METRIC_CALL.findall(text):
+        for method, _, name in METRIC_CALL.findall(text):
             name = normalise(name)
             if "." in name:
-                metrics.add(name)
+                metrics.setdefault(name, METHOD_KIND[method])
         for name in SPAN_CALL.findall(text):
             spans.add(normalise(name))
     # cache_stats() reads hits/misses/evictions under a caller-chosen
@@ -112,6 +134,55 @@ def uncovered(names: set[str], against: set[str]) -> list[str]:
     )
 
 
+def exposition_problems(metric_kinds: dict[str, str]) -> list[str]:
+    """Lint the OpenMetrics exposition of every emitted metric.
+
+    Replays each emitted name (wildcard segments instantiated with a
+    concrete value) into a synthetic registry under its source-derived
+    type, renders it, and re-reads the text with the validating parser.
+    Fails on an unparseable exposition, an illegal sanitized name, a
+    family that vanished from the output, or a family whose HELP line is
+    the ``(no catalog entry)`` fallback — i.e. undocumented telemetry
+    that the catalog cross-check alone would also catch, but here it is
+    checked at the scrape surface.
+    """
+    from repro.obs import export
+    from repro.serving.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    concrete_of: dict[str, str] = {}
+    for name, kind in sorted(metric_kinds.items()):
+        concrete = name.replace("*", "sample")
+        concrete_of[concrete] = name
+        if kind == "counter":
+            registry.increment(concrete)
+        elif kind == "gauge":
+            registry.set_gauge(concrete, 1.0)
+        else:
+            registry.observe(concrete, 0.01)
+
+    problems: list[str] = []
+    text = export.render_openmetrics(registry)
+    try:
+        families = export.parse_openmetrics(text)
+    except export.OpenMetricsParseError as error:
+        return [f"exposition does not parse as OpenMetrics: {error}"]
+
+    for concrete, original in sorted(concrete_of.items()):
+        sanitized = export.sanitize_name(concrete)
+        if not export.VALID_NAME.match(sanitized):
+            problems.append(
+                f"metric {original} sanitises to illegal name {sanitized!r}"
+            )
+            continue
+        family = families.get(sanitized)
+        if family is None:
+            problems.append(f"metric {original} missing from the exposition")
+        elif family["help"] == export.FALLBACK_HELP:
+            problems.append(f"metric {original} renders without a HELP line")
+    return problems
+
+
 def main() -> int:
     if not CATALOG.exists():
         print(f"Metrics catalog check FAILED: {CATALOG} does not exist")
@@ -119,14 +190,15 @@ def main() -> int:
     emitted_metrics, emitted_spans = emitted_names()
     listed_metrics, listed_spans = catalog_names()
     problems: list[str] = []
-    for name in uncovered(emitted_metrics, listed_metrics):
+    for name in uncovered(set(emitted_metrics), listed_metrics):
         problems.append(f"metric emitted in src/ but not in the catalog: {name}")
-    for name in uncovered(listed_metrics, emitted_metrics):
+    for name in uncovered(listed_metrics, set(emitted_metrics)):
         problems.append(f"metric in the catalog but never emitted: {name}")
     for name in uncovered(emitted_spans, listed_spans):
         problems.append(f"span emitted in src/ but not in the taxonomy: {name}")
     for name in uncovered(listed_spans, emitted_spans):
         problems.append(f"span in the taxonomy but never emitted: {name}")
+    problems.extend(exposition_problems(emitted_metrics))
     if problems:
         print("Metrics catalog check FAILED:")
         for problem in problems:

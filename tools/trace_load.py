@@ -1,0 +1,109 @@
+"""Offline reader for ``TraceBuffer.export_jsonl`` dumps.
+
+``export_jsonl`` streams every retained span record to disk, one JSON
+object per line; until now nothing read them back.  This tool regroups
+the rows by ``trace_id``, rebuilds :class:`~repro.obs.CompletedTrace`
+objects, and renders each as the same indented span tree
+``ops_report()`` shows — so a trace window exported from a production
+gateway is inspectable offline, next to the ``BENCH_*.json`` artifacts.
+
+Usage::
+
+    PYTHONPATH=src python tools/trace_load.py traces.jsonl
+    PYTHONPATH=src python tools/trace_load.py traces.jsonl --trace <id>
+    PYTHONPATH=src python tools/trace_load.py traces.jsonl --slowest 3
+
+Exits non-zero when the file has no records or ``--trace`` names an id
+that is not in the dump.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import CompletedTrace, SpanRecord, render_trace  # noqa: E402
+
+
+def load_traces(path) -> list[CompletedTrace]:
+    """Rebuild completed traces from a JSONL export, in file order.
+
+    Rows sharing a ``trace_id`` form one trace; its root is the record
+    with no parent (falling back to the longest-running record for a
+    partially shipped trace), and the exporter's per-row retention
+    context (``sampled`` / ``slow``) is restored onto the trace.
+    """
+    grouped: dict[str, list[dict]] = {}
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        row = json.loads(line)
+        grouped.setdefault(row["trace_id"], []).append(row)
+    traces: list[CompletedTrace] = []
+    for trace_id, rows in grouped.items():
+        records = tuple(
+            SpanRecord(
+                trace_id=row["trace_id"],
+                span_id=row["span_id"],
+                parent_id=row["parent_id"],
+                name=row["name"],
+                start=row["start"],
+                duration=row["duration"],
+                attrs=dict(row.get("attrs", {})),
+            )
+            for row in rows
+        )
+        roots = [record for record in records if record.parent_id is None]
+        root = roots[0] if roots else max(records, key=lambda record: record.duration)
+        traces.append(
+            CompletedTrace(
+                trace_id=trace_id,
+                name=root.name,
+                start=root.start,
+                duration=root.duration,
+                sampled=bool(rows[0].get("sampled", True)),
+                slow=bool(rows[0].get("slow", False)),
+                records=records,
+                attrs=dict(root.attrs),
+            )
+        )
+    return traces
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="JSONL file written by TraceBuffer.export_jsonl")
+    parser.add_argument("--trace", default=None, help="render only this trace id")
+    parser.add_argument(
+        "--slowest",
+        type=int,
+        default=None,
+        metavar="N",
+        help="render only the N slowest traces (slowest first)",
+    )
+    args = parser.parse_args(argv)
+
+    traces = load_traces(args.path)
+    if not traces:
+        print(f"no span records in {args.path}", file=sys.stderr)
+        return 1
+    if args.trace is not None:
+        traces = [trace for trace in traces if trace.trace_id == args.trace]
+        if not traces:
+            print(f"trace {args.trace} not found in {args.path}", file=sys.stderr)
+            return 1
+    if args.slowest is not None:
+        traces = sorted(traces, key=lambda trace: -trace.duration)[: args.slowest]
+    print(f"{len(traces)} trace(s) from {args.path}\n")
+    for trace in traces:
+        print(render_trace(trace))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
